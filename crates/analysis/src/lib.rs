@@ -1,0 +1,25 @@
+//! Statistics, theoretical reference curves and table rendering for the
+//! experiment harness.
+//!
+//! The experiments compare *measured* quantities (survivors per sifting
+//! phase, communicate calls per processor, total messages) against the
+//! paper's *asymptotic claims* (√n, log² n, log\* n, k·n, ...). This crate
+//! provides:
+//!
+//! * [`Summary`] — streaming summary statistics (mean, standard deviation,
+//!   95% confidence interval, min/max, percentiles),
+//! * [`theory`] — the reference curves the claims are checked against
+//!   (iterated logarithm, log², √n, linear, n log n),
+//! * [`table`] — plain-text table and CSV rendering used by the experiment
+//!   drivers so EXPERIMENTS.md can be regenerated verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod table;
+pub mod theory;
+
+pub use stats::Summary;
+pub use table::Table;
+pub use theory::{log2, log_star, sqrt_curve};

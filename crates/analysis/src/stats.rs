@@ -1,0 +1,144 @@
+//! Summary statistics over repeated trials.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+///
+/// # Example
+/// ```
+/// use fle_analysis::Summary;
+/// let s = Summary::of([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Summarise an iterator of samples.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut values: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Summary { values }
+    }
+
+    /// Summarise integer counts.
+    pub fn of_counts(values: impl IntoIterator<Item = u64>) -> Self {
+        Self::of(values.into_iter().map(|v| v as f64))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval for the mean (normal
+    /// approximation).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (self.values.len() as f64).sqrt()
+    }
+
+    /// Smallest sample (0 for an empty sample).
+    pub fn min(&self) -> f64 {
+        self.values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample (0 for an empty sample).
+    pub fn max(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// The `q`-quantile (0 ≤ `q` ≤ 1) by nearest-rank, 0 for an empty sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.values.len() as f64 - 1.0) * q).round() as usize;
+        self.values[rank.min(self.values.len() - 1)]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_deviation() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138089935299395).abs() < 1e-9);
+        assert!(s.ci95_half_width() > 0.0);
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let s = Summary::of_counts([9, 1, 5, 3, 7]);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples_are_safe() {
+        let empty = Summary::of([]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        assert_eq!(empty.median(), 0.0);
+
+        let single = Summary::of([42.0]);
+        assert_eq!(single.mean(), 42.0);
+        assert_eq!(single.std_dev(), 0.0);
+        assert_eq!(single.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text table and CSV rendering for the experiment drivers.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table that can also render itself as CSV.
+///
+/// # Example
+/// ```
+/// use fle_analysis::Table;
+/// let mut table = Table::new(["n", "survivors"]);
+/// table.add_row(["16", "3.5"]);
+/// let text = table.render();
+/// assert!(text.contains("survivors"));
+/// assert!(table.to_csv().starts_with("n,survivors"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated.
+    pub fn add_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a column-aligned plain-text table (the format used in
+    /// EXPERIMENTS.md).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (index, cell) in row.iter().enumerate() {
+                widths[index] = widths[index].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (index, cell) in cells.iter().enumerate() {
+                if index > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[index]);
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (comma-separated, one line per row, header first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut table = Table::new(["n", "mean survivors", "theory √n"]);
+        table.add_row(["16", "3.20", "4.00"]);
+        table.add_row(["4096", "61.70", "64.00"]);
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("mean survivors"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("4096"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut table = Table::new(["a", "b"]);
+        table.add_row(["1"]);
+        table.add_row(["1", "2", "3"]);
+        assert!(table.render().contains('1'));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().nth(2).unwrap(), "1,2");
+    }
+
+    #[test]
+    fn csv_escapes_special_characters() {
+        let mut table = Table::new(["label", "value"]);
+        table.add_row(["with, comma", "with \"quote\""]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"with, comma\""));
+        assert!(csv.contains("\"with \"\"quote\"\"\""));
+    }
+}

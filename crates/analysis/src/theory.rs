@@ -1,0 +1,102 @@
+//! Theoretical reference curves for the paper's complexity claims.
+
+/// Base-2 logarithm of `n`, with `log2(0) = log2(1) = 0`.
+pub fn log2(n: u64) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        (n as f64).log2()
+    }
+}
+
+/// The iterated logarithm `log* n` (base 2): the number of times `log2` must
+/// be applied before the value drops to at most 1.
+///
+/// # Example
+/// ```
+/// assert_eq!(fle_analysis::log_star(1), 0);
+/// assert_eq!(fle_analysis::log_star(2), 1);
+/// assert_eq!(fle_analysis::log_star(16), 3);
+/// assert_eq!(fle_analysis::log_star(65536), 4);
+/// ```
+pub fn log_star(n: u64) -> u32 {
+    let mut value = n as f64;
+    let mut iterations = 0;
+    while value > 1.0 {
+        value = value.log2();
+        iterations += 1;
+        if iterations > 64 {
+            break;
+        }
+    }
+    iterations
+}
+
+/// `√n` — the survivor bound of the plain PoisonPill (Claim 3.2).
+pub fn sqrt_curve(n: u64) -> f64 {
+    (n as f64).sqrt()
+}
+
+/// `log² n` — the survivor bound of the heterogeneous PoisonPill
+/// (Lemmas 3.6–3.7).
+pub fn log_squared(n: u64) -> f64 {
+    let l = log2(n);
+    l * l
+}
+
+/// `k · n` — the message-complexity bound of the leader election
+/// (Theorem A.5) and its Ω(kn) lower bound (Corollary B.3).
+pub fn kn_curve(k: u64, n: u64) -> f64 {
+    (k as f64) * (n as f64)
+}
+
+/// `n log n` — the shape of the tournament baseline's total message cost when
+/// all `n` processors participate and climb Θ(log n) levels.
+pub fn n_log_n(n: u64) -> f64 {
+    (n as f64) * log2(n)
+}
+
+/// The lower-bound constant of Theorem B.2: at least `α·k·n / 16` messages.
+pub fn lower_bound_messages(k: u64, n: u64) -> f64 {
+    kn_curve(k, n) / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_reference_points() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(65536), 4);
+        assert_eq!(log_star(u64::MAX), 5);
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        for n in [2u64, 4, 16, 256, 1024] {
+            assert!(sqrt_curve(n) < sqrt_curve(n * 2));
+            assert!(log_squared(n) <= log_squared(n * 2));
+            assert!(n_log_n(n) < n_log_n(n * 2));
+        }
+        assert_eq!(log2(1), 0.0);
+        assert_eq!(log2(8), 3.0);
+    }
+
+    #[test]
+    fn sqrt_eventually_dominates_log_squared() {
+        // The whole point of the heterogeneous sift: log² n ≪ √n for large n.
+        assert!(log_squared(1 << 20) < sqrt_curve(1 << 20));
+    }
+
+    #[test]
+    fn lower_bound_scales_with_k_and_n() {
+        assert_eq!(lower_bound_messages(4, 8), 2.0);
+        assert!(lower_bound_messages(8, 8) > lower_bound_messages(4, 8));
+        assert_eq!(kn_curve(3, 5), 15.0);
+    }
+}

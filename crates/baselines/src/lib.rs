@@ -1,0 +1,27 @@
+//! Baseline algorithms the paper compares against.
+//!
+//! * [`TournamentTas`] — the tournament-tree test-and-set of Afek, Gafni,
+//!   Tromp and Vitányi (AGTV92), the fastest previously-known leader election
+//!   against a strong adversary: pair processors into two-contender matches
+//!   arranged in a complete binary tree; winners ascend, losers drop out.
+//!   Time complexity Θ(log n) — the winner must communicate once per tree
+//!   level — which is exactly the barrier the paper's O(log\* n) algorithm
+//!   breaks.
+//! * [`RandomOrderRenaming`] — the simple balls-into-bins renaming of
+//!   AAG+10 discussed in the paper's related-work section: each processor
+//!   tries names in random order (ignoring contention information) until it
+//!   wins one; its expected time is Ω(n) for a late processor, compared with
+//!   the paper's O(log² n).
+//!
+//! Both baselines run on the same simulator, the same `communicate`
+//! primitive and the same adversaries as the paper's algorithms, so the
+//! experiment harness compares like with like.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod naive_renaming;
+pub mod tournament;
+
+pub use naive_renaming::RandomOrderRenaming;
+pub use tournament::{bracket_size, TournamentConfig, TournamentTas};

@@ -1,0 +1,185 @@
+//! The random-order renaming baseline (AAG+10, as discussed in the paper's
+//! related-work section).
+//!
+//! Each processor tries names in a uniformly random order, competing for each
+//! one with a per-name leader election, until it wins one. Unlike the paper's
+//! algorithm (Figure 3) it never looks at contention information, so a late
+//! processor may have to try a linear number of names: expected time Ω(n),
+//! versus the paper's O(log² n).
+
+use fle_core::leader_election::{ElectionConfig, LeaderElection};
+use fle_model::{Action, LocalStateView, Outcome, ProcId, Protocol, Response};
+
+#[derive(Debug)]
+enum Stage {
+    Init,
+    Choosing,
+    Electing {
+        spot: usize,
+        election: Box<LeaderElection>,
+    },
+    Done(Outcome),
+}
+
+/// Random-order renaming: try uniformly random untried names until one is won.
+#[derive(Debug)]
+pub struct RandomOrderRenaming {
+    me: ProcId,
+    namespace: usize,
+    tried: Vec<bool>,
+    stage: Stage,
+    attempts: u32,
+}
+
+impl RandomOrderRenaming {
+    /// A participant renaming into `1..=namespace`.
+    ///
+    /// # Panics
+    /// Panics if `namespace == 0`.
+    pub fn new(me: ProcId, namespace: usize) -> Self {
+        assert!(namespace > 0, "the namespace must contain at least one name");
+        RandomOrderRenaming {
+            me,
+            namespace,
+            tried: vec![false; namespace],
+            stage: Stage::Init,
+            attempts: 0,
+        }
+    }
+
+    /// Number of names tried so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The size of the namespace this participant renames into.
+    pub fn namespace(&self) -> usize {
+        self.namespace
+    }
+
+    fn untried(&self) -> Vec<u64> {
+        self.tried
+            .iter()
+            .enumerate()
+            .filter(|(_, tried)| !**tried)
+            .map(|(name, _)| name as u64)
+            .collect()
+    }
+
+    fn choose_next(&mut self) -> Action {
+        let choices = self.untried();
+        if choices.is_empty() {
+            // Exhausted the namespace without winning: only possible when more
+            // processors request names than the namespace holds, which the
+            // tight-renaming problem excludes. Fail closed.
+            self.stage = Stage::Done(Outcome::Lose);
+            return Action::Return(Outcome::Lose);
+        }
+        self.stage = Stage::Choosing;
+        Action::Choose { choices }
+    }
+}
+
+impl Protocol for RandomOrderRenaming {
+    fn step(&mut self, response: Response) -> Action {
+        match &mut self.stage {
+            Stage::Init => {
+                debug_assert_eq!(response, Response::Start);
+                self.choose_next()
+            }
+            Stage::Choosing => {
+                let spot = response.expect_chosen() as usize;
+                self.tried[spot] = true;
+                self.attempts += 1;
+                let mut election = Box::new(LeaderElection::with_config(
+                    self.me,
+                    ElectionConfig::for_name(spot),
+                ));
+                let first_action = election.step(Response::Start);
+                self.stage = Stage::Electing { spot, election };
+                first_action
+            }
+            Stage::Electing { spot, election } => {
+                let action = election.step(response);
+                match action {
+                    Action::Return(Outcome::Win) => {
+                        let name = *spot + 1;
+                        self.stage = Stage::Done(Outcome::Name(name));
+                        Action::Return(Outcome::Name(name))
+                    }
+                    Action::Return(_) => self.choose_next(),
+                    other => other,
+                }
+            }
+            Stage::Done(outcome) => Action::Return(*outcome),
+        }
+    }
+
+    fn adversary_view(&self) -> LocalStateView {
+        let (phase, coin) = match &self.stage {
+            Stage::Init => ("init", None),
+            Stage::Choosing => ("choosing", None),
+            Stage::Electing { election, .. } => ("electing", election.adversary_view().coin),
+            Stage::Done(_) => ("done", None),
+        };
+        LocalStateView {
+            algorithm: "random-order-renaming",
+            phase,
+            round: u64::from(self.attempts),
+            coin,
+            details: vec![("attempts", i64::from(self.attempts))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_core::checks;
+    use fle_sim::{Adversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator};
+
+    fn run_naive(n: usize, k: usize, seed: u64, adversary: &mut dyn Adversary) -> fle_sim::ExecutionReport {
+        let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+        for i in 0..k {
+            sim.add_participant(ProcId(i), Box::new(RandomOrderRenaming::new(ProcId(i), n)));
+        }
+        sim.run(adversary).expect("renaming terminates")
+    }
+
+    #[test]
+    fn names_are_unique_and_tight() {
+        for (n, k) in [(2usize, 2usize), (4, 4), (6, 6), (8, 5)] {
+            for seed in 0..3u64 {
+                let adversaries: Vec<Box<dyn Adversary>> = vec![
+                    Box::new(RandomAdversary::with_seed(seed)),
+                    Box::new(SequentialAdversary::new()),
+                ];
+                for mut adversary in adversaries {
+                    let report = run_naive(n, k, seed, adversary.as_mut());
+                    assert!(
+                        checks::valid_tight_renaming(&report, k, n),
+                        "n={n} k={k} seed={seed} adversary={} names={:?}",
+                        adversary.name(),
+                        report.names()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attempts_never_repeat_a_name() {
+        let mut baseline = RandomOrderRenaming::new(ProcId(0), 3);
+        let _ = baseline.step(Response::Start);
+        let _ = baseline.step(Response::Chosen(1));
+        assert!(baseline.tried[1]);
+        assert_eq!(baseline.attempts(), 1);
+        assert_eq!(baseline.untried(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one name")]
+    fn zero_namespace_is_rejected() {
+        let _ = RandomOrderRenaming::new(ProcId(0), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The tournament-tree test-and-set baseline (AGTV92).
+//!
+//! Processors are assigned to the leaves of a complete binary tree over
+//! `bracket_size(n)` slots. Each internal node hosts a two-contender match:
+//! the winner of the left subtree plays the winner of the right subtree, and
+//! the winner of the root wins the test-and-set. Every match is itself a
+//! small leader election over that node's registers (doorway + round filter +
+//! sifting), i.e. exactly the machinery a message-passing implementation of
+//! AGTV92 obtains by simulating its shared-memory two-processor test-and-set
+//! objects with ABD quorum registers.
+//!
+//! The point of the baseline is its *depth*: a winner must complete one match
+//! per level, so its time complexity is Θ(log n) communicate calls, and —
+//! because the bracket is fixed over `n` slots rather than the `k`
+//! participants — even a lone participant pays the full Θ(log n), in contrast
+//! with the adaptive O(log\* k) of the paper's algorithm.
+
+use fle_core::leader_election::{ElectionConfig, LeaderElection};
+use fle_model::{
+    Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
+};
+
+/// The number of leaves of the tournament bracket: the smallest power of two
+/// that is at least `n` (and at least 2, so there is always a root match).
+pub fn bracket_size(n: usize) -> usize {
+    n.max(2).next_power_of_two()
+}
+
+/// Configuration of the tournament baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TournamentConfig {
+    /// Number of processors in the system (determines the bracket).
+    pub n: usize,
+}
+
+impl TournamentConfig {
+    /// A tournament bracket over `n` processors.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a tournament needs at least one processor");
+        TournamentConfig { n }
+    }
+
+    /// Number of levels a winner must ascend (the tree depth).
+    pub fn depth(&self) -> u32 {
+        bracket_size(self.n).trailing_zeros()
+    }
+}
+
+#[derive(Debug)]
+enum Stage {
+    Init,
+    /// Playing the match at the given heap-indexed internal node.
+    Playing {
+        node: u32,
+        match_protocol: Box<LeaderElection>,
+    },
+    Done(Outcome),
+}
+
+/// The tournament-tree test-and-set of AGTV92.
+///
+/// Returns [`Outcome::Win`] for exactly one participant and [`Outcome::Lose`]
+/// for every other participant that completes.
+#[derive(Debug)]
+pub struct TournamentTas {
+    me: ProcId,
+    config: TournamentConfig,
+    stage: Stage,
+    matches_played: u32,
+}
+
+impl TournamentTas {
+    /// A tournament participant.
+    pub fn new(me: ProcId, config: TournamentConfig) -> Self {
+        TournamentTas {
+            me,
+            config,
+            stage: Stage::Init,
+            matches_played: 0,
+        }
+    }
+
+    /// Number of matches this participant has entered so far.
+    pub fn matches_played(&self) -> u32 {
+        self.matches_played
+    }
+
+    /// Heap index of the leaf assigned to this processor.
+    fn leaf(&self) -> u32 {
+        (bracket_size(self.config.n) + self.me.index()) as u32
+    }
+
+    /// The match protocol played at `node`: a two-contender leader election
+    /// over registers scoped to that node.
+    fn match_at(&mut self, node: u32) -> Box<LeaderElection> {
+        self.matches_played += 1;
+        Box::new(LeaderElection::with_config(
+            self.me,
+            ElectionConfig {
+                ctx: ElectionContext::Scoped(node),
+                ..ElectionConfig::default()
+            },
+        ))
+    }
+
+    /// Enter the match at the parent of `child`, or finish with a win at the
+    /// root. Returns the first action of the new match (or the final return).
+    fn ascend_from(&mut self, child: u32) -> Action {
+        if child <= 1 {
+            self.stage = Stage::Done(Outcome::Win);
+            return Action::Return(Outcome::Win);
+        }
+        let node = child / 2;
+        let mut match_protocol = self.match_at(node);
+        let first_action = match_protocol.step(Response::Start);
+        // A lone contender still performs the match's communicate calls (the
+        // doorway and round filter), which is what makes the baseline pay
+        // Θ(log n) even at low contention.
+        match first_action {
+            Action::Return(outcome) => self.conclude_match(node, outcome),
+            other => {
+                self.stage = Stage::Playing {
+                    node,
+                    match_protocol,
+                };
+                other
+            }
+        }
+    }
+
+    fn conclude_match(&mut self, node: u32, outcome: Outcome) -> Action {
+        match outcome {
+            Outcome::Win => self.ascend_from(node),
+            _ => {
+                self.stage = Stage::Done(Outcome::Lose);
+                Action::Return(Outcome::Lose)
+            }
+        }
+    }
+}
+
+impl Protocol for TournamentTas {
+    fn step(&mut self, response: Response) -> Action {
+        match &mut self.stage {
+            Stage::Init => {
+                debug_assert_eq!(response, Response::Start);
+                let leaf = self.leaf();
+                self.ascend_from(leaf)
+            }
+            Stage::Playing {
+                node,
+                match_protocol,
+            } => {
+                let node = *node;
+                let action = match_protocol.step(response);
+                match action {
+                    Action::Return(outcome) => self.conclude_match(node, outcome),
+                    other => other,
+                }
+            }
+            Stage::Done(outcome) => Action::Return(*outcome),
+        }
+    }
+
+    fn adversary_view(&self) -> LocalStateView {
+        let (phase, coin, node) = match &self.stage {
+            Stage::Init => ("init", None, 0),
+            Stage::Playing {
+                node,
+                match_protocol,
+            } => ("playing", match_protocol.adversary_view().coin, *node),
+            Stage::Done(_) => ("done", None, 0),
+        };
+        LocalStateView {
+            algorithm: "tournament-tas",
+            phase,
+            round: u64::from(self.matches_played),
+            coin,
+            details: vec![("node", i64::from(node))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_core::checks;
+    use fle_sim::{Adversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator};
+
+    fn run_tournament(
+        n: usize,
+        k: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+    ) -> fle_sim::ExecutionReport {
+        let config = TournamentConfig::new(n);
+        let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+        for i in 0..k {
+            sim.add_participant(ProcId(i), Box::new(TournamentTas::new(ProcId(i), config)));
+        }
+        sim.run(adversary).expect("tournament terminates")
+    }
+
+    #[test]
+    fn bracket_sizes_are_powers_of_two() {
+        assert_eq!(bracket_size(1), 2);
+        assert_eq!(bracket_size(2), 2);
+        assert_eq!(bracket_size(3), 4);
+        assert_eq!(bracket_size(8), 8);
+        assert_eq!(bracket_size(9), 16);
+        assert_eq!(TournamentConfig::new(9).depth(), 4);
+        assert_eq!(TournamentConfig::new(2).depth(), 1);
+    }
+
+    #[test]
+    fn exactly_one_winner() {
+        for (n, k) in [(2usize, 2usize), (4, 4), (8, 5), (8, 8)] {
+            for seed in 0..3u64 {
+                let adversaries: Vec<Box<dyn Adversary>> = vec![
+                    Box::new(RandomAdversary::with_seed(seed)),
+                    Box::new(SequentialAdversary::new()),
+                ];
+                for mut adversary in adversaries {
+                    let report = run_tournament(n, k, seed, adversary.as_mut());
+                    assert!(checks::unique_winner(&report), "n={n} k={k} seed={seed}");
+                    assert!(
+                        checks::someone_won(&report),
+                        "n={n} k={k} seed={seed} adversary={}",
+                        adversary.name()
+                    );
+                    assert_eq!(report.outcomes.len(), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lone_participant_still_pays_the_full_depth() {
+        let n = 16;
+        let report = run_tournament(n, 1, 0, &mut RandomAdversary::with_seed(1));
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Win));
+        // One match per level, each match costs at least 4 communicate calls
+        // (doorway collect+propagate, round propagate+collect).
+        let depth = TournamentConfig::new(n).depth() as u64;
+        assert!(
+            report.max_communicate_calls() >= 4 * depth,
+            "the tournament is not adaptive: expected ≥ {} calls, got {}",
+            4 * depth,
+            report.max_communicate_calls()
+        );
+    }
+
+    #[test]
+    fn time_grows_with_the_bracket_depth() {
+        // The winner's communicate-call count must grow noticeably from n=4
+        // to n=32 (Θ(log n)), in contrast with the paper's algorithm.
+        let calls_for = |n: usize| {
+            let report = run_tournament(n, n, 7, &mut RandomAdversary::with_seed(11));
+            report.max_communicate_calls()
+        };
+        let small = calls_for(4);
+        let large = calls_for(32);
+        assert!(
+            large > small,
+            "expected more communicate calls at depth 5 ({large}) than depth 2 ({small})"
+        );
+    }
+
+    #[test]
+    fn adversary_view_reports_the_current_node() {
+        let config = TournamentConfig::new(4);
+        let tas = TournamentTas::new(ProcId(3), config);
+        let view = tas.adversary_view();
+        assert_eq!(view.algorithm, "tournament-tas");
+        assert_eq!(view.phase, "init");
+        assert_eq!(tas.matches_played(), 0);
+    }
+}

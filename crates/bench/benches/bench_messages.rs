@@ -1,0 +1,30 @@
+//! Wall-clock view of the message-complexity experiment (E4): contention
+//! adaptivity of the paper's election as the number of participants grows at
+//! fixed system size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_core::harness::{run_leader_election, ElectionSetup};
+use fle_sim::RandomAdversary;
+use std::hint::black_box;
+
+fn messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election_adaptivity_n64");
+    group.sample_size(10);
+    let n = 32;
+    for &k in &[1usize, 4, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("participants", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let setup = ElectionSetup::first_k_participate(n, k).with_seed(seed);
+                let report =
+                    run_leader_election(&setup, &mut RandomAdversary::with_seed(seed)).unwrap();
+                black_box(report.total_messages())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, messages);
+criterion_main!(benches);

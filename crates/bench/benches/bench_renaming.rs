@@ -1,0 +1,41 @@
+//! Wall-clock cost of tight renaming: the paper's contention-aware algorithm
+//! vs the random-order baseline. Counterpart of experiment E6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_baselines::RandomOrderRenaming;
+use fle_model::ProcId;
+use fle_sim::{RandomAdversary, SimConfig, Simulator};
+use std::hint::black_box;
+
+fn renaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tight_renaming");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("paper", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(fle_bench::experiments::bench_one_renaming(n, seed))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("random_order", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+                for i in 0..n {
+                    sim.add_participant(
+                        ProcId(i),
+                        Box::new(RandomOrderRenaming::new(ProcId(i), n)),
+                    );
+                }
+                let report = sim.run(&mut RandomAdversary::with_seed(seed)).unwrap();
+                black_box(report.names().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, renaming);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! E6 — renaming time and messages: paper's algorithm vs random-order baseline.
+fn main() {
+    println!("E6: tight renaming, paper's algorithm vs random-order baseline\n");
+    println!("{}", fle_bench::e6_renaming(&[4, 8, 16, 24], 3).render());
+}

@@ -1,0 +1,8 @@
+//! E7 — the Ω(kn) message lower bound (Corollary B.3) as an empirical sanity check.
+fn main() {
+    println!("E7: measured messages vs the kn/16 lower bound\n");
+    println!(
+        "{}",
+        fle_bench::e7_lower_bound_check(&[8, 16, 32, 48], 3).render()
+    );
+}

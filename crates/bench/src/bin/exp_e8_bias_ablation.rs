@@ -1,0 +1,5 @@
+//! E8 — ablation: fixed coin biases vs the heterogeneous bias under the strong adversary.
+fn main() {
+    println!("E8: sifting bias ablation under coin-aware and sequential adversaries\n");
+    println!("{}", fle_bench::e8_bias_ablation(&[64, 128], 5).render());
+}

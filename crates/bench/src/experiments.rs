@@ -1,0 +1,508 @@
+//! The experiment implementations (E1–E8 of DESIGN.md).
+
+use fle_analysis::{theory, Summary, Table};
+use fle_baselines::{RandomOrderRenaming, TournamentConfig, TournamentTas};
+use fle_core::harness::{
+    run_heterogeneous_poison_pill, run_leader_election, run_poison_pill, run_renaming,
+    ElectionSetup, RenamingSetup, SiftSetup,
+};
+use fle_core::checks;
+use fle_model::ProcId;
+use fle_sim::{
+    Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, ObliviousAdversary,
+    RandomAdversary, SequentialAdversary, SimConfig, Simulator,
+};
+
+/// The adversary strategies the experiments sweep over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Uniformly random scheduling (fair baseline).
+    Random,
+    /// The weak/oblivious adversary of AA11/GW12a.
+    Oblivious,
+    /// Run participants one at a time (Section 3.2's worst case for the
+    /// fixed-bias PoisonPill).
+    Sequential,
+    /// Inspect coin flips and prioritise 0-flippers (the strong-adversary
+    /// strategy sketched in the introduction).
+    CoinAware,
+}
+
+impl AdversaryKind {
+    /// All strategies, in presentation order.
+    pub fn all() -> [AdversaryKind; 4] {
+        [
+            AdversaryKind::Random,
+            AdversaryKind::Oblivious,
+            AdversaryKind::Sequential,
+            AdversaryKind::CoinAware,
+        ]
+    }
+
+    /// Instantiate the adversary with the given seed.
+    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            AdversaryKind::Random => Box::new(RandomAdversary::with_seed(seed)),
+            AdversaryKind::Oblivious => Box::new(ObliviousAdversary::with_seed(seed)),
+            AdversaryKind::Sequential => Box::new(SequentialAdversary::new()),
+            AdversaryKind::CoinAware => Box::new(CoinAwareAdversary::with_seed(seed)),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdversaryKind::Random => "random",
+            AdversaryKind::Oblivious => "oblivious",
+            AdversaryKind::Sequential => "sequential",
+            AdversaryKind::CoinAware => "coin-aware",
+        }
+    }
+}
+
+fn fmt2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// E1 — Claims 3.1/3.2 and Section 3.2: survivors of one plain PoisonPill
+/// phase (bias `1/√n`) under each adversary, against the `√n` curve.
+pub fn e1_poisonpill_survivors(sizes: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "n",
+        "adversary",
+        "mean survivors",
+        "max survivors",
+        "min survivors",
+        "sqrt(n)",
+    ]);
+    for &n in sizes {
+        for adversary in AdversaryKind::all() {
+            let samples: Vec<f64> = (0..trials)
+                .map(|seed| {
+                    let setup = SiftSetup::all_participate(n).with_seed(seed);
+                    let report = run_poison_pill(
+                        &setup,
+                        1.0 / (n as f64).sqrt(),
+                        adversary.build(seed).as_mut(),
+                    )
+                    .expect("sift terminates");
+                    assert!(checks::at_least_one_survivor(&report), "Claim 3.1 violated");
+                    report.survivors().len() as f64
+                })
+                .collect();
+            let summary = Summary::of(samples);
+            table.add_row([
+                n.to_string(),
+                adversary.label().to_string(),
+                fmt2(summary.mean()),
+                fmt2(summary.max()),
+                fmt2(summary.min()),
+                fmt2(theory::sqrt_curve(n as u64)),
+            ]);
+        }
+    }
+    table
+}
+
+/// E2 — Lemmas 3.6/3.7: survivors of one Heterogeneous PoisonPill phase under
+/// each adversary, against the `log² n` curve (and `√n` for comparison).
+pub fn e2_het_survivors(sizes: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "n",
+        "adversary",
+        "mean survivors",
+        "max survivors",
+        "log2(n)^2",
+        "sqrt(n)",
+    ]);
+    for &n in sizes {
+        for adversary in AdversaryKind::all() {
+            let samples: Vec<f64> = (0..trials)
+                .map(|seed| {
+                    let setup = SiftSetup::all_participate(n).with_seed(seed);
+                    let report =
+                        run_heterogeneous_poison_pill(&setup, adversary.build(seed).as_mut())
+                            .expect("sift terminates");
+                    assert!(checks::at_least_one_survivor(&report), "Claim 3.1 violated");
+                    report.survivors().len() as f64
+                })
+                .collect();
+            let summary = Summary::of(samples);
+            table.add_row([
+                n.to_string(),
+                adversary.label().to_string(),
+                fmt2(summary.mean()),
+                fmt2(summary.max()),
+                fmt2(theory::log_squared(n as u64)),
+                fmt2(theory::sqrt_curve(n as u64)),
+            ]);
+        }
+    }
+    table
+}
+
+fn run_tournament_election(
+    n: usize,
+    k: usize,
+    seed: u64,
+    adversary: &mut dyn Adversary,
+) -> fle_sim::ExecutionReport {
+    let config = TournamentConfig::new(n);
+    let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+    for i in 0..k {
+        sim.add_participant(ProcId(i), Box::new(TournamentTas::new(ProcId(i), config)));
+    }
+    sim.run(adversary).expect("tournament terminates")
+}
+
+/// E3 — Theorem A.5 (time): maximum communicate calls of any processor for
+/// the paper's election versus the tournament baseline, against `log* k` and
+/// `log k`.
+pub fn e3_election_time(sizes: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "k = n",
+        "poisonpill max calls (mean)",
+        "tournament max calls (mean)",
+        "log*(k)",
+        "log2(k)",
+    ]);
+    for &n in sizes {
+        let ours = Summary::of((0..trials).map(|seed| {
+            let setup = ElectionSetup::all_participate(n).with_seed(seed);
+            let report = run_leader_election(&setup, RandomAdversary::with_seed(seed).as_adv())
+                .expect("election terminates");
+            assert!(checks::unique_winner(&report));
+            assert!(checks::someone_won(&report));
+            report.max_communicate_calls() as f64
+        }));
+        let baseline = Summary::of((0..trials).map(|seed| {
+            let report =
+                run_tournament_election(n, n, seed, &mut RandomAdversary::with_seed(seed));
+            assert!(checks::unique_winner(&report));
+            report.max_communicate_calls() as f64
+        }));
+        table.add_row([
+            n.to_string(),
+            fmt2(ours.mean()),
+            fmt2(baseline.mean()),
+            theory::log_star(n as u64).to_string(),
+            fmt2(theory::log2(n as u64)),
+        ]);
+    }
+    table
+}
+
+/// Small extension trait so the drivers read naturally.
+trait AsAdv {
+    fn as_adv(&mut self) -> &mut dyn Adversary;
+}
+
+impl<A: Adversary> AsAdv for A {
+    fn as_adv(&mut self) -> &mut dyn Adversary {
+        self
+    }
+}
+
+/// E4 — Theorem A.5 (messages): total messages versus the number of
+/// participants `k` at fixed `n`, for the paper's election and the tournament
+/// baseline, against the `k·n` curve.
+pub fn e4_message_complexity(n: usize, ks: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "n",
+        "k",
+        "poisonpill messages (mean)",
+        "tournament messages (mean)",
+        "k*n",
+    ]);
+    for &k in ks {
+        let ours = Summary::of((0..trials).map(|seed| {
+            let setup = ElectionSetup::first_k_participate(n, k).with_seed(seed);
+            let report = run_leader_election(&setup, RandomAdversary::with_seed(seed).as_adv())
+                .expect("election terminates");
+            report.total_messages() as f64
+        }));
+        let baseline = Summary::of((0..trials).map(|seed| {
+            let report =
+                run_tournament_election(n, k, seed, &mut RandomAdversary::with_seed(seed));
+            report.total_messages() as f64
+        }));
+        table.add_row([
+            n.to_string(),
+            k.to_string(),
+            fmt2(ours.mean()),
+            fmt2(baseline.mean()),
+            fmt2(theory::kn_curve(k as u64, n as u64)),
+        ]);
+    }
+    table
+}
+
+/// E5 — Theorem A.5 (fault tolerance + linearizability): inject
+/// `⌈n/2⌉ − 1` crashes at adversarial points and check that every correct
+/// participant still returns, at most one wins, and the execution is
+/// linearizable.
+pub fn e5_fault_tolerance(sizes: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "n",
+        "crashes",
+        "trials",
+        "correct terminated",
+        "unique winner",
+        "linearizable",
+    ]);
+    for &n in sizes {
+        let budget = n.div_ceil(2).saturating_sub(1);
+        let mut terminated = 0u64;
+        let mut unique = 0u64;
+        let mut linearizable = 0u64;
+        for seed in 0..trials {
+            // Crash the top `budget` processors at staggered points.
+            let mut plan = CrashPlan::none();
+            for (index, victim) in (n - budget..n).enumerate() {
+                plan = plan.and_then((index as u64 + 1) * 50, ProcId(victim));
+            }
+            let mut adversary =
+                CrashingAdversary::new(RandomAdversary::with_seed(seed), plan);
+            let setup = ElectionSetup::all_participate(n).with_seed(seed);
+            let report = run_leader_election(&setup, &mut adversary).expect("election terminates");
+            let participants: Vec<ProcId> = (0..n).map(ProcId).collect();
+            if checks::all_correct_returned(&report, &participants) {
+                terminated += 1;
+            }
+            if checks::unique_winner(&report) {
+                unique += 1;
+            }
+            if checks::linearizable_test_and_set(&report) {
+                linearizable += 1;
+            }
+        }
+        table.add_row([
+            n.to_string(),
+            budget.to_string(),
+            trials.to_string(),
+            format!("{terminated}/{trials}"),
+            format!("{unique}/{trials}"),
+            format!("{linearizable}/{trials}"),
+        ]);
+    }
+    table
+}
+
+/// E6 — Theorems 4.2 and A.13: renaming time (max communicate calls) and
+/// messages for the paper's algorithm versus the random-order baseline,
+/// against `log² n` and `n` curves for time and `n²` for messages.
+pub fn e6_renaming(sizes: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "n",
+        "paper max calls",
+        "naive max calls",
+        "paper messages",
+        "naive messages",
+        "log2(n)^2",
+        "n^2",
+    ]);
+    for &n in sizes {
+        let mut ours_calls = Vec::new();
+        let mut ours_msgs = Vec::new();
+        let mut naive_calls = Vec::new();
+        let mut naive_msgs = Vec::new();
+        for seed in 0..trials {
+            // The sequential schedule is where the baselines differ most: a
+            // late processor that ignores contention information has to try
+            // Ω(n) names, while the paper's algorithm only picks among names
+            // it has verified to be free.
+            let setup = RenamingSetup::all_participate(n).with_seed(seed);
+            let report = run_renaming(&setup, SequentialAdversary::new().as_adv())
+                .expect("renaming terminates");
+            assert!(checks::valid_tight_renaming(&report, n, n));
+            ours_calls.push(report.max_communicate_calls() as f64);
+            ours_msgs.push(report.total_messages() as f64);
+
+            let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+            for i in 0..n {
+                sim.add_participant(ProcId(i), Box::new(RandomOrderRenaming::new(ProcId(i), n)));
+            }
+            let report = sim
+                .run(&mut SequentialAdversary::new())
+                .expect("naive renaming terminates");
+            assert!(checks::valid_tight_renaming(&report, n, n));
+            naive_calls.push(report.max_communicate_calls() as f64);
+            naive_msgs.push(report.total_messages() as f64);
+        }
+        table.add_row([
+            n.to_string(),
+            fmt2(Summary::of(ours_calls).mean()),
+            fmt2(Summary::of(naive_calls).mean()),
+            fmt2(Summary::of(ours_msgs).mean()),
+            fmt2(Summary::of(naive_msgs).mean()),
+            fmt2(theory::log_squared(n as u64)),
+            fmt2((n * n) as f64),
+        ]);
+    }
+    table
+}
+
+/// E7 — Corollary B.3: the measured message complexity of both algorithms
+/// sits above the `α·k·n/16` lower bound and within a modest constant of
+/// `k·n`.
+pub fn e7_lower_bound_check(sizes: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "k = n",
+        "election messages (mean)",
+        "renaming messages (mean)",
+        "lower bound kn/16",
+        "kn",
+    ]);
+    for &n in sizes {
+        let election = Summary::of((0..trials).map(|seed| {
+            let setup = ElectionSetup::all_participate(n).with_seed(seed);
+            run_leader_election(&setup, RandomAdversary::with_seed(seed).as_adv())
+                .expect("election terminates")
+                .total_messages() as f64
+        }));
+        let renaming = Summary::of((0..trials).map(|seed| {
+            let setup = RenamingSetup::all_participate(n).with_seed(seed);
+            run_renaming(&setup, RandomAdversary::with_seed(seed).as_adv())
+                .expect("renaming terminates")
+                .total_messages() as f64
+        }));
+        table.add_row([
+            n.to_string(),
+            fmt2(election.mean()),
+            fmt2(renaming.mean()),
+            fmt2(theory::lower_bound_messages(n as u64, n as u64)),
+            fmt2(theory::kn_curve(n as u64, n as u64)),
+        ]);
+    }
+    table
+}
+
+/// E8 — the Section 3.2 ablation: survivors of a single sifting phase under
+/// the *coin-aware* strong adversary, for fixed biases `1/n^γ` with
+/// γ ∈ {0.25, 0.5, 0.75} and for the heterogeneous bias, showing why the
+/// heterogeneous rule is needed.
+pub fn e8_bias_ablation(sizes: &[usize], trials: u64) -> Table {
+    let mut table = Table::new([
+        "n",
+        "bias",
+        "mean survivors (coin-aware)",
+        "mean survivors (sequential)",
+    ]);
+    for &n in sizes {
+        let biases: Vec<(String, Option<f64>)> = vec![
+            ("1/n^0.25".to_string(), Some(1.0 / (n as f64).powf(0.25))),
+            ("1/sqrt(n)".to_string(), Some(1.0 / (n as f64).sqrt())),
+            ("1/n^0.75".to_string(), Some(1.0 / (n as f64).powf(0.75))),
+            ("heterogeneous".to_string(), None),
+        ];
+        for (label, bias) in biases {
+            let survivors_under = |kind: AdversaryKind| {
+                Summary::of((0..trials).map(|seed| {
+                    let setup = SiftSetup::all_participate(n).with_seed(seed);
+                    let report = match bias {
+                        Some(p) => run_poison_pill(&setup, p, kind.build(seed).as_mut()),
+                        None => run_heterogeneous_poison_pill(&setup, kind.build(seed).as_mut()),
+                    }
+                    .expect("sift terminates");
+                    report.survivors().len() as f64
+                }))
+            };
+            let coin_aware = survivors_under(AdversaryKind::CoinAware);
+            let sequential = survivors_under(AdversaryKind::Sequential);
+            table.add_row([
+                n.to_string(),
+                label,
+                fmt2(coin_aware.mean()),
+                fmt2(sequential.mean()),
+            ]);
+        }
+    }
+    table
+}
+
+/// Convenience used by the criterion benches: one full election on the
+/// simulator, returning the winner count (so the optimiser cannot discard
+/// the run).
+pub fn bench_one_election(n: usize, seed: u64) -> usize {
+    let setup = ElectionSetup::all_participate(n).with_seed(seed);
+    let report = run_leader_election(&setup, &mut RandomAdversary::with_seed(seed))
+        .expect("election terminates");
+    report.winners().len()
+}
+
+/// Convenience used by the criterion benches: one full tournament election.
+pub fn bench_one_tournament(n: usize, seed: u64) -> usize {
+    run_tournament_election(n, n, seed, &mut RandomAdversary::with_seed(seed))
+        .winners()
+        .len()
+}
+
+/// Convenience used by the criterion benches: one renaming execution.
+pub fn bench_one_renaming(n: usize, seed: u64) -> usize {
+    let setup = RenamingSetup::all_participate(n).with_seed(seed);
+    run_renaming(&setup, &mut RandomAdversary::with_seed(seed))
+        .expect("renaming terminates")
+        .names()
+        .len()
+}
+
+/// Convenience used by the criterion benches: one threaded election on real
+/// OS threads.
+pub fn bench_one_threaded_election(n: usize, seed: u64) -> usize {
+    fle_runtime::run_threaded_leader_election(n, seed)
+        .expect("threaded election completes")
+        .winners()
+        .len()
+}
+
+/// One sifting phase of each flavour, used by `bench_sifting`.
+pub fn bench_one_sift(n: usize, heterogeneous: bool, seed: u64) -> usize {
+    let setup = SiftSetup::all_participate(n).with_seed(seed);
+    let report = if heterogeneous {
+        run_heterogeneous_poison_pill(&setup, &mut RandomAdversary::with_seed(seed))
+    } else {
+        run_poison_pill(&setup, 1.0 / (n as f64).sqrt(), &mut RandomAdversary::with_seed(seed))
+    }
+    .expect("sift terminates");
+    report.survivors().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_kinds_build_and_label() {
+        for kind in AdversaryKind::all() {
+            let mut adversary = kind.build(3);
+            assert!(!adversary.name().is_empty());
+            assert!(!kind.label().is_empty());
+            let _ = &mut adversary;
+        }
+    }
+
+    #[test]
+    fn small_experiment_tables_have_expected_shape() {
+        let t1 = e1_poisonpill_survivors(&[4], 2);
+        assert_eq!(t1.len(), AdversaryKind::all().len());
+
+        let t3 = e3_election_time(&[4], 1);
+        assert_eq!(t3.len(), 1);
+
+        let t5 = e5_fault_tolerance(&[5], 2);
+        assert_eq!(t5.len(), 1);
+        assert!(t5.render().contains("2/2"));
+
+        let t8 = e8_bias_ablation(&[4], 1);
+        assert_eq!(t8.len(), 4);
+    }
+
+    #[test]
+    fn bench_helpers_return_sane_values() {
+        assert_eq!(bench_one_election(4, 1), 1);
+        assert_eq!(bench_one_tournament(4, 1), 1);
+        assert_eq!(bench_one_renaming(3, 1), 3);
+        assert!(bench_one_sift(6, true, 1) >= 1);
+        assert!(bench_one_sift(6, false, 1) >= 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment drivers reproducing every complexity claim of the paper.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of proven bounds
+//! rather than measured tables, so the experiments here measure the
+//! quantities those bounds are about and compare them with the theoretical
+//! reference curves (see `EXPERIMENTS.md` at the repository root for the
+//! recorded outputs and the paper-vs-measured discussion).
+//!
+//! Each experiment is available as
+//!
+//! * a library function in [`experiments`] returning an
+//!   [`fle_analysis::Table`], used by the integration tests and by
+//!   EXPERIMENTS.md regeneration, and
+//! * a binary (`cargo run --release -p fle-bench --bin exp_e1_poisonpill_survivors`,
+//!   etc.) that prints the table, and
+//! * a criterion benchmark (`cargo bench`) for the wall-clock view.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    e1_poisonpill_survivors, e2_het_survivors, e3_election_time, e4_message_complexity,
+    e5_fault_tolerance, e6_renaming, e7_lower_bound_check, e8_bias_ablation, AdversaryKind,
+};

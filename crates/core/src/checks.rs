@@ -1,0 +1,181 @@
+//! Correctness validators used by the test suite and the experiment harness.
+//!
+//! These encode the problem statements of Section 2 of the paper:
+//!
+//! * leader election (test-and-set): every correct participant returns, at
+//!   most one returns `WIN`, and the operations are linearizable — in
+//!   particular no processor may lose before the eventual winner has started
+//!   its execution;
+//! * sifting phases: at least one participant survives;
+//! * strong (tight) renaming: every correct participant returns a distinct
+//!   name in `1..=n`.
+
+use fle_model::{Outcome, ProcId};
+use fle_sim::ExecutionReport;
+use std::collections::BTreeSet;
+
+/// At most one participant returned [`Outcome::Win`].
+pub fn unique_winner(report: &ExecutionReport) -> bool {
+    report.winners().len() <= 1
+}
+
+/// At least one participant returned [`Outcome::Win`]. Only meaningful when
+/// every participant returned (no crashes among participants).
+pub fn someone_won(report: &ExecutionReport) -> bool {
+    !report.winners().is_empty()
+}
+
+/// At least one participant of a sifting phase returned
+/// [`Outcome::Survive`] (Claim 3.1).
+pub fn at_least_one_survivor(report: &ExecutionReport) -> bool {
+    !report.survivors().is_empty()
+}
+
+/// The test-and-set linearizability condition of Section 2: there is at most
+/// one winner, and no loser's operation interval ends before the winner's
+/// interval starts (otherwise the loser's LOSE could not be linearized after
+/// a WIN).
+///
+/// Executions without a winner (e.g. because the winner-to-be crashed) are
+/// vacuously linearizable as long as at most one WIN was returned.
+pub fn linearizable_test_and_set(report: &ExecutionReport) -> bool {
+    if !unique_winner(report) {
+        return false;
+    }
+    let Some(winner) = report.winners().first().copied() else {
+        return true;
+    };
+    let Some((winner_start, _)) = report.intervals.get(&winner).copied() else {
+        return false;
+    };
+    report
+        .with_outcome(Outcome::Lose)
+        .into_iter()
+        .all(|loser| match report.intervals.get(&loser) {
+            Some((_, Some(loser_end))) => *loser_end >= winner_start,
+            // A loser with no recorded end never returned, which cannot
+            // happen for an outcome to be present; treat as a violation.
+            _ => false,
+        })
+}
+
+/// Strong renaming validity: each of the `k` participants that returned got a
+/// distinct name within `1..=namespace`.
+///
+/// When `require_all` participants have returned (no crashes), pass `k` as
+/// the participant count; the function also checks that exactly `k` names
+/// were handed out.
+pub fn valid_tight_renaming(report: &ExecutionReport, k: usize, namespace: usize) -> bool {
+    let names = report.names();
+    if names.len() != k {
+        return false;
+    }
+    let mut seen = BTreeSet::new();
+    for (_proc, name) in names {
+        if name == 0 || name > namespace {
+            return false;
+        }
+        if !seen.insert(name) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Renaming validity for executions with crashes: every participant that
+/// returned holds a distinct in-range name (no completeness requirement).
+pub fn valid_partial_renaming(report: &ExecutionReport, namespace: usize) -> bool {
+    let names = report.names();
+    let mut seen = BTreeSet::new();
+    names
+        .values()
+        .all(|&name| name >= 1 && name <= namespace && seen.insert(name))
+}
+
+/// Every processor in `participants` returned some outcome.
+pub fn all_returned(report: &ExecutionReport, participants: &[ProcId]) -> bool {
+    participants
+        .iter()
+        .all(|p| report.outcome(*p).is_some())
+}
+
+/// Every *correct* (non-crashed) processor in `participants` returned.
+pub fn all_correct_returned(report: &ExecutionReport, participants: &[ProcId]) -> bool {
+    participants
+        .iter()
+        .filter(|p| !report.crashed.contains(p))
+        .all(|p| report.outcome(*p).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_sim::ExecutionReport;
+
+    fn report_with(outcomes: &[(usize, Outcome)]) -> ExecutionReport {
+        let mut report = ExecutionReport::default();
+        for (i, outcome) in outcomes {
+            report.outcomes.insert(ProcId(*i), *outcome);
+            report.intervals.insert(ProcId(*i), (0, Some(1)));
+        }
+        report
+    }
+
+    #[test]
+    fn unique_winner_detects_double_wins() {
+        assert!(unique_winner(&report_with(&[(0, Outcome::Win), (1, Outcome::Lose)])));
+        assert!(!unique_winner(&report_with(&[
+            (0, Outcome::Win),
+            (1, Outcome::Win)
+        ])));
+        assert!(unique_winner(&report_with(&[(0, Outcome::Lose)])));
+        assert!(!someone_won(&report_with(&[(0, Outcome::Lose)])));
+    }
+
+    #[test]
+    fn linearizability_rejects_losers_that_finish_before_the_winner_starts() {
+        let mut report = ExecutionReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Win);
+        report.outcomes.insert(ProcId(1), Outcome::Lose);
+        // Loser's interval [0, 5] ends before winner's start at 10: invalid.
+        report.intervals.insert(ProcId(0), (10, Some(20)));
+        report.intervals.insert(ProcId(1), (0, Some(5)));
+        assert!(!linearizable_test_and_set(&report));
+
+        // Overlapping intervals are fine.
+        report.intervals.insert(ProcId(1), (0, Some(15)));
+        assert!(linearizable_test_and_set(&report));
+    }
+
+    #[test]
+    fn linearizability_without_winner_is_vacuous() {
+        let report = report_with(&[(0, Outcome::Lose), (1, Outcome::Lose)]);
+        assert!(linearizable_test_and_set(&report));
+    }
+
+    #[test]
+    fn renaming_validators() {
+        let good = report_with(&[(0, Outcome::Name(1)), (1, Outcome::Name(3))]);
+        assert!(valid_tight_renaming(&good, 2, 3));
+        assert!(valid_partial_renaming(&good, 3));
+        assert!(!valid_tight_renaming(&good, 3, 3), "a name is missing");
+
+        let dup = report_with(&[(0, Outcome::Name(2)), (1, Outcome::Name(2))]);
+        assert!(!valid_tight_renaming(&dup, 2, 3));
+        assert!(!valid_partial_renaming(&dup, 3));
+
+        let out_of_range = report_with(&[(0, Outcome::Name(9))]);
+        assert!(!valid_tight_renaming(&out_of_range, 1, 3));
+        assert!(!valid_partial_renaming(&out_of_range, 3));
+    }
+
+    #[test]
+    fn returned_checks_respect_crashes() {
+        let mut report = report_with(&[(0, Outcome::Win)]);
+        report.crashed.push(ProcId(1));
+        let participants = [ProcId(0), ProcId(1)];
+        assert!(!all_returned(&report, &participants));
+        assert!(all_correct_returned(&report, &participants));
+        assert!(at_least_one_survivor(&report_with(&[(0, Outcome::Survive)])));
+    }
+}

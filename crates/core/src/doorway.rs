@@ -1,0 +1,154 @@
+//! The doorway procedure (Figure 5 of the paper).
+//!
+//! The doorway makes the leader election linearizable: a processor first
+//! collects the `door` bit from a quorum; if anyone reports the door closed
+//! it loses immediately, otherwise it closes the door, propagates the closed
+//! door to a quorum and proceeds. Consequently no processor can lose before
+//! the eventual winner has started its own execution (Lemma A.3).
+
+use fle_model::{
+    Action, ElectionContext, InstanceId, Key, LocalStateView, Outcome, Protocol, Response, Slot,
+    Value,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Init,
+    CollectingDoor,
+    ClosingDoor,
+    Done,
+}
+
+/// The doorway of Figure 5. Returns [`Outcome::Proceed`] or [`Outcome::Lose`].
+#[derive(Debug)]
+pub struct Doorway {
+    instance: InstanceId,
+    stage: Stage,
+}
+
+impl Doorway {
+    /// A doorway for the given election context.
+    pub fn new(ctx: ElectionContext) -> Self {
+        Doorway {
+            instance: InstanceId::door(ctx),
+            stage: Stage::Init,
+        }
+    }
+}
+
+impl Protocol for Doorway {
+    fn step(&mut self, response: Response) -> Action {
+        match self.stage {
+            Stage::Init => {
+                debug_assert_eq!(response, Response::Start);
+                self.stage = Stage::CollectingDoor;
+                // Line 56: collect the door bit from a quorum.
+                Action::Collect {
+                    instance: self.instance,
+                }
+            }
+            Stage::CollectingDoor => {
+                let views = response.expect_views();
+                let closed = views
+                    .responses()
+                    .iter()
+                    .any(|(_, view)| view.get(&Slot::Global).and_then(Value::as_flag) == Some(true));
+                if closed {
+                    // Lines 57-58: the door is already closed, lose.
+                    self.stage = Stage::Done;
+                    Action::Return(Outcome::Lose)
+                } else {
+                    // Lines 59-60: close the door and propagate.
+                    self.stage = Stage::ClosingDoor;
+                    Action::Propagate {
+                        entries: vec![(Key::global(self.instance), Value::Flag(true))],
+                    }
+                }
+            }
+            Stage::ClosingDoor => {
+                self.stage = Stage::Done;
+                Action::Return(Outcome::Proceed)
+            }
+            Stage::Done => Action::Return(Outcome::Lose),
+        }
+    }
+
+    fn adversary_view(&self) -> LocalStateView {
+        let phase = match self.stage {
+            Stage::Init => "init",
+            Stage::CollectingDoor => "collecting-door",
+            Stage::ClosingDoor => "closing-door",
+            Stage::Done => "done",
+        };
+        LocalStateView::new("doorway", phase)
+    }
+}
+
+/// Convenience constructor used by [`crate::LeaderElection`]; kept separate so
+/// the doorway can also be unit-tested and composed on its own.
+impl Default for Doorway {
+    fn default() -> Self {
+        Doorway::new(ElectionContext::Standalone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_model::{CollectedViews, ProcId, View};
+    use fle_sim::{RandomAdversary, SequentialAdversary, SimConfig, Simulator};
+
+    #[test]
+    fn open_door_lets_the_caller_proceed() {
+        let mut sim = Simulator::new(SimConfig::new(4));
+        sim.add_participant(ProcId(0), Box::new(Doorway::default()));
+        let report = sim.run(&mut RandomAdversary::with_seed(1)).unwrap();
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Proceed));
+    }
+
+    #[test]
+    fn sequential_schedule_admits_only_early_processors() {
+        // Under the sequential schedule the first processor closes the door
+        // before anyone else collects it, so exactly one proceeds.
+        let n = 5;
+        let mut sim = Simulator::new(SimConfig::new(n));
+        for i in 0..n {
+            sim.add_participant(ProcId(i), Box::new(Doorway::default()));
+        }
+        let report = sim.run(&mut SequentialAdversary::new()).unwrap();
+        let proceeders = report.with_outcome(Outcome::Proceed);
+        assert_eq!(proceeders, vec![ProcId(0)]);
+        assert_eq!(report.with_outcome(Outcome::Lose).len(), n - 1);
+    }
+
+    #[test]
+    fn concurrent_processors_may_all_proceed() {
+        // If everybody collects before anybody's closed door propagates, all
+        // proceed — the doorway only prevents *late* arrivals from winning.
+        let n = 4;
+        let mut sim = Simulator::new(SimConfig::new(n).with_seed(9));
+        for i in 0..n {
+            sim.add_participant(ProcId(i), Box::new(Doorway::default()));
+        }
+        let report = sim.run(&mut RandomAdversary::with_seed(2)).unwrap();
+        assert!(!report.with_outcome(Outcome::Proceed).is_empty());
+        assert_eq!(report.outcomes.len(), n);
+    }
+
+    #[test]
+    fn closed_door_in_any_view_means_lose() {
+        let mut doorway = Doorway::default();
+        let _ = doorway.step(Response::Start);
+        let closed_view: View = [(Slot::Global, Value::Flag(true))].into_iter().collect();
+        let action = doorway.step(Response::Views(CollectedViews::new(vec![
+            (ProcId(1), View::new()),
+            (ProcId(2), closed_view),
+        ])));
+        assert_eq!(action.outcome(), Some(Outcome::Lose));
+    }
+
+    #[test]
+    fn adversary_view_labels_the_algorithm() {
+        assert_eq!(Doorway::default().adversary_view().algorithm, "doorway");
+    }
+}

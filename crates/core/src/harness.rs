@@ -1,0 +1,230 @@
+//! One-call helpers that wire the paper's protocols into the simulator.
+//!
+//! Tests, benchmarks, experiment drivers and examples all need the same
+//! boilerplate: build a [`Simulator`], register one protocol instance per
+//! participant, and run it under some adversary. The functions here provide
+//! that, parameterised by an [`ElectionSetup`] / [`RenamingSetup`] /
+//! [`SiftSetup`] describing the system.
+
+use crate::het_poison_pill::HeterogeneousPoisonPill;
+use crate::leader_election::{ElectionConfig, LeaderElection};
+use crate::poison_pill::PoisonPill;
+use crate::renaming::{Renaming, RenamingConfig};
+use fle_model::ProcId;
+use fle_sim::{Adversary, ExecutionReport, SimConfig, SimError, Simulator};
+
+/// Description of a leader-election experiment: system size, participants and
+/// seed.
+#[derive(Debug, Clone)]
+pub struct ElectionSetup {
+    /// Number of processors in the system.
+    pub n: usize,
+    /// The processors that call `LeaderElect` (the paper's `k ≤ n`).
+    pub participants: Vec<ProcId>,
+    /// Seed driving every protocol coin flip.
+    pub seed: u64,
+    /// Election configuration shared by all participants.
+    pub config: ElectionConfig,
+}
+
+impl ElectionSetup {
+    /// All `n` processors participate.
+    pub fn all_participate(n: usize) -> Self {
+        ElectionSetup {
+            n,
+            participants: (0..n).map(ProcId).collect(),
+            seed: 0,
+            config: ElectionConfig::standalone(),
+        }
+    }
+
+    /// Only the first `k` processors participate (contention-adaptivity
+    /// experiments).
+    pub fn first_k_participate(n: usize, k: usize) -> Self {
+        ElectionSetup {
+            n,
+            participants: (0..k.min(n)).map(ProcId).collect(),
+            seed: 0,
+            config: ElectionConfig::standalone(),
+        }
+    }
+
+    /// Set the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Description of a single sifting-phase experiment.
+#[derive(Debug, Clone)]
+pub struct SiftSetup {
+    /// Number of processors in the system.
+    pub n: usize,
+    /// The processors participating in the phase.
+    pub participants: Vec<ProcId>,
+    /// Seed driving the coin flips.
+    pub seed: u64,
+}
+
+impl SiftSetup {
+    /// All `n` processors participate.
+    pub fn all_participate(n: usize) -> Self {
+        SiftSetup {
+            n,
+            participants: (0..n).map(ProcId).collect(),
+            seed: 0,
+        }
+    }
+
+    /// Set the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Description of a renaming experiment.
+#[derive(Debug, Clone)]
+pub struct RenamingSetup {
+    /// Number of processors in the system (also the namespace size).
+    pub n: usize,
+    /// The processors that request a name.
+    pub participants: Vec<ProcId>,
+    /// Seed driving the random name picks and coin flips.
+    pub seed: u64,
+}
+
+impl RenamingSetup {
+    /// All `n` processors request a name from `1..=n`.
+    pub fn all_participate(n: usize) -> Self {
+        RenamingSetup {
+            n,
+            participants: (0..n).map(ProcId).collect(),
+            seed: 0,
+        }
+    }
+
+    /// Set the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Run the paper's leader election (Figure 6).
+///
+/// # Errors
+/// Propagates any [`SimError`] from the simulator (event budget exhaustion,
+/// invalid adversary decisions).
+pub fn run_leader_election(
+    setup: &ElectionSetup,
+    adversary: &mut dyn Adversary,
+) -> Result<ExecutionReport, SimError> {
+    let mut sim = Simulator::new(SimConfig::new(setup.n).with_seed(setup.seed));
+    for &p in &setup.participants {
+        sim.try_add_participant(p, Box::new(LeaderElection::with_config(p, setup.config)))?;
+    }
+    sim.run(adversary)
+}
+
+/// Run a single plain PoisonPill phase (Figure 1) with bias `prob_high`.
+///
+/// # Errors
+/// Propagates any [`SimError`] from the simulator.
+pub fn run_poison_pill(
+    setup: &SiftSetup,
+    prob_high: f64,
+    adversary: &mut dyn Adversary,
+) -> Result<ExecutionReport, SimError> {
+    let mut sim = Simulator::new(SimConfig::new(setup.n).with_seed(setup.seed));
+    for &p in &setup.participants {
+        sim.try_add_participant(p, Box::new(PoisonPill::with_bias(p, prob_high)))?;
+    }
+    sim.run(adversary)
+}
+
+/// Run a single Heterogeneous PoisonPill phase (Figure 2).
+///
+/// # Errors
+/// Propagates any [`SimError`] from the simulator.
+pub fn run_heterogeneous_poison_pill(
+    setup: &SiftSetup,
+    adversary: &mut dyn Adversary,
+) -> Result<ExecutionReport, SimError> {
+    let mut sim = Simulator::new(SimConfig::new(setup.n).with_seed(setup.seed));
+    for &p in &setup.participants {
+        sim.try_add_participant(p, Box::new(HeterogeneousPoisonPill::new(p)))?;
+    }
+    sim.run(adversary)
+}
+
+/// Run the renaming algorithm (Figure 3) over the namespace `1..=setup.n`.
+///
+/// # Errors
+/// Propagates any [`SimError`] from the simulator.
+pub fn run_renaming(
+    setup: &RenamingSetup,
+    adversary: &mut dyn Adversary,
+) -> Result<ExecutionReport, SimError> {
+    let config = RenamingConfig::new(setup.n);
+    let mut sim = Simulator::new(SimConfig::new(setup.n).with_seed(setup.seed));
+    for &p in &setup.participants {
+        sim.try_add_participant(p, Box::new(Renaming::new(p, config)))?;
+    }
+    sim.run(adversary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+    use fle_sim::RandomAdversary;
+
+    #[test]
+    fn election_setup_constructors() {
+        let all = ElectionSetup::all_participate(8);
+        assert_eq!(all.participants.len(), 8);
+        let some = ElectionSetup::first_k_participate(8, 3).with_seed(5);
+        assert_eq!(some.participants.len(), 3);
+        assert_eq!(some.seed, 5);
+        // k larger than n is clamped.
+        assert_eq!(ElectionSetup::first_k_participate(4, 9).participants.len(), 4);
+    }
+
+    #[test]
+    fn harness_runs_all_three_protocol_families() {
+        let election = run_leader_election(
+            &ElectionSetup::all_participate(6).with_seed(1),
+            &mut RandomAdversary::with_seed(1),
+        )
+        .unwrap();
+        assert!(checks::unique_winner(&election));
+        assert!(checks::someone_won(&election));
+
+        let sift = run_heterogeneous_poison_pill(
+            &SiftSetup::all_participate(6).with_seed(2),
+            &mut RandomAdversary::with_seed(2),
+        )
+        .unwrap();
+        assert!(checks::at_least_one_survivor(&sift));
+
+        let pp = run_poison_pill(
+            &SiftSetup::all_participate(6).with_seed(3),
+            0.4,
+            &mut RandomAdversary::with_seed(3),
+        )
+        .unwrap();
+        assert!(checks::at_least_one_survivor(&pp));
+
+        let renaming = run_renaming(
+            &RenamingSetup::all_participate(4).with_seed(4),
+            &mut RandomAdversary::with_seed(4),
+        )
+        .unwrap();
+        assert!(checks::valid_tight_renaming(&renaming, 4, 4));
+    }
+}

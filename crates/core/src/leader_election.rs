@@ -1,0 +1,277 @@
+//! The full leader-election algorithm (Figure 6 of the paper).
+//!
+//! A participant first walks through the [`Doorway`] (for linearizability),
+//! then repeats:
+//!
+//! 1. run [`PreRound`] for its current round `r`; return `WIN`/`LOSE` if the
+//!    Saks–Shavit–Woll round comparison already decides,
+//! 2. otherwise participate in the [`HeterogeneousPoisonPill`] of round `r`:
+//!    dying there means `LOSE`, surviving means moving to round `r + 1`.
+//!
+//! Theorem A.5: the construction is a linearizable test-and-set, tolerates
+//! `t ≤ ⌈n/2⌉ − 1` crashes, takes expected O(log\* k) time and sends O(kn)
+//! messages for `k` participants.
+
+use crate::doorway::Doorway;
+use crate::het_poison_pill::HeterogeneousPoisonPill;
+use crate::pre_round::PreRound;
+use fle_model::{
+    Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
+};
+
+/// Configuration of a leader-election participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElectionConfig {
+    /// The election context (standalone, or per-name inside renaming).
+    pub ctx: ElectionContext,
+    /// Safety valve: abort with `LOSE` if this many rounds complete without a
+    /// decision. The paper's analysis gives expected O(log* k) rounds; the
+    /// default of 64 is astronomically above that and exists only to convert
+    /// a hypothetical bug into a clean failure rather than an infinite loop.
+    pub max_rounds: u32,
+}
+
+impl Default for ElectionConfig {
+    fn default() -> Self {
+        ElectionConfig {
+            ctx: ElectionContext::Standalone,
+            max_rounds: 64,
+        }
+    }
+}
+
+impl ElectionConfig {
+    /// A standalone election with default settings.
+    pub fn standalone() -> Self {
+        ElectionConfig::default()
+    }
+
+    /// An election bound to a renaming name.
+    pub fn for_name(name: usize) -> Self {
+        ElectionConfig {
+            ctx: ElectionContext::ForName(name),
+            ..ElectionConfig::default()
+        }
+    }
+}
+
+/// Which sub-protocol is currently driving the state machine.
+#[derive(Debug)]
+enum Stage {
+    Doorway(Doorway),
+    PreRound(PreRound),
+    Sift(HeterogeneousPoisonPill),
+    Done(Outcome),
+}
+
+/// The leader-election algorithm of Figure 6, returning [`Outcome::Win`] or
+/// [`Outcome::Lose`].
+#[derive(Debug)]
+pub struct LeaderElection {
+    me: ProcId,
+    config: ElectionConfig,
+    round: u32,
+    stage: Stage,
+}
+
+impl LeaderElection {
+    /// A standalone election participant.
+    pub fn new(me: ProcId) -> Self {
+        Self::with_config(me, ElectionConfig::default())
+    }
+
+    /// An election participant with an explicit configuration.
+    pub fn with_config(me: ProcId, config: ElectionConfig) -> Self {
+        LeaderElection {
+            me,
+            config,
+            round: 1,
+            stage: Stage::Doorway(Doorway::new(config.ctx)),
+        }
+    }
+
+    /// The sifting round the participant is currently in (1-based).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Process the completion of a sub-protocol, transitioning to the next
+    /// stage. Returns `Some(action)` when the transition immediately produces
+    /// the next sub-protocol's first action or the final return.
+    fn on_sub_outcome(&mut self, outcome: Outcome) -> Option<Action> {
+        match (&self.stage, outcome) {
+            // Doorway: lose if the door was closed, otherwise enter round 1.
+            (Stage::Doorway(_), Outcome::Lose) => {
+                self.stage = Stage::Done(Outcome::Lose);
+                Some(Action::Return(Outcome::Lose))
+            }
+            (Stage::Doorway(_), _) => {
+                self.stage = Stage::PreRound(PreRound::new(self.me, self.config.ctx, self.round));
+                None
+            }
+            // PreRound: WIN and LOSE are final; PROCEED enters the sift.
+            (Stage::PreRound(_), Outcome::Win) => {
+                self.stage = Stage::Done(Outcome::Win);
+                Some(Action::Return(Outcome::Win))
+            }
+            (Stage::PreRound(_), Outcome::Lose) => {
+                self.stage = Stage::Done(Outcome::Lose);
+                Some(Action::Return(Outcome::Lose))
+            }
+            (Stage::PreRound(_), _) => {
+                self.stage = Stage::Sift(HeterogeneousPoisonPill::for_round(
+                    self.me,
+                    self.config.ctx,
+                    self.round,
+                ));
+                None
+            }
+            // Sifting: dying loses, surviving advances to the next round.
+            (Stage::Sift(_), Outcome::Die) => {
+                self.stage = Stage::Done(Outcome::Lose);
+                Some(Action::Return(Outcome::Lose))
+            }
+            (Stage::Sift(_), _) => {
+                self.round += 1;
+                if self.round > self.config.max_rounds {
+                    self.stage = Stage::Done(Outcome::Lose);
+                    return Some(Action::Return(Outcome::Lose));
+                }
+                self.stage = Stage::PreRound(PreRound::new(self.me, self.config.ctx, self.round));
+                None
+            }
+            (Stage::Done(outcome), _) => Some(Action::Return(*outcome)),
+        }
+    }
+}
+
+impl Protocol for LeaderElection {
+    fn step(&mut self, response: Response) -> Action {
+        let mut response = response;
+        loop {
+            let action = match &mut self.stage {
+                Stage::Doorway(sub) => sub.step(response),
+                Stage::PreRound(sub) => sub.step(response),
+                Stage::Sift(sub) => sub.step(response),
+                Stage::Done(outcome) => return Action::Return(*outcome),
+            };
+            match action {
+                Action::Return(outcome) => {
+                    if let Some(final_action) = self.on_sub_outcome(outcome) {
+                        return final_action;
+                    }
+                    // The next sub-protocol starts immediately: feed it Start
+                    // within the same computation step.
+                    response = Response::Start;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn adversary_view(&self) -> LocalStateView {
+        let sub_view = match &self.stage {
+            Stage::Doorway(sub) => sub.adversary_view(),
+            Stage::PreRound(sub) => sub.adversary_view(),
+            Stage::Sift(sub) => sub.adversary_view(),
+            Stage::Done(_) => LocalStateView::new("leader-elect", "done"),
+        };
+        LocalStateView {
+            algorithm: "leader-elect",
+            phase: sub_view.phase,
+            round: u64::from(self.round),
+            coin: sub_view.coin,
+            details: sub_view.details,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+    use fle_sim::{
+        Adversary, CoinAwareAdversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator,
+    };
+
+    fn run_election(
+        n: usize,
+        participants: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+    ) -> fle_sim::ExecutionReport {
+        let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+        for i in 0..participants {
+            sim.add_participant(ProcId(i), Box::new(LeaderElection::new(ProcId(i))));
+        }
+        sim.run(adversary).expect("election terminates")
+    }
+
+    #[test]
+    fn exactly_one_winner_under_every_adversary() {
+        for (n, k) in [(2usize, 2usize), (4, 3), (8, 8), (16, 5)] {
+            for seed in 0..4u64 {
+                let adversaries: Vec<Box<dyn Adversary>> = vec![
+                    Box::new(RandomAdversary::with_seed(seed)),
+                    Box::new(SequentialAdversary::new()),
+                    Box::new(CoinAwareAdversary::with_seed(seed)),
+                ];
+                for mut adversary in adversaries {
+                    let report = run_election(n, k, seed, adversary.as_mut());
+                    assert!(
+                        checks::unique_winner(&report),
+                        "n={n} k={k} seed={seed} adversary={} produced winners {:?}",
+                        adversary.name(),
+                        report.winners()
+                    );
+                    assert_eq!(report.outcomes.len(), k, "every participant returns");
+                    assert_eq!(
+                        report.winners().len(),
+                        1,
+                        "n={n} k={k} seed={seed} adversary={}: someone must win",
+                        adversary.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lone_participant_wins() {
+        for seed in 0..3 {
+            let report = run_election(8, 1, seed, &mut RandomAdversary::with_seed(seed));
+            assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Win));
+        }
+    }
+
+    #[test]
+    fn elections_are_linearizable() {
+        for seed in 0..6u64 {
+            let report = run_election(6, 6, seed, &mut RandomAdversary::with_seed(seed * 13 + 1));
+            assert!(checks::linearizable_test_and_set(&report));
+        }
+    }
+
+    #[test]
+    fn round_counter_is_exposed_to_the_adversary() {
+        let election = LeaderElection::new(ProcId(0));
+        assert_eq!(election.round(), 1);
+        let view = election.adversary_view();
+        assert_eq!(view.algorithm, "leader-elect");
+        assert_eq!(view.round, 1);
+    }
+
+    #[test]
+    fn adaptive_time_stays_small() {
+        // Theorem A.5: O(log* k) communicate calls per processor. log*(64) = 4;
+        // the constant in front is small. 60 calls is a very generous ceiling
+        // that a Θ(log k)-round algorithm at k = 64 would still meet, but a
+        // linear-round bug would not.
+        let report = run_election(64, 64, 3, &mut RandomAdversary::with_seed(17));
+        assert!(
+            report.max_communicate_calls() <= 60,
+            "expected O(log* k) communicate calls, got {}",
+            report.max_communicate_calls()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's contributions, implemented as backend-agnostic protocol state
+//! machines.
+//!
+//! *How to Elect a Leader Faster than a Tournament* (Alistarh, Gelashvili,
+//! Vladu; PODC 2015) introduces:
+//!
+//! * [`PoisonPill`] — the basic sifting phase of Figure 1: commit ("take the
+//!   poison pill"), flip a biased coin, propagate the resulting priority and
+//!   drop out if a committed-or-high-priority processor is visible while your
+//!   own flip came up low. At least one processor always survives and the
+//!   expected number of survivors is O(√n).
+//! * [`HeterogeneousPoisonPill`] — Figure 2: the coin bias becomes
+//!   `log |ℓ| / |ℓ|` where `ℓ` is the set of participants the processor has
+//!   observed, and priorities carry `ℓ`, which yields only O(log² k) expected
+//!   survivors under any strong-adversary schedule.
+//! * [`LeaderElection`] — Figure 6: a doorway (linearizability), the
+//!   `PreRound` round-number filter of Figure 4, and repeated heterogeneous
+//!   sifting rounds; expected time O(log\* k) and message complexity O(kn).
+//! * [`Renaming`] — Figure 3: tight renaming by repeatedly picking a random
+//!   uncontended name and competing for it in a per-name leader election;
+//!   expected O(log² n) time and O(n²) messages.
+//!
+//! The [`checks`] module provides the correctness validators used by the test
+//! suite (unique winner, linearizability, at-least-one-survivor, valid name
+//! assignment), and [`harness`] provides one-call helpers that wire the
+//! protocols into the simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fle_core::harness::{run_leader_election, ElectionSetup};
+//! use fle_sim::RandomAdversary;
+//!
+//! let setup = ElectionSetup::all_participate(16);
+//! let report = run_leader_election(&setup, &mut RandomAdversary::with_seed(7))
+//!     .expect("election terminates");
+//! assert_eq!(report.winners().len(), 1, "exactly one leader is elected");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod doorway;
+pub mod harness;
+pub mod het_poison_pill;
+pub mod leader_election;
+pub mod poison_pill;
+pub mod pre_round;
+pub mod renaming;
+
+pub use doorway::Doorway;
+pub use het_poison_pill::HeterogeneousPoisonPill;
+pub use leader_election::{ElectionConfig, LeaderElection};
+pub use poison_pill::PoisonPill;
+pub use pre_round::PreRound;
+pub use renaming::{Renaming, RenamingConfig};

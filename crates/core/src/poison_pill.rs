@@ -1,0 +1,325 @@
+//! The PoisonPill sifting technique (Figure 1 of the paper).
+//!
+//! Each participating processor:
+//!
+//! 1. moves to the `Commit` state and propagates it ("takes the poison
+//!    pill"),
+//! 2. flips a biased coin to adopt either low priority (0) or high priority
+//!    (1) and propagates the new status,
+//! 3. collects the `Status` array from a quorum, and
+//! 4. returns `DIE` exactly when it has low priority and it observes some
+//!    processor that is seen as `Commit` or `High-Pri` in some view and as
+//!    `Low-Pri` in none (line 10–11 of Figure 1); otherwise it returns
+//!    `SURVIVE`.
+//!
+//! The catch-22 at the heart of the technique: for the adversary to learn a
+//! coin flip it must first let the processor propagate `Commit`, but any
+//! low-priority processor that later observes that `Commit` kills itself.
+//! Claim 3.1 (at least one survivor) and Claim 3.2 (O(√n) expected survivors
+//! with bias 1/√n) both follow; the experiment suite reproduces them.
+
+use fle_model::{
+    Action, ElectionContext, InstanceId, Key, LocalStateView, Outcome, Priority, ProcId, Protocol,
+    Response, Slot, Status, Value,
+};
+
+/// Internal control state of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Waiting for the first activation.
+    Init,
+    /// `Commit` propagation outstanding.
+    Committing,
+    /// Waiting for the coin flip result.
+    Flipping,
+    /// Priority propagation outstanding.
+    PropagatingPriority,
+    /// Status collection outstanding.
+    Collecting,
+    /// Returned.
+    Done,
+}
+
+/// One PoisonPill sifting phase (Figure 1).
+///
+/// The coin bias is a constructor parameter so that the experiment harness
+/// can explore the trade-off of Section 3.2: the paper proves `1/√n` is the
+/// optimal fixed bias, and the E8 ablation sweeps other exponents.
+#[derive(Debug)]
+pub struct PoisonPill {
+    me: ProcId,
+    instance: InstanceId,
+    prob_high: f64,
+    stage: Stage,
+    coin: Option<bool>,
+    round: u32,
+}
+
+impl PoisonPill {
+    /// A PoisonPill phase for processor `me` with the paper's fixed bias
+    /// `1/√n`, where `n` is the number of potential participants.
+    pub fn new(me: ProcId, n: usize) -> Self {
+        let n = n.max(1) as f64;
+        Self::with_bias(me, 1.0 / n.sqrt())
+    }
+
+    /// A PoisonPill phase with an explicit probability of flipping high.
+    ///
+    /// `prob_high` is clamped into `[0, 1]`.
+    pub fn with_bias(me: ProcId, prob_high: f64) -> Self {
+        Self::for_round(me, ElectionContext::Standalone, 1, prob_high)
+    }
+
+    /// A PoisonPill phase bound to a specific election context and round,
+    /// so that several phases can coexist without sharing registers.
+    pub fn for_round(me: ProcId, ctx: ElectionContext, round: u32, prob_high: f64) -> Self {
+        PoisonPill {
+            me,
+            instance: InstanceId::status(ctx, round),
+            prob_high: prob_high.clamp(0.0, 1.0),
+            stage: Stage::Init,
+            coin: None,
+            round,
+        }
+    }
+
+    /// The probability of flipping high priority.
+    pub fn bias(&self) -> f64 {
+        self.prob_high
+    }
+
+    fn my_key(&self) -> Key {
+        Key::proc(self.instance, self.me)
+    }
+
+    /// The death rule of Figure 1, line 10: some processor `j` is seen as
+    /// `Commit` or `High-Pri` in some view and as `Low-Pri` in none.
+    fn should_die(views: &fle_model::CollectedViews) -> bool {
+        views.observed_procs().into_iter().any(|j| {
+            views.exists_without(
+                &Slot::Proc(j),
+                |v| {
+                    v.as_status().is_some_and(|s| {
+                        matches!(s, Status::Commit) || s.priority() == Some(Priority::High)
+                    })
+                },
+                |v| {
+                    v.as_status()
+                        .is_some_and(|s| s.priority() == Some(Priority::Low))
+                },
+            )
+        })
+    }
+}
+
+impl Protocol for PoisonPill {
+    fn step(&mut self, response: Response) -> Action {
+        match self.stage {
+            Stage::Init => {
+                debug_assert_eq!(response, Response::Start);
+                self.stage = Stage::Committing;
+                // Line 2-3: commit to the coin flip and propagate.
+                Action::Propagate {
+                    entries: vec![(self.my_key(), Value::Status(Status::Commit))],
+                }
+            }
+            Stage::Committing => {
+                // Line 4: flip the biased coin.
+                self.stage = Stage::Flipping;
+                Action::Flip {
+                    prob_one: self.prob_high,
+                }
+            }
+            Stage::Flipping => {
+                let coin = response.expect_coin();
+                self.coin = Some(coin);
+                self.stage = Stage::PropagatingPriority;
+                let priority = if coin { Priority::High } else { Priority::Low };
+                // Lines 5-7: adopt the priority and propagate it.
+                Action::Propagate {
+                    entries: vec![(self.my_key(), Value::Status(Status::resolved(priority)))],
+                }
+            }
+            Stage::PropagatingPriority => {
+                // Line 8: collect the Status array from a quorum.
+                self.stage = Stage::Collecting;
+                Action::Collect {
+                    instance: self.instance,
+                }
+            }
+            Stage::Collecting => {
+                let views = response.expect_views();
+                self.stage = Stage::Done;
+                let survived = match self.coin {
+                    Some(true) => true,
+                    // Lines 9-11: a low-priority processor dies when it sees
+                    // a committed-or-high processor with no low report.
+                    _ => !Self::should_die(&views),
+                };
+                Action::Return(if survived {
+                    Outcome::Survive
+                } else {
+                    Outcome::Die
+                })
+            }
+            Stage::Done => Action::Return(Outcome::Die),
+        }
+    }
+
+    fn adversary_view(&self) -> LocalStateView {
+        let phase = match self.stage {
+            Stage::Init => "init",
+            Stage::Committing => "committing",
+            Stage::Flipping => "flipping",
+            Stage::PropagatingPriority => "propagating-priority",
+            Stage::Collecting => "collecting",
+            Stage::Done => "done",
+        };
+        LocalStateView::new("poison-pill", phase)
+            .with_round(u64::from(self.round))
+            .with_coin(self.coin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_model::{CollectedViews, View};
+    use fle_sim::{
+        CoinAwareAdversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator,
+    };
+
+    fn run_phase(
+        n: usize,
+        prob_high: f64,
+        seed: u64,
+        adversary: &mut dyn fle_sim::Adversary,
+    ) -> fle_sim::ExecutionReport {
+        let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+        for i in 0..n {
+            sim.add_participant(ProcId(i), Box::new(PoisonPill::with_bias(ProcId(i), prob_high)));
+        }
+        sim.run(adversary).expect("phase terminates")
+    }
+
+    #[test]
+    fn at_least_one_survivor_under_every_adversary() {
+        for n in [1usize, 2, 3, 5, 9, 16] {
+            for seed in 0..5u64 {
+                let prob = 1.0 / (n as f64).sqrt();
+                let adversaries: Vec<Box<dyn fle_sim::Adversary>> = vec![
+                    Box::new(RandomAdversary::with_seed(seed)),
+                    Box::new(SequentialAdversary::new()),
+                    Box::new(CoinAwareAdversary::with_seed(seed)),
+                ];
+                for mut adversary in adversaries {
+                    let report = run_phase(n, prob, seed, adversary.as_mut());
+                    assert!(
+                        !report.survivors().is_empty(),
+                        "n={n} seed={seed} adversary={} must keep at least one survivor",
+                        adversary.name()
+                    );
+                    assert_eq!(report.outcomes.len(), n, "all participants return");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_low_flips_means_everyone_survives() {
+        // With bias 0 every processor flips low; nobody ever observes a
+        // commit-without-low or a high priority... except that the adversary
+        // can interleave so a processor observes another's Commit before its
+        // Low arrives — in which case that processor must die. The guaranteed
+        // part is that at least one survives; under the *sequential* schedule
+        // every collect sees the earlier processors' Low statuses, and the
+        // paper's Claim 3.1 argument makes everyone survive.
+        let report = run_phase(6, 0.0, 3, &mut SequentialAdversary::new());
+        assert_eq!(report.survivors().len(), 6);
+    }
+
+    #[test]
+    fn all_high_flips_means_everyone_survives() {
+        let report = run_phase(5, 1.0, 1, &mut RandomAdversary::with_seed(8));
+        assert_eq!(report.survivors().len(), 5, "high-priority processors never die");
+    }
+
+    #[test]
+    fn sequential_adversary_forces_many_survivors() {
+        // Section 3.2: under the sequential schedule the expected number of
+        // survivors is Ω(√n) — the 0-flippers before the first 1-flipper all
+        // survive, and all 1-flippers survive. With n=64 and 20 trials the
+        // average must be comfortably above 2 survivors.
+        let n = 64;
+        let mut total = 0usize;
+        let trials = 20;
+        for seed in 0..trials {
+            let report = run_phase(
+                n,
+                1.0 / (n as f64).sqrt(),
+                seed,
+                &mut SequentialAdversary::new(),
+            );
+            total += report.survivors().len();
+        }
+        let average = total as f64 / trials as f64;
+        assert!(
+            average >= 3.0,
+            "sequential adversary should force Ω(√n) survivors, got average {average}"
+        );
+    }
+
+    #[test]
+    fn death_rule_matches_figure_one() {
+        // j committed, never seen low: death.
+        let views = CollectedViews::new(vec![(
+            ProcId(5),
+            [(Slot::Proc(ProcId(2)), Value::Status(Status::Commit))]
+                .into_iter()
+                .collect::<View>(),
+        )]);
+        assert!(PoisonPill::should_die(&views));
+
+        // j seen low in another view: no death.
+        let views = CollectedViews::new(vec![
+            (
+                ProcId(5),
+                [(Slot::Proc(ProcId(2)), Value::Status(Status::Commit))]
+                    .into_iter()
+                    .collect::<View>(),
+            ),
+            (
+                ProcId(6),
+                [(
+                    Slot::Proc(ProcId(2)),
+                    Value::Status(Status::resolved(Priority::Low)),
+                )]
+                .into_iter()
+                .collect::<View>(),
+            ),
+        ]);
+        assert!(!PoisonPill::should_die(&views));
+
+        // Empty views: survive.
+        assert!(!PoisonPill::should_die(&CollectedViews::default()));
+    }
+
+    #[test]
+    fn bias_is_clamped() {
+        assert_eq!(PoisonPill::with_bias(ProcId(0), 7.0).bias(), 1.0);
+        assert_eq!(PoisonPill::with_bias(ProcId(0), -1.0).bias(), 0.0);
+        let pp = PoisonPill::new(ProcId(0), 16);
+        assert!((pp.bias() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adversary_view_exposes_coin_after_flip() {
+        let mut pp = PoisonPill::with_bias(ProcId(0), 0.5);
+        assert_eq!(pp.adversary_view().coin, None);
+        let _ = pp.step(Response::Start);
+        let _ = pp.step(Response::AckQuorum);
+        let _ = pp.step(Response::Coin(true));
+        assert_eq!(pp.adversary_view().coin, Some(true));
+        assert_eq!(pp.adversary_view().algorithm, "poison-pill");
+    }
+}

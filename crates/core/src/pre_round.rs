@@ -1,0 +1,161 @@
+//! The `PreRound` procedure (Figure 4 of the paper).
+//!
+//! Before participating in sifting round `r`, a processor propagates `r` as
+//! its current round to a quorum and then collects the round numbers of the
+//! other processors. With `R` the maximum round observed for *another*
+//! processor (Saks–Shavit–Woll):
+//!
+//! * `r < R`       ⇒ someone is already ahead, return `LOSE`,
+//! * `R < r − 1`   ⇒ everyone else is at least two rounds behind, return
+//!   `WIN`,
+//! * otherwise     ⇒ `PROCEED` to the sifting round.
+
+use fle_model::{
+    Action, ElectionContext, InstanceId, Key, LocalStateView, Outcome, ProcId, Protocol, Response,
+    Value,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Init,
+    PropagatingRound,
+    CollectingRounds,
+    Done,
+}
+
+/// The `PreRound` filter of Figure 4. Returns [`Outcome::Win`],
+/// [`Outcome::Lose`] or [`Outcome::Proceed`].
+#[derive(Debug)]
+pub struct PreRound {
+    me: ProcId,
+    instance: InstanceId,
+    round: u32,
+    stage: Stage,
+}
+
+impl PreRound {
+    /// The pre-round check of processor `me` for round `round` of election
+    /// `ctx`.
+    pub fn new(me: ProcId, ctx: ElectionContext, round: u32) -> Self {
+        PreRound {
+            me,
+            instance: InstanceId::round(ctx),
+            round,
+            stage: Stage::Init,
+        }
+    }
+
+    /// The decision rule of lines 48–53.
+    pub fn classify(own_round: u32, max_other_round: u32) -> Outcome {
+        if own_round < max_other_round {
+            Outcome::Lose
+        } else if max_other_round + 1 < own_round {
+            Outcome::Win
+        } else {
+            Outcome::Proceed
+        }
+    }
+}
+
+impl Protocol for PreRound {
+    fn step(&mut self, response: Response) -> Action {
+        match self.stage {
+            Stage::Init => {
+                debug_assert_eq!(response, Response::Start);
+                self.stage = Stage::PropagatingRound;
+                // Lines 45-46: record and propagate the own round.
+                Action::Propagate {
+                    entries: vec![(
+                        Key::proc(self.instance, self.me),
+                        Value::Round(self.round),
+                    )],
+                }
+            }
+            Stage::PropagatingRound => {
+                // Line 47: collect the Round array.
+                self.stage = Stage::CollectingRounds;
+                Action::Collect {
+                    instance: self.instance,
+                }
+            }
+            Stage::CollectingRounds => {
+                let views = response.expect_views();
+                self.stage = Stage::Done;
+                // Line 48: maximum round of *other* processors.
+                let max_other = views.max_round_excluding(self.me);
+                Action::Return(Self::classify(self.round, max_other))
+            }
+            Stage::Done => Action::Return(Outcome::Lose),
+        }
+    }
+
+    fn adversary_view(&self) -> LocalStateView {
+        let phase = match self.stage {
+            Stage::Init => "init",
+            Stage::PropagatingRound => "propagating-round",
+            Stage::CollectingRounds => "collecting-rounds",
+            Stage::Done => "done",
+        };
+        LocalStateView::new("pre-round", phase).with_round(u64::from(self.round))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_sim::{RandomAdversary, SimConfig, Simulator};
+
+    #[test]
+    fn classify_implements_the_ssw_rule() {
+        // r < R: lose.
+        assert_eq!(PreRound::classify(1, 3), Outcome::Lose);
+        // R < r - 1: win.
+        assert_eq!(PreRound::classify(3, 1), Outcome::Win);
+        assert_eq!(PreRound::classify(2, 0), Outcome::Win);
+        // Otherwise proceed.
+        assert_eq!(PreRound::classify(3, 2), Outcome::Proceed);
+        assert_eq!(PreRound::classify(3, 3), Outcome::Proceed);
+        assert_eq!(PreRound::classify(1, 0), Outcome::Proceed);
+    }
+
+    #[test]
+    fn lone_processor_proceeds_in_round_one_and_wins_in_round_two() {
+        let ctx = ElectionContext::Standalone;
+        // Round 1: nobody else has propagated anything, R = 0, 0 >= 1-1 ⇒ proceed.
+        let mut sim = Simulator::new(SimConfig::new(3));
+        sim.add_participant(ProcId(0), Box::new(PreRound::new(ProcId(0), ctx, 1)));
+        let report = sim.run(&mut RandomAdversary::with_seed(0)).unwrap();
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Proceed));
+
+        // Round 2 with nobody else: R = 0 < 1 ⇒ win.
+        let mut sim = Simulator::new(SimConfig::new(3));
+        sim.add_participant(ProcId(0), Box::new(PreRound::new(ProcId(0), ctx, 2)));
+        let report = sim.run(&mut RandomAdversary::with_seed(0)).unwrap();
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Win));
+    }
+
+    #[test]
+    fn laggard_loses_against_a_processor_two_rounds_ahead() {
+        let ctx = ElectionContext::Standalone;
+        let mut sim = Simulator::new(SimConfig::new(4));
+        sim.add_participant(ProcId(0), Box::new(PreRound::new(ProcId(0), ctx, 4)));
+        sim.add_participant(ProcId(1), Box::new(PreRound::new(ProcId(1), ctx, 1)));
+        let report = sim.run(&mut fle_sim::SequentialAdversary::new()).unwrap();
+        // Processor 0 runs first, propagates round 4 and sees nothing newer:
+        // R = 0 < 3 ⇒ WIN. Processor 1 then sees round 4 ⇒ LOSE.
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Win));
+        assert_eq!(report.outcome(ProcId(1)), Some(Outcome::Lose));
+    }
+
+    #[test]
+    fn equal_rounds_proceed() {
+        let ctx = ElectionContext::Standalone;
+        let mut sim = Simulator::new(SimConfig::new(4));
+        for i in 0..2 {
+            sim.add_participant(ProcId(i), Box::new(PreRound::new(ProcId(i), ctx, 1)));
+        }
+        let report = sim.run(&mut fle_sim::SequentialAdversary::new()).unwrap();
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Proceed));
+        assert_eq!(report.outcome(ProcId(1)), Some(Outcome::Proceed));
+    }
+}

@@ -1,0 +1,328 @@
+//! The renaming algorithm (Figure 3 of the paper, Section 4).
+//!
+//! Each processor repeatedly:
+//!
+//! 1. collects the `Contended[n]` array from a quorum and merges what it
+//!    learns into its local view (lines 33–36),
+//! 2. propagates the names it now knows to be contended (line 37),
+//! 3. picks a name uniformly at random among the names it still views as
+//!    uncontended (line 38), marks it contended locally (line 39),
+//! 4. competes for that name in a dedicated [`LeaderElection`] instance
+//!    (line 40), propagates the contention of that name (line 41), and
+//! 5. returns the name if it won the election, otherwise starts over.
+//!
+//! Theorem 4.2: O(n²) expected messages. Theorem A.13: O(log² n) expected
+//! time. Lemma A.6: names are unique and every correct processor terminates
+//! with probability 1 when fewer than half the processors crash.
+
+use crate::leader_election::{ElectionConfig, LeaderElection};
+use fle_model::{
+    Action, InstanceId, Key, LocalStateView, Outcome, ProcId, Protocol, Response, Slot, Value,
+};
+
+/// Configuration of a renaming participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenamingConfig {
+    /// Size of the target namespace (the paper's `n`: names `1..=namespace`).
+    pub namespace: usize,
+}
+
+impl RenamingConfig {
+    /// Tight renaming into `1..=namespace`.
+    pub fn new(namespace: usize) -> Self {
+        assert!(namespace > 0, "the namespace must contain at least one name");
+        RenamingConfig { namespace }
+    }
+}
+
+#[derive(Debug)]
+enum Stage {
+    Init,
+    CollectingContention,
+    PropagatingContention,
+    ChoosingSpot,
+    Electing {
+        /// Zero-based index of the name being contended for.
+        spot: usize,
+        election: Box<LeaderElection>,
+    },
+    PropagatingOwnContention {
+        spot: usize,
+        won: bool,
+    },
+    Done(Outcome),
+}
+
+/// The `getName` procedure of Figure 3. Returns [`Outcome::Name`] with a
+/// 1-based name, as in the paper.
+#[derive(Debug)]
+pub struct Renaming {
+    me: ProcId,
+    config: RenamingConfig,
+    /// Local view of the `Contended` array (index = zero-based name).
+    contended: Vec<bool>,
+    stage: Stage,
+    iterations: u32,
+    elections_entered: u32,
+}
+
+impl Renaming {
+    /// A renaming participant for processor `me` over `1..=namespace`.
+    pub fn new(me: ProcId, config: RenamingConfig) -> Self {
+        Renaming {
+            me,
+            config,
+            contended: vec![false; config.namespace],
+            stage: Stage::Init,
+            iterations: 0,
+            elections_entered: 0,
+        }
+    }
+
+    /// Number of while-loop iterations started so far.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Number of per-name leader elections entered so far.
+    pub fn elections_entered(&self) -> u32 {
+        self.elections_entered
+    }
+
+    /// The renaming configuration this participant was created with.
+    pub fn config(&self) -> RenamingConfig {
+        self.config
+    }
+
+    fn contended_entries(&self) -> Vec<(Key, Value)> {
+        self.contended
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c)
+            .map(|(name, _)| (Key::name(InstanceId::Contended, name), Value::Flag(true)))
+            .collect()
+    }
+
+    fn uncontended(&self) -> Vec<u64> {
+        self.contended
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !**c)
+            .map(|(name, _)| name as u64)
+            .collect()
+    }
+
+    fn start_iteration(&mut self) -> Action {
+        self.iterations += 1;
+        self.stage = Stage::CollectingContention;
+        // Line 33: collect contention information.
+        Action::Collect {
+            instance: InstanceId::Contended,
+        }
+    }
+}
+
+impl Protocol for Renaming {
+    fn step(&mut self, response: Response) -> Action {
+        match &mut self.stage {
+            Stage::Init => {
+                debug_assert_eq!(response, Response::Start);
+                self.start_iteration()
+            }
+            Stage::CollectingContention => {
+                let views = response.expect_views();
+                // Lines 34-36: mark names that became contended.
+                for (_, view) in views.responses() {
+                    for (slot, value) in view.iter() {
+                        if let (Slot::Name(name), Some(true)) = (slot, value.as_flag()) {
+                            if *name < self.contended.len() {
+                                self.contended[*name] = true;
+                            }
+                        }
+                    }
+                }
+                self.stage = Stage::PropagatingContention;
+                // Line 37: propagate the contended names.
+                Action::Propagate {
+                    entries: self.contended_entries(),
+                }
+            }
+            Stage::PropagatingContention => {
+                // Line 38: pick a random uncontended name.
+                let choices = self.uncontended();
+                if choices.is_empty() {
+                    // Transiently possible only if every name is truly
+                    // contended, which the cardinality argument of Lemma A.6
+                    // rules out for a processor that still needs a name;
+                    // retry defensively rather than panic.
+                    return self.start_iteration();
+                }
+                self.stage = Stage::ChoosingSpot;
+                Action::Choose { choices }
+            }
+            Stage::ChoosingSpot => {
+                let chosen = response.expect_chosen();
+                self.on_chosen(chosen)
+            }
+            Stage::Electing { spot, election } => {
+                let action = election.step(response);
+                match action {
+                    Action::Return(outcome) => {
+                        let spot = *spot;
+                        let won = outcome == Outcome::Win;
+                        self.stage = Stage::PropagatingOwnContention { spot, won };
+                        // Line 41: propagate the contention on the spot we
+                        // just competed for.
+                        Action::Propagate {
+                            entries: vec![(
+                                Key::name(InstanceId::Contended, spot),
+                                Value::Flag(true),
+                            )],
+                        }
+                    }
+                    other => other,
+                }
+            }
+            Stage::PropagatingOwnContention { spot, won } => {
+                if *won {
+                    // Line 43: the paper's names are 1-based.
+                    let name = *spot + 1;
+                    self.stage = Stage::Done(Outcome::Name(name));
+                    Action::Return(Outcome::Name(name))
+                } else {
+                    self.start_iteration()
+                }
+            }
+            Stage::Done(outcome) => Action::Return(*outcome),
+        }
+    }
+
+    fn adversary_view(&self) -> LocalStateView {
+        let (phase, coin, mut details): (&'static str, Option<bool>, Vec<(&'static str, i64)>) =
+            match &self.stage {
+                Stage::Init => ("init", None, Vec::new()),
+                Stage::CollectingContention => ("collecting-contention", None, Vec::new()),
+                Stage::PropagatingContention => ("propagating-contention", None, Vec::new()),
+                Stage::ChoosingSpot => ("choosing-spot", None, Vec::new()),
+                Stage::Electing { spot, election } => {
+                    let sub = election.adversary_view();
+                    ("electing", sub.coin, vec![("spot", *spot as i64)])
+                }
+                Stage::PropagatingOwnContention { spot, .. } => {
+                    ("propagating-own-contention", None, vec![("spot", *spot as i64)])
+                }
+                Stage::Done(_) => ("done", None, Vec::new()),
+            };
+        details.push(("iterations", i64::from(self.iterations)));
+        LocalStateView {
+            algorithm: "renaming",
+            phase,
+            round: u64::from(self.iterations),
+            coin,
+            details,
+        }
+    }
+}
+
+impl Renaming {
+    /// Handle the `Chosen` response that concludes the name pick of line 38.
+    /// Exposed for unit tests; [`Protocol::step`] dispatches here.
+    fn on_chosen(&mut self, chosen: u64) -> Action {
+        let spot = chosen as usize;
+        // Line 39: mark the chosen spot contended locally.
+        if spot < self.contended.len() {
+            self.contended[spot] = true;
+        }
+        self.elections_entered += 1;
+        // Line 40: compete for the name in its own leader election.
+        let mut election = Box::new(LeaderElection::with_config(
+            self.me,
+            ElectionConfig::for_name(spot),
+        ));
+        let first_action = election.step(Response::Start);
+        self.stage = Stage::Electing { spot, election };
+        first_action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks;
+    use fle_sim::{
+        Adversary, CoinAwareAdversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator,
+    };
+
+    fn run_renaming(n: usize, k: usize, seed: u64, adversary: &mut dyn Adversary) -> fle_sim::ExecutionReport {
+        let config = RenamingConfig::new(n);
+        let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
+        for i in 0..k {
+            sim.add_participant(ProcId(i), Box::new(Renaming::new(ProcId(i), config)));
+        }
+        sim.run(adversary).expect("renaming terminates")
+    }
+
+    #[test]
+    fn names_are_unique_and_tight_under_every_adversary() {
+        for (n, k) in [(2usize, 2usize), (4, 4), (8, 6), (8, 8)] {
+            for seed in 0..3u64 {
+                let adversaries: Vec<Box<dyn Adversary>> = vec![
+                    Box::new(RandomAdversary::with_seed(seed)),
+                    Box::new(SequentialAdversary::new()),
+                    Box::new(CoinAwareAdversary::with_seed(seed)),
+                ];
+                for mut adversary in adversaries {
+                    let report = run_renaming(n, k, seed, adversary.as_mut());
+                    assert!(
+                        checks::valid_tight_renaming(&report, k, n),
+                        "n={n} k={k} seed={seed} adversary={}: invalid names {:?}",
+                        adversary.name(),
+                        report.names()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lone_processor_gets_a_name_quickly() {
+        let report = run_renaming(4, 1, 0, &mut RandomAdversary::with_seed(3));
+        let names = report.names();
+        assert_eq!(names.len(), 1);
+        let name = names[&ProcId(0)];
+        assert!((1..=4).contains(&name));
+    }
+
+    #[test]
+    fn chosen_spot_is_marked_contended_locally() {
+        let mut renaming = Renaming::new(ProcId(0), RenamingConfig::new(4));
+        let action = renaming.on_chosen(2);
+        assert!(renaming.contended[2]);
+        assert_eq!(renaming.elections_entered(), 1);
+        // The nested election's first action is the doorway collect.
+        match action {
+            Action::Collect { instance } => {
+                assert_eq!(
+                    instance,
+                    InstanceId::door(fle_model::ElectionContext::ForName(2))
+                );
+            }
+            other => panic!("expected the nested doorway collect, got {other}"),
+        }
+    }
+
+    #[test]
+    fn uncontended_shrinks_as_contention_is_learned() {
+        let mut renaming = Renaming::new(ProcId(1), RenamingConfig::new(3));
+        assert_eq!(renaming.uncontended(), vec![0, 1, 2]);
+        renaming.contended[1] = true;
+        assert_eq!(renaming.uncontended(), vec![0, 2]);
+        assert_eq!(renaming.contended_entries().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one name")]
+    fn zero_namespace_is_rejected() {
+        let _ = RenamingConfig::new(0);
+    }
+}

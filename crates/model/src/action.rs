@@ -1,0 +1,235 @@
+//! Actions emitted by protocols and responses fed back by the backends.
+
+use crate::ids::InstanceId;
+use crate::value::{Key, Value};
+use crate::view::CollectedViews;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The final answer of a protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Leader election: the caller is the unique winner.
+    Win,
+    /// Leader election: the caller lost.
+    Lose,
+    /// A sifting phase: the caller stays in contention.
+    Survive,
+    /// A sifting phase: the caller drops out.
+    Die,
+    /// A sub-procedure finished without deciding (e.g. `PreRound` returning
+    /// `PROCEED`).
+    Proceed,
+    /// Renaming: the caller acquired this name (1-based, as in the paper).
+    Name(usize),
+}
+
+impl Outcome {
+    /// Whether the outcome ends a leader election with a win.
+    pub fn is_win(self) -> bool {
+        self == Outcome::Win
+    }
+
+    /// Whether the outcome keeps the caller in contention after a sift.
+    pub fn is_survive(self) -> bool {
+        self == Outcome::Survive
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Win => write!(f, "WIN"),
+            Outcome::Lose => write!(f, "LOSE"),
+            Outcome::Survive => write!(f, "SURVIVE"),
+            Outcome::Die => write!(f, "DIE"),
+            Outcome::Proceed => write!(f, "PROCEED"),
+            Outcome::Name(u) => write!(f, "NAME({u})"),
+        }
+    }
+}
+
+/// An effect a protocol asks its backend to perform.
+///
+/// Exactly one [`Response`] is produced for every action other than
+/// [`Action::Return`], and the backend feeds it to the next
+/// [`Protocol::step`](crate::Protocol::step) call of the same processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// `communicate(propagate, ·)`: broadcast the register writes to every
+    /// processor and wait for acknowledgements from a quorum (> n/2).
+    Propagate {
+        /// The register writes carried by the broadcast. All entries travel
+        /// in a single message (one communicate call), matching the paper's
+        /// accounting of one message per recipient per call.
+        entries: Vec<(Key, Value)>,
+    },
+    /// `communicate(collect, instance)`: ask every processor for its view of
+    /// `instance` and wait for the views of a quorum (> n/2).
+    Collect {
+        /// The register array whose views are requested.
+        instance: InstanceId,
+    },
+    /// Flip a biased coin. The outcome is local but — against the strong
+    /// adaptive adversary — immediately visible to the scheduler.
+    Flip {
+        /// Probability of flipping 1.
+        prob_one: f64,
+    },
+    /// Pick uniformly at random among `choices` (the renaming algorithm's
+    /// random free-name pick, Figure 3 line 38). Also adversary-visible.
+    Choose {
+        /// Non-empty list of candidate values.
+        choices: Vec<u64>,
+    },
+    /// Terminate with the given outcome.
+    Return(Outcome),
+}
+
+impl Action {
+    /// Whether this action ends the protocol.
+    pub fn is_return(&self) -> bool {
+        matches!(self, Action::Return(_))
+    }
+
+    /// The outcome if this is a return action.
+    pub fn outcome(&self) -> Option<Outcome> {
+        match self {
+            Action::Return(o) => Some(*o),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Propagate { entries } => write!(f, "propagate({} entries)", entries.len()),
+            Action::Collect { instance } => write!(f, "collect({instance})"),
+            Action::Flip { prob_one } => write!(f, "flip(p={prob_one:.4})"),
+            Action::Choose { choices } => write!(f, "choose(|{}|)", choices.len()),
+            Action::Return(o) => write!(f, "return({o})"),
+        }
+    }
+}
+
+/// The backend's answer to the previous [`Action`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// First activation of the protocol; there is no previous action.
+    Start,
+    /// A `Propagate` action completed: a quorum acknowledged.
+    AckQuorum,
+    /// A `Collect` action completed with the views of a quorum.
+    Views(CollectedViews),
+    /// The result of a `Flip` action.
+    Coin(bool),
+    /// The result of a `Choose` action.
+    Chosen(u64),
+}
+
+impl Response {
+    /// The collected views, panicking if the response is of a different kind.
+    ///
+    /// # Panics
+    /// Panics when the response does not carry views; protocols use this only
+    /// immediately after issuing a `Collect`, where any other response is a
+    /// backend bug.
+    pub fn expect_views(self) -> CollectedViews {
+        match self {
+            Response::Views(v) => v,
+            other => panic!("protocol expected collected views, backend sent {other:?}"),
+        }
+    }
+
+    /// The coin flip, panicking if the response is of a different kind.
+    ///
+    /// # Panics
+    /// Panics when the response does not carry a coin flip.
+    pub fn expect_coin(self) -> bool {
+        match self {
+            Response::Coin(c) => c,
+            other => panic!("protocol expected a coin flip, backend sent {other:?}"),
+        }
+    }
+
+    /// The chosen value, panicking if the response is of a different kind.
+    ///
+    /// # Panics
+    /// Panics when the response does not carry a choice.
+    pub fn expect_chosen(self) -> u64 {
+        match self {
+            Response::Chosen(c) => c,
+            other => panic!("protocol expected a random choice, backend sent {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Start => write!(f, "start"),
+            Response::AckQuorum => write!(f, "ack-quorum"),
+            Response::Views(v) => write!(f, "views({} responders)", v.len()),
+            Response::Coin(c) => write!(f, "coin({})", u8::from(*c)),
+            Response::Chosen(c) => write!(f, "chosen({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ElectionContext, ProcId};
+    use crate::value::Status;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(Outcome::Win.is_win());
+        assert!(!Outcome::Lose.is_win());
+        assert!(Outcome::Survive.is_survive());
+        assert!(!Outcome::Die.is_survive());
+        assert_eq!(Outcome::Name(3).to_string(), "NAME(3)");
+    }
+
+    #[test]
+    fn action_return_accessors() {
+        let a = Action::Return(Outcome::Lose);
+        assert!(a.is_return());
+        assert_eq!(a.outcome(), Some(Outcome::Lose));
+        let b = Action::Collect {
+            instance: InstanceId::round(ElectionContext::Standalone),
+        };
+        assert!(!b.is_return());
+        assert_eq!(b.outcome(), None);
+    }
+
+    #[test]
+    fn response_expect_helpers() {
+        assert!(Response::Coin(true).expect_coin());
+        assert_eq!(Response::Chosen(42).expect_chosen(), 42);
+        assert!(Response::Views(CollectedViews::default())
+            .expect_views()
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a coin flip")]
+    fn response_expect_coin_panics_on_mismatch() {
+        let _ = Response::AckQuorum.expect_coin();
+    }
+
+    #[test]
+    fn action_display_summarises() {
+        let a = Action::Propagate {
+            entries: vec![(
+                Key::proc(
+                    InstanceId::status(ElectionContext::Standalone, 1),
+                    ProcId(0),
+                ),
+                Value::Status(Status::Commit),
+            )],
+        };
+        assert_eq!(a.to_string(), "propagate(1 entries)");
+    }
+}

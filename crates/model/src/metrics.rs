@@ -1,0 +1,145 @@
+//! Complexity accounting shared by both execution backends.
+//!
+//! The paper measures two quantities (Section 2):
+//!
+//! * **message complexity** — the total number of point-to-point messages
+//!   sent during the execution, and
+//! * **time complexity** — by Claim 2.1, the maximum number of `communicate`
+//!   calls performed by any single processor.
+//!
+//! [`ProcessMetrics`] tracks both per processor; [`ExecutionMetrics`]
+//! aggregates them per execution.
+
+use crate::ids::ProcId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Complexity counters for one processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessMetrics {
+    /// Point-to-point messages sent by this processor (requests and replies).
+    pub messages_sent: u64,
+    /// Point-to-point messages delivered to this processor.
+    pub messages_received: u64,
+    /// `communicate` calls issued by this processor.
+    pub communicate_calls: u64,
+    /// Random coin flips / random choices performed.
+    pub coin_flips: u64,
+}
+
+impl ProcessMetrics {
+    /// Merge another processor-metrics record into this one (component-wise sum).
+    pub fn absorb(&mut self, other: &ProcessMetrics) {
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.communicate_calls += other.communicate_calls;
+        self.coin_flips += other.coin_flips;
+    }
+}
+
+/// Complexity counters for one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionMetrics {
+    per_process: BTreeMap<ProcId, ProcessMetrics>,
+}
+
+impl ExecutionMetrics {
+    /// An empty record.
+    pub fn new() -> Self {
+        ExecutionMetrics::default()
+    }
+
+    /// Mutable access to the counters of `p`, creating them if absent.
+    pub fn proc_mut(&mut self, p: ProcId) -> &mut ProcessMetrics {
+        self.per_process.entry(p).or_default()
+    }
+
+    /// The counters of `p`, if any activity was recorded for it.
+    pub fn proc(&self, p: ProcId) -> Option<&ProcessMetrics> {
+        self.per_process.get(&p)
+    }
+
+    /// Total messages sent by all processors (the paper's message complexity).
+    pub fn total_messages(&self) -> u64 {
+        self.per_process.values().map(|m| m.messages_sent).sum()
+    }
+
+    /// Total `communicate` calls across all processors.
+    pub fn total_communicate_calls(&self) -> u64 {
+        self.per_process.values().map(|m| m.communicate_calls).sum()
+    }
+
+    /// Maximum `communicate` calls by any single processor — the paper's time
+    /// complexity measure (Claim 2.1).
+    pub fn max_communicate_calls(&self) -> u64 {
+        self.per_process
+            .values()
+            .map(|m| m.communicate_calls)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total coin flips across all processors.
+    pub fn total_coin_flips(&self) -> u64 {
+        self.per_process.values().map(|m| m.coin_flips).sum()
+    }
+
+    /// Number of processors with recorded activity.
+    pub fn active_processes(&self) -> usize {
+        self.per_process.len()
+    }
+
+    /// Iterate over per-processor metrics.
+    pub fn iter(&self) -> impl Iterator<Item = (&ProcId, &ProcessMetrics)> {
+        self.per_process.iter()
+    }
+
+    /// Merge another execution's metrics into this one.
+    pub fn absorb(&mut self, other: &ExecutionMetrics) {
+        for (p, m) in other.iter() {
+            self.proc_mut(*p).absorb(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_maxima() {
+        let mut m = ExecutionMetrics::new();
+        m.proc_mut(ProcId(0)).messages_sent = 10;
+        m.proc_mut(ProcId(0)).communicate_calls = 4;
+        m.proc_mut(ProcId(1)).messages_sent = 5;
+        m.proc_mut(ProcId(1)).communicate_calls = 9;
+        m.proc_mut(ProcId(1)).coin_flips = 2;
+
+        assert_eq!(m.total_messages(), 15);
+        assert_eq!(m.total_communicate_calls(), 13);
+        assert_eq!(m.max_communicate_calls(), 9);
+        assert_eq!(m.total_coin_flips(), 2);
+        assert_eq!(m.active_processes(), 2);
+        assert_eq!(m.proc(ProcId(2)), None);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ExecutionMetrics::new();
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.max_communicate_calls(), 0);
+        assert_eq!(m.active_processes(), 0);
+    }
+
+    #[test]
+    fn absorb_sums_component_wise() {
+        let mut a = ExecutionMetrics::new();
+        a.proc_mut(ProcId(0)).messages_sent = 3;
+        let mut b = ExecutionMetrics::new();
+        b.proc_mut(ProcId(0)).messages_sent = 4;
+        b.proc_mut(ProcId(1)).messages_received = 7;
+        a.absorb(&b);
+        assert_eq!(a.proc(ProcId(0)).unwrap().messages_sent, 7);
+        assert_eq!(a.proc(ProcId(1)).unwrap().messages_received, 7);
+    }
+}

@@ -1,0 +1,304 @@
+//! Register values and their merge (join) semantics.
+//!
+//! The `communicate(propagate, v)` primitive of the paper makes every
+//! recipient *update its view* of the propagated register. Because messages
+//! may be reordered and duplicated across retransmissions, views are modelled
+//! as join-semilattices: every value type has a [`Value::merge`] operation
+//! that is commutative, associative and idempotent, so a replica's view does
+//! not depend on delivery order. For the single-writer registers used by the
+//! algorithms the natural "newer value wins" order coincides with the join.
+
+use crate::ids::{InstanceId, ProcId, Slot};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The priority a processor adopts after its coin flip in a PoisonPill phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// The processor flipped 0 and has low priority.
+    Low,
+    /// The processor flipped 1 and has high priority.
+    High,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Low => write!(f, "low"),
+            Priority::High => write!(f, "high"),
+        }
+    }
+}
+
+/// The status of a processor within one (heterogeneous) PoisonPill phase.
+///
+/// This is the value stored in the `Status[n]` array of Figures 1 and 2 of the
+/// paper: a processor first *commits* (takes the poison pill), then flips a
+/// coin and adopts a [`Priority`], optionally carrying the participant list
+/// `ℓ` it observed (heterogeneous variant).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Status {
+    /// `Commit`: committed to flipping a coin, outcome not yet visible.
+    Commit,
+    /// A resolved priority together with the observed participant list `ℓ`
+    /// (empty for the non-heterogeneous PoisonPill of Figure 1).
+    Resolved {
+        /// The priority adopted after the coin flip.
+        priority: Priority,
+        /// The participant list `ℓ` recorded before the flip (Figure 2,
+        /// line 17). Sorted and deduplicated.
+        list: Vec<ProcId>,
+    },
+}
+
+impl Status {
+    /// A resolved status without a participant list (plain PoisonPill).
+    pub fn resolved(priority: Priority) -> Self {
+        Status::Resolved {
+            priority,
+            list: Vec::new(),
+        }
+    }
+
+    /// A resolved status carrying the observed participant list `ℓ`.
+    pub fn resolved_with_list(priority: Priority, mut list: Vec<ProcId>) -> Self {
+        list.sort_unstable();
+        list.dedup();
+        Status::Resolved { priority, list }
+    }
+
+    /// The priority, if the status is resolved.
+    pub fn priority(&self) -> Option<Priority> {
+        match self {
+            Status::Commit => None,
+            Status::Resolved { priority, .. } => Some(*priority),
+        }
+    }
+
+    /// The participant list `ℓ`, if the status is resolved.
+    pub fn list(&self) -> &[ProcId] {
+        match self {
+            Status::Commit => &[],
+            Status::Resolved { list, .. } => list,
+        }
+    }
+
+    /// Progress rank used by the merge order: `Commit < Resolved`.
+    fn rank(&self) -> u8 {
+        match self {
+            Status::Commit => 0,
+            Status::Resolved { .. } => 1,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Commit => write!(f, "commit"),
+            Status::Resolved { priority, list } => {
+                write!(f, "{priority}(|l|={})", list.len())
+            }
+        }
+    }
+}
+
+/// A value stored in a replicated register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// A PoisonPill status (single writer: the owning processor).
+    Status(Status),
+    /// A round number (single writer, monotonically increasing).
+    Round(u32),
+    /// A sticky boolean flag (multi-writer: doorway bit, contended-name bit).
+    Flag(bool),
+    /// A small integer register (used by the tournament baseline; merge keeps
+    /// the maximum, which is what the monotone protocols there need).
+    Int(i64),
+    /// A set of processors (merge takes the union).
+    ProcSet(Vec<ProcId>),
+}
+
+impl Value {
+    /// Merge `other` into `self`.
+    ///
+    /// The merge is a join: commutative, associative, idempotent. Mixed-type
+    /// merges keep `self` unchanged (they cannot arise in the protocols, but
+    /// the replica store must not panic on malformed input).
+    pub fn merge(&mut self, other: &Value) {
+        match (self, other) {
+            (Value::Status(a), Value::Status(b)) => {
+                // Commit < Resolved; between two Resolved values (which only a
+                // faulty writer could produce with different contents) prefer
+                // the larger one in the derived order for determinism.
+                if b.rank() > a.rank() || (b.rank() == a.rank() && *b > *a) {
+                    *a = b.clone();
+                }
+            }
+            (Value::Round(a), Value::Round(b)) => *a = (*a).max(*b),
+            (Value::Flag(a), Value::Flag(b)) => *a = *a || *b,
+            (Value::Int(a), Value::Int(b)) => *a = (*a).max(*b),
+            (Value::ProcSet(a), Value::ProcSet(b)) => {
+                a.extend_from_slice(b);
+                a.sort_unstable();
+                a.dedup();
+            }
+            _ => {}
+        }
+    }
+
+    /// Convenience accessor: the status if this is a status value.
+    pub fn as_status(&self) -> Option<&Status> {
+        match self {
+            Value::Status(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the round number if this is a round value.
+    pub fn as_round(&self) -> Option<u32> {
+        match self {
+            Value::Round(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the boolean if this is a flag.
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            Value::Flag(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the integer if this is an int register.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Status(s) => write!(f, "{s}"),
+            Value::Round(r) => write!(f, "round={r}"),
+            Value::Flag(b) => write!(f, "flag={b}"),
+            Value::Int(v) => write!(f, "int={v}"),
+            Value::ProcSet(ps) => write!(f, "set(|{}|)", ps.len()),
+        }
+    }
+}
+
+/// A fully-qualified register name: instance plus slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key {
+    /// The register array this key belongs to.
+    pub instance: InstanceId,
+    /// The slot within the array.
+    pub slot: Slot,
+}
+
+impl Key {
+    /// Create a key from an instance and slot.
+    pub fn new(instance: InstanceId, slot: Slot) -> Self {
+        Key { instance, slot }
+    }
+
+    /// Key of the slot owned by processor `p` in `instance`.
+    pub fn proc(instance: InstanceId, p: ProcId) -> Self {
+        Key::new(instance, Slot::Proc(p))
+    }
+
+    /// Key of the slot for name `name` in `instance`.
+    pub fn name(instance: InstanceId, name: usize) -> Self {
+        Key::new(instance, Slot::Name(name))
+    }
+
+    /// Key of the single global slot of `instance`.
+    pub fn global(instance: InstanceId) -> Self {
+        Key::new(instance, Slot::Global)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.instance, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_merge_is_monotone() {
+        let mut v = Value::Status(Status::Commit);
+        v.merge(&Value::Status(Status::resolved(Priority::Low)));
+        assert_eq!(
+            v.as_status().unwrap().priority(),
+            Some(Priority::Low),
+            "commit is superseded by a resolved status"
+        );
+        // Merging an older Commit back in must not regress the view.
+        v.merge(&Value::Status(Status::Commit));
+        assert_eq!(v.as_status().unwrap().priority(), Some(Priority::Low));
+    }
+
+    #[test]
+    fn flag_merge_is_sticky_or() {
+        let mut v = Value::Flag(false);
+        v.merge(&Value::Flag(false));
+        assert_eq!(v.as_flag(), Some(false));
+        v.merge(&Value::Flag(true));
+        assert_eq!(v.as_flag(), Some(true));
+        v.merge(&Value::Flag(false));
+        assert_eq!(v.as_flag(), Some(true), "true is sticky");
+    }
+
+    #[test]
+    fn round_merge_takes_max() {
+        let mut v = Value::Round(3);
+        v.merge(&Value::Round(1));
+        assert_eq!(v.as_round(), Some(3));
+        v.merge(&Value::Round(9));
+        assert_eq!(v.as_round(), Some(9));
+    }
+
+    #[test]
+    fn proc_set_merge_is_union() {
+        let mut v = Value::ProcSet(vec![ProcId(1), ProcId(3)]);
+        v.merge(&Value::ProcSet(vec![ProcId(2), ProcId(3)]));
+        assert_eq!(
+            v,
+            Value::ProcSet(vec![ProcId(1), ProcId(2), ProcId(3)]),
+            "union, sorted, deduplicated"
+        );
+    }
+
+    #[test]
+    fn mismatched_merge_keeps_self() {
+        let mut v = Value::Round(4);
+        v.merge(&Value::Flag(true));
+        assert_eq!(v.as_round(), Some(4));
+    }
+
+    #[test]
+    fn resolved_list_is_sorted_and_deduped() {
+        let s = Status::resolved_with_list(Priority::High, vec![ProcId(5), ProcId(1), ProcId(5)]);
+        assert_eq!(s.list(), &[ProcId(1), ProcId(5)]);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_statuses() {
+        let a = Value::Status(Status::resolved_with_list(Priority::High, vec![ProcId(0)]));
+        let b = Value::Status(Status::Commit);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,278 @@
+//! Views returned by `communicate(collect, ·)`.
+
+use crate::ids::{ProcId, Slot};
+use crate::value::{Status, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One responder's view of a register array: a mapping from slot to value.
+///
+/// Slots the responder has never heard about are simply absent (the paper's
+/// `⊥`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    entries: BTreeMap<Slot, Value>,
+}
+
+impl View {
+    /// An empty view (every slot is `⊥`).
+    pub fn new() -> Self {
+        View::default()
+    }
+
+    /// The value of `slot`, or `None` if the responder's view is `⊥` there.
+    pub fn get(&self, slot: &Slot) -> Option<&Value> {
+        self.entries.get(slot)
+    }
+
+    /// Record (merge) `value` into `slot`.
+    pub fn insert(&mut self, slot: Slot, value: Value) {
+        self.entries
+            .entry(slot)
+            .and_modify(|existing| existing.merge(&value))
+            .or_insert(value);
+    }
+
+    /// Merge another view into this one slot-by-slot.
+    pub fn merge(&mut self, other: &View) {
+        for (slot, value) in &other.entries {
+            self.insert(*slot, value.clone());
+        }
+    }
+
+    /// Iterate over the non-`⊥` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Slot, &Value)> {
+        self.entries.iter()
+    }
+
+    /// Number of non-`⊥` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every slot of the view is `⊥`.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(Slot, Value)> for View {
+    fn from_iter<T: IntoIterator<Item = (Slot, Value)>>(iter: T) -> Self {
+        let mut view = View::new();
+        for (slot, value) in iter {
+            view.insert(slot, value);
+        }
+        view
+    }
+}
+
+/// The result of one `communicate(collect, ·)` call: the views reported by a
+/// quorum (more than `n/2`) of responders.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectedViews {
+    responses: Vec<(ProcId, View)>,
+}
+
+impl CollectedViews {
+    /// Build a collection from `(responder, view)` pairs.
+    pub fn new(responses: Vec<(ProcId, View)>) -> Self {
+        CollectedViews { responses }
+    }
+
+    /// The individual responses.
+    pub fn responses(&self) -> &[(ProcId, View)] {
+        &self.responses
+    }
+
+    /// Number of responders.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Whether no responses were collected.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// All slots that are non-`⊥` in at least one responder's view.
+    pub fn observed_slots(&self) -> Vec<Slot> {
+        let mut slots: Vec<Slot> = self
+            .responses
+            .iter()
+            .flat_map(|(_, view)| view.iter().map(|(slot, _)| *slot))
+            .collect();
+        slots.sort();
+        slots.dedup();
+        slots
+    }
+
+    /// All processors whose slot is non-`⊥` in at least one view
+    /// (the paper's `ℓ ← {j | ∃k : Views[k][j] ≠ ⊥}`, Figure 2 line 17).
+    pub fn observed_procs(&self) -> Vec<ProcId> {
+        let mut procs: Vec<ProcId> = self
+            .observed_slots()
+            .into_iter()
+            .filter_map(|slot| match slot {
+                Slot::Proc(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        procs.sort_unstable();
+        procs.dedup();
+        procs
+    }
+
+    /// Does any responder report a non-`⊥` value for `slot`?
+    pub fn any_view_has(&self, slot: &Slot) -> bool {
+        self.responses.iter().any(|(_, view)| view.get(slot).is_some())
+    }
+
+    /// Does some responder report a value at `slot` satisfying `pred`, while
+    /// no responder reports a value satisfying `excluded`?
+    ///
+    /// This is the shape of the PoisonPill death test (Figure 1 line 10): "the
+    /// slot is seen as Commit or High-Pri in some view and as Low-Pri in no
+    /// view".
+    pub fn exists_without(
+        &self,
+        slot: &Slot,
+        pred: impl Fn(&Value) -> bool,
+        excluded: impl Fn(&Value) -> bool,
+    ) -> bool {
+        let mut saw_pred = false;
+        for (_, view) in &self.responses {
+            if let Some(value) = view.get(slot) {
+                if excluded(value) {
+                    return false;
+                }
+                if pred(value) {
+                    saw_pred = true;
+                }
+            }
+        }
+        saw_pred
+    }
+
+    /// The statuses reported for processor `p`'s slot in `instance`-agnostic
+    /// form (the collect already targeted a single instance).
+    pub fn statuses_of(&self, p: ProcId) -> Vec<&Status> {
+        self.responses
+            .iter()
+            .filter_map(|(_, view)| view.get(&Slot::Proc(p)))
+            .filter_map(Value::as_status)
+            .collect()
+    }
+
+    /// Maximum `Round` value reported for any slot other than `exclude`.
+    pub fn max_round_excluding(&self, exclude: ProcId) -> u32 {
+        self.responses
+            .iter()
+            .flat_map(|(_, view)| view.iter())
+            .filter(|(slot, _)| **slot != Slot::Proc(exclude))
+            .filter_map(|(_, value)| value.as_round())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Union of all views: one merged view.
+    pub fn merged(&self) -> View {
+        let mut merged = View::new();
+        for (_, view) in &self.responses {
+            merged.merge(view);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Priority;
+
+    fn status(p: Priority) -> Value {
+        Value::Status(Status::resolved(p))
+    }
+
+    #[test]
+    fn view_insert_merges() {
+        let mut view = View::new();
+        view.insert(Slot::Global, Value::Flag(false));
+        view.insert(Slot::Global, Value::Flag(true));
+        view.insert(Slot::Global, Value::Flag(false));
+        assert_eq!(view.get(&Slot::Global).unwrap().as_flag(), Some(true));
+        assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn observed_procs_unions_views() {
+        let v1: View = [(Slot::Proc(ProcId(0)), status(Priority::Low))]
+            .into_iter()
+            .collect();
+        let v2: View = [
+            (Slot::Proc(ProcId(2)), Value::Status(Status::Commit)),
+            (Slot::Name(4), Value::Flag(true)),
+        ]
+        .into_iter()
+        .collect();
+        let collected = CollectedViews::new(vec![(ProcId(9), v1), (ProcId(8), v2)]);
+        assert_eq!(collected.observed_procs(), vec![ProcId(0), ProcId(2)]);
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn exists_without_matches_poisonpill_death_rule() {
+        // Processor j is seen as Commit by one responder and Low by none: the
+        // predicate holds, so a low-priority observer must die.
+        let v1: View = [(Slot::Proc(ProcId(3)), Value::Status(Status::Commit))]
+            .into_iter()
+            .collect();
+        let collected = CollectedViews::new(vec![(ProcId(0), v1)]);
+        let is_commit_or_high = |v: &Value| {
+            v.as_status().is_some_and(|s| {
+                matches!(s, Status::Commit) || s.priority() == Some(Priority::High)
+            })
+        };
+        let is_low = |v: &Value| {
+            v.as_status()
+                .is_some_and(|s| s.priority() == Some(Priority::Low))
+        };
+        assert!(collected.exists_without(&Slot::Proc(ProcId(3)), is_commit_or_high, is_low));
+
+        // If any responder reports Low for the same slot, the rule no longer fires.
+        let v2: View = [(Slot::Proc(ProcId(3)), status(Priority::Low))]
+            .into_iter()
+            .collect();
+        let collected = CollectedViews::new(vec![
+            (
+                ProcId(0),
+                [(Slot::Proc(ProcId(3)), Value::Status(Status::Commit))]
+                    .into_iter()
+                    .collect(),
+            ),
+            (ProcId(1), v2),
+        ]);
+        assert!(!collected.exists_without(&Slot::Proc(ProcId(3)), is_commit_or_high, is_low));
+    }
+
+    #[test]
+    fn max_round_excluding_ignores_own_slot() {
+        let v: View = [
+            (Slot::Proc(ProcId(0)), Value::Round(5)),
+            (Slot::Proc(ProcId(1)), Value::Round(3)),
+        ]
+        .into_iter()
+        .collect();
+        let collected = CollectedViews::new(vec![(ProcId(7), v)]);
+        assert_eq!(collected.max_round_excluding(ProcId(0)), 3);
+        assert_eq!(collected.max_round_excluding(ProcId(2)), 5);
+        assert_eq!(CollectedViews::default().max_round_excluding(ProcId(0)), 0);
+    }
+
+    #[test]
+    fn merged_view_unions_entries() {
+        let v1: View = [(Slot::Name(1), Value::Flag(true))].into_iter().collect();
+        let v2: View = [(Slot::Name(2), Value::Flag(true))].into_iter().collect();
+        let merged = CollectedViews::new(vec![(ProcId(0), v1), (ProcId(1), v2)]).merged();
+        assert_eq!(merged.len(), 2);
+    }
+}

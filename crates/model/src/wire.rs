@@ -1,0 +1,122 @@
+//! Wire messages exchanged between processors.
+//!
+//! Both backends (the simulator and the threaded runtime) implement the
+//! `communicate` primitive of ABND95 with the same four message kinds: a
+//! propagate and its acknowledgement, and a collect and its reply. Message
+//! complexity is counted per [`WireMessage`] sent, which matches the paper's
+//! accounting (a communicate call costs `n` requests plus up to `n` replies,
+//! i.e. `O(n)` messages).
+
+use crate::ids::InstanceId;
+use crate::value::{Key, Value};
+use crate::view::View;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sequence number identifying one `communicate` call of one processor.
+pub type CallSeq = u64;
+
+/// A point-to-point message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// `(propagate, v)` — the sender asks the recipient to merge `entries`
+    /// into its replica and acknowledge.
+    Propagate {
+        /// Sequence number of the communicate call this belongs to.
+        seq: CallSeq,
+        /// Register writes to merge into the recipient's replica.
+        entries: Vec<(Key, Value)>,
+    },
+    /// Acknowledgement of a `Propagate`.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: CallSeq,
+    },
+    /// `(collect, instance)` — the sender asks for the recipient's view.
+    Collect {
+        /// Sequence number of the communicate call this belongs to.
+        seq: CallSeq,
+        /// The register array whose view is requested.
+        instance: InstanceId,
+    },
+    /// Reply to a `Collect` carrying the responder's view.
+    CollectReply {
+        /// Sequence number being answered.
+        seq: CallSeq,
+        /// The responder's current view of the requested instance.
+        view: View,
+    },
+}
+
+impl WireMessage {
+    /// The sequence number of the communicate call this message belongs to.
+    pub fn seq(&self) -> CallSeq {
+        match self {
+            WireMessage::Propagate { seq, .. }
+            | WireMessage::Ack { seq }
+            | WireMessage::Collect { seq, .. }
+            | WireMessage::CollectReply { seq, .. } => *seq,
+        }
+    }
+
+    /// Whether this is a request (sent by the caller of `communicate`).
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            WireMessage::Propagate { .. } | WireMessage::Collect { .. }
+        )
+    }
+
+    /// Whether this is a reply (ack or collect reply).
+    pub fn is_reply(&self) -> bool {
+        !self.is_request()
+    }
+}
+
+impl fmt::Display for WireMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireMessage::Propagate { seq, entries } => {
+                write!(f, "propagate#{seq}({} entries)", entries.len())
+            }
+            WireMessage::Ack { seq } => write!(f, "ack#{seq}"),
+            WireMessage::Collect { seq, instance } => write!(f, "collect#{seq}({instance})"),
+            WireMessage::CollectReply { seq, view } => {
+                write!(f, "collect-reply#{seq}({} entries)", view.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ElectionContext;
+
+    #[test]
+    fn request_reply_classification() {
+        let p = WireMessage::Propagate {
+            seq: 1,
+            entries: vec![],
+        };
+        let a = WireMessage::Ack { seq: 1 };
+        let c = WireMessage::Collect {
+            seq: 2,
+            instance: InstanceId::door(ElectionContext::Standalone),
+        };
+        let r = WireMessage::CollectReply {
+            seq: 2,
+            view: View::new(),
+        };
+        assert!(p.is_request() && c.is_request());
+        assert!(a.is_reply() && r.is_reply());
+        assert_eq!(p.seq(), 1);
+        assert_eq!(r.seq(), 2);
+    }
+
+    #[test]
+    fn display_includes_sequence_numbers() {
+        let msg = WireMessage::Ack { seq: 17 };
+        assert_eq!(msg.to_string(), "ack#17");
+    }
+}

@@ -1,0 +1,384 @@
+//! The per-node thread: replica service plus protocol driver.
+
+use crate::RuntimeConfig;
+use crossbeam_channel::{Receiver, Sender};
+use fle_model::wire::CallSeq;
+use fle_model::{
+    Action, CollectedViews, InstanceId, Key, Outcome, ProcessMetrics, ProcId, Protocol, Response,
+    Value, View, WireMessage,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A message travelling between node threads.
+#[derive(Debug)]
+pub enum Envelope {
+    /// A protocol message from another node.
+    Wire {
+        /// The sending node.
+        from: ProcId,
+        /// The payload.
+        message: WireMessage,
+    },
+    /// Orderly shutdown request from the coordinator.
+    Shutdown,
+}
+
+/// What a node thread hands back to the coordinator when it stops.
+#[derive(Debug)]
+pub struct NodeResult {
+    /// The protocol outcome, if this node participated.
+    pub outcome: Option<Outcome>,
+    /// The node's complexity counters.
+    pub metrics: ProcessMetrics,
+}
+
+/// State of the outstanding communicate call, if any.
+enum Outstanding {
+    None,
+    Acks {
+        seq: CallSeq,
+        received: usize,
+    },
+    Views {
+        seq: CallSeq,
+        views: Vec<(ProcId, View)>,
+    },
+}
+
+/// A node thread: serves its replica to everyone and, if it participates,
+/// drives its protocol state machine by performing communicate calls.
+pub struct NodeRunner {
+    me: ProcId,
+    config: RuntimeConfig,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    protocol: Option<Box<dyn Protocol + Send>>,
+    done_tx: Sender<ProcId>,
+    replica: BTreeMap<Key, Value>,
+    rng: ChaCha8Rng,
+    metrics: ProcessMetrics,
+    next_seq: CallSeq,
+    outstanding: Outstanding,
+    outcome: Option<Outcome>,
+    unresponsive: bool,
+}
+
+impl NodeRunner {
+    /// Build the runner for node `me`.
+    pub fn new(
+        me: ProcId,
+        config: RuntimeConfig,
+        senders: Vec<Sender<Envelope>>,
+        inbox: Receiver<Envelope>,
+        protocol: Option<Box<dyn Protocol + Send>>,
+        done_tx: Sender<ProcId>,
+    ) -> Self {
+        let unresponsive = config.unresponsive.contains(&me);
+        let rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(me.index() as u64 * 0x9e37));
+        NodeRunner {
+            me,
+            config,
+            senders,
+            inbox,
+            protocol,
+            done_tx,
+            replica: BTreeMap::new(),
+            rng,
+            metrics: ProcessMetrics::default(),
+            next_seq: 0,
+            outstanding: Outstanding::None,
+            outcome: None,
+            unresponsive,
+        }
+    }
+
+    /// Run the node until shutdown; returns the outcome and metrics.
+    pub fn run(mut self) -> NodeResult {
+        // Kick off the protocol, if any.
+        if self.protocol.is_some() && !self.unresponsive {
+            self.drive(Response::Start);
+        }
+
+        // Serve messages until the coordinator shuts us down.
+        loop {
+            match self.inbox.recv() {
+                Ok(Envelope::Shutdown) | Err(_) => break,
+                Ok(Envelope::Wire { from, message }) => {
+                    self.maybe_delay();
+                    self.handle_wire(from, message);
+                }
+            }
+        }
+
+        NodeResult {
+            outcome: self.outcome,
+            metrics: self.metrics,
+        }
+    }
+
+    fn maybe_delay(&mut self) {
+        if self.config.max_delay_micros > 0 {
+            let delay = self.rng.gen_range(0..=self.config.max_delay_micros);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_micros(delay));
+            }
+        }
+    }
+
+    /// Drive the protocol forward with `response`, executing local actions
+    /// (coin flips, returns) immediately and leaving communicate calls
+    /// outstanding for [`Self::handle_wire`] to complete.
+    fn drive(&mut self, response: Response) {
+        let mut response = response;
+        loop {
+            let Some(protocol) = self.protocol.as_mut() else {
+                return;
+            };
+            let action = protocol.step(response);
+            match action {
+                Action::Propagate { entries } => {
+                    self.metrics.communicate_calls += 1;
+                    self.next_seq += 1;
+                    let seq = self.next_seq;
+                    for (key, value) in &entries {
+                        self.apply_write(*key, value);
+                    }
+                    self.outstanding = Outstanding::Acks { seq, received: 1 };
+                    self.broadcast(WireMessage::Propagate { seq, entries });
+                    if self.quorum_reached() {
+                        response = self.take_completed_response();
+                        continue;
+                    }
+                    return;
+                }
+                Action::Collect { instance } => {
+                    self.metrics.communicate_calls += 1;
+                    self.next_seq += 1;
+                    let seq = self.next_seq;
+                    let own_view = self.view_of(instance);
+                    self.outstanding = Outstanding::Views {
+                        seq,
+                        views: vec![(self.me, own_view)],
+                    };
+                    self.broadcast(WireMessage::Collect { seq, instance });
+                    if self.quorum_reached() {
+                        response = self.take_completed_response();
+                        continue;
+                    }
+                    return;
+                }
+                Action::Flip { prob_one } => {
+                    self.metrics.coin_flips += 1;
+                    response = Response::Coin(self.rng.gen_bool(prob_one.clamp(0.0, 1.0)));
+                }
+                Action::Choose { choices } => {
+                    self.metrics.coin_flips += 1;
+                    let chosen = if choices.is_empty() {
+                        0
+                    } else {
+                        choices[self.rng.gen_range(0..choices.len())]
+                    };
+                    response = Response::Chosen(chosen);
+                }
+                Action::Return(outcome) => {
+                    self.outcome = Some(outcome);
+                    self.outstanding = Outstanding::None;
+                    let _ = self.done_tx.send(self.me);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_wire(&mut self, from: ProcId, message: WireMessage) {
+        self.metrics.messages_received += 1;
+        match message {
+            WireMessage::Propagate { seq, entries } => {
+                for (key, value) in &entries {
+                    self.apply_write(*key, value);
+                }
+                if !self.unresponsive {
+                    self.send(from, WireMessage::Ack { seq });
+                }
+            }
+            WireMessage::Collect { seq, instance } => {
+                if !self.unresponsive {
+                    let view = self.view_of(instance);
+                    self.send(from, WireMessage::CollectReply { seq, view });
+                }
+            }
+            WireMessage::Ack { seq } => {
+                if let Outstanding::Acks { seq: want, received } = &mut self.outstanding {
+                    if *want == seq {
+                        *received += 1;
+                    }
+                }
+                self.maybe_complete();
+            }
+            WireMessage::CollectReply { seq, view } => {
+                if let Outstanding::Views { seq: want, views } = &mut self.outstanding {
+                    if *want == seq && !views.iter().any(|(p, _)| *p == from) {
+                        views.push((from, view));
+                    }
+                }
+                self.maybe_complete();
+            }
+        }
+    }
+
+    fn maybe_complete(&mut self) {
+        if self.quorum_reached() {
+            let response = self.take_completed_response();
+            self.drive(response);
+        }
+    }
+
+    fn quorum_reached(&self) -> bool {
+        let quorum = self.config.quorum();
+        match &self.outstanding {
+            Outstanding::None => false,
+            Outstanding::Acks { received, .. } => *received >= quorum,
+            Outstanding::Views { views, .. } => views.len() >= quorum,
+        }
+    }
+
+    fn take_completed_response(&mut self) -> Response {
+        match std::mem::replace(&mut self.outstanding, Outstanding::None) {
+            Outstanding::Acks { .. } => Response::AckQuorum,
+            Outstanding::Views { views, .. } => Response::Views(CollectedViews::new(views)),
+            Outstanding::None => Response::AckQuorum,
+        }
+    }
+
+    fn apply_write(&mut self, key: Key, value: &Value) {
+        self.replica
+            .entry(key)
+            .and_modify(|existing| existing.merge(value))
+            .or_insert_with(|| value.clone());
+    }
+
+    fn view_of(&self, instance: InstanceId) -> View {
+        self.replica
+            .iter()
+            .filter(|(key, _)| key.instance == instance)
+            .map(|(key, value)| (key.slot, value.clone()))
+            .collect()
+    }
+
+    fn broadcast(&mut self, message: WireMessage) {
+        for index in 0..self.config.n {
+            if index == self.me.index() {
+                continue;
+            }
+            self.send(ProcId(index), message.clone());
+        }
+    }
+
+    fn send(&mut self, to: ProcId, message: WireMessage) {
+        self.metrics.messages_sent += 1;
+        let _ = self.senders[to.index()].send(Envelope::Wire {
+            from: self.me,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    #[test]
+    fn replica_view_filters_by_instance() {
+        let (tx, rx) = unbounded();
+        let (done_tx, _done_rx) = unbounded();
+        let mut node = NodeRunner::new(
+            ProcId(0),
+            RuntimeConfig::new(1),
+            vec![tx],
+            rx,
+            None,
+            done_tx,
+        );
+        let door = InstanceId::door(fle_model::ElectionContext::Standalone);
+        node.apply_write(Key::global(door), &Value::Flag(true));
+        node.apply_write(Key::name(InstanceId::Contended, 2), &Value::Flag(true));
+        assert_eq!(node.view_of(door).len(), 1);
+        assert_eq!(node.view_of(InstanceId::Contended).len(), 1);
+        assert!(node
+            .view_of(InstanceId::round(fle_model::ElectionContext::Standalone))
+            .is_empty());
+    }
+
+    #[test]
+    fn unresponsive_nodes_absorb_requests_silently() {
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let (done_tx, _done_rx) = unbounded();
+        let mut node = NodeRunner::new(
+            ProcId(1),
+            RuntimeConfig::new(2).with_unresponsive([ProcId(1)]),
+            vec![tx0, tx1],
+            rx1,
+            None,
+            done_tx,
+        );
+        node.handle_wire(
+            ProcId(0),
+            WireMessage::Propagate {
+                seq: 1,
+                entries: vec![(Key::name(InstanceId::Contended, 0), Value::Flag(true))],
+            },
+        );
+        // The write is applied (messages still reach faulty processors)...
+        assert_eq!(node.view_of(InstanceId::Contended).len(), 1);
+        // ...but no acknowledgement is produced.
+        assert!(rx0.try_recv().is_err());
+        assert_eq!(node.metrics.messages_sent, 0);
+        assert_eq!(node.metrics.messages_received, 1);
+    }
+
+    #[test]
+    fn quorum_of_one_completes_immediately() {
+        // A single-node system completes its communicate calls without any
+        // network traffic; the protocol runs to completion inside run().
+        struct WinOnSecondStep {
+            stepped: bool,
+        }
+        impl Protocol for WinOnSecondStep {
+            fn step(&mut self, _response: Response) -> Action {
+                if self.stepped {
+                    Action::Return(Outcome::Win)
+                } else {
+                    self.stepped = true;
+                    Action::Propagate {
+                        entries: vec![(Key::name(InstanceId::Contended, 0), Value::Flag(true))],
+                    }
+                }
+            }
+            fn adversary_view(&self) -> fle_model::LocalStateView {
+                fle_model::LocalStateView::new("win-on-second-step", "x")
+            }
+        }
+
+        let (tx, rx) = unbounded();
+        let (done_tx, done_rx) = unbounded();
+        // Pre-load a shutdown envelope so `run` terminates after the protocol.
+        tx.send(Envelope::Shutdown).unwrap();
+        let node = NodeRunner::new(
+            ProcId(0),
+            RuntimeConfig::new(1),
+            vec![tx],
+            rx,
+            Some(Box::new(WinOnSecondStep { stepped: false })),
+            done_tx,
+        );
+        let result = node.run();
+        assert_eq!(result.outcome, Some(Outcome::Win));
+        assert_eq!(result.metrics.communicate_calls, 1);
+        assert_eq!(done_rx.try_recv().unwrap(), ProcId(0));
+    }
+}

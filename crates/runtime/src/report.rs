@@ -1,0 +1,72 @@
+//! The result of one threaded execution.
+
+use fle_model::{ExecutionMetrics, Outcome, ProcId};
+use std::collections::BTreeMap;
+
+/// Outcomes and complexity counters of a threaded execution.
+#[derive(Debug, Default)]
+pub struct RuntimeReport {
+    /// Outcome of every participant.
+    pub outcomes: BTreeMap<ProcId, Outcome>,
+    /// Complexity counters per processor.
+    pub metrics: ExecutionMetrics,
+}
+
+impl RuntimeReport {
+    /// Outcome of processor `p`, if it participated and returned.
+    pub fn outcome(&self, p: ProcId) -> Option<Outcome> {
+        self.outcomes.get(&p).copied()
+    }
+
+    /// Participants that returned [`Outcome::Win`].
+    pub fn winners(&self) -> Vec<ProcId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| **o == Outcome::Win)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Names assigned by a renaming execution.
+    pub fn names(&self) -> BTreeMap<ProcId, usize> {
+        self.outcomes
+            .iter()
+            .filter_map(|(p, o)| match o {
+                Outcome::Name(u) => Some((*p, *u)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.metrics.total_messages()
+    }
+
+    /// Maximum communicate calls by any single node (the paper's time
+    /// complexity measure).
+    pub fn max_communicate_calls(&self) -> u64 {
+        self.metrics.max_communicate_calls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let mut report = RuntimeReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Win);
+        report.outcomes.insert(ProcId(1), Outcome::Name(2));
+        report.metrics.proc_mut(ProcId(0)).messages_sent = 5;
+        report.metrics.proc_mut(ProcId(0)).communicate_calls = 2;
+
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Win));
+        assert_eq!(report.winners(), vec![ProcId(0)]);
+        assert_eq!(report.names()[&ProcId(1)], 2);
+        assert_eq!(report.total_messages(), 5);
+        assert_eq!(report.max_communicate_calls(), 2);
+        assert_eq!(report.outcome(ProcId(9)), None);
+    }
+}

@@ -1,0 +1,406 @@
+//! Adversarial schedulers.
+//!
+//! The paper's adversary is a *strong adaptive* one: before every step it may
+//! inspect all local state — including the outcome of coin flips — and then
+//! decide which processor takes a step, which message is delivered, and which
+//! processors crash (up to `t < n/2`). A mathematical adversary quantifies
+//! over every such strategy; this module implements the concrete strategies
+//! the paper reasons about, plus generic ones:
+//!
+//! * [`RandomAdversary`] — picks uniformly among enabled events (a fair,
+//!   non-malicious scheduler; useful as a baseline and for soak tests).
+//! * [`ObliviousAdversary`] — a *weak* adversary whose schedule is a fixed
+//!   pseudo-random function of the event index only (it ignores all state),
+//!   matching the weak-adversary model of AA11 / GW12a.
+//! * [`SequentialAdversary`] — runs participants one at a time to completion.
+//!   Section 3.2 of the paper shows this forces Ω(√n) survivors for the
+//!   fixed-bias PoisonPill, which experiment E1/E8 reproduces.
+//! * [`CoinAwareAdversary`] — the strong-adversary strategy sketched in the
+//!   introduction: inspect coin flips and schedule every processor that
+//!   flipped 0 ahead of any processor that flipped 1, trying to maximise
+//!   survivors.
+//! * [`CrashingAdversary`] — wraps any adversary with a [`CrashPlan`] that
+//!   crashes chosen processors at chosen points of the execution.
+
+use crate::observation::{Decision, EnabledEvent, ProcessPhase, SystemObservation};
+use fle_model::ProcId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A scheduling strategy for the strong adaptive adversary.
+pub trait Adversary {
+    /// Choose the next event (or a crash). `enabled` is never empty.
+    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision;
+
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Picks uniformly at random among enabled events. Fair with probability 1.
+#[derive(Debug, Clone)]
+pub struct RandomAdversary {
+    rng: ChaCha8Rng,
+}
+
+impl RandomAdversary {
+    /// A random scheduler with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        RandomAdversary {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn decide(&mut self, _observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+        Decision::Schedule(self.rng.gen_range(0..enabled.len()))
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// A weak (oblivious) adversary: the schedule is a fixed pseudo-random
+/// function of the number of events executed so far, independent of any
+/// processor state or coin flip.
+#[derive(Debug, Clone)]
+pub struct ObliviousAdversary {
+    seed: u64,
+}
+
+impl ObliviousAdversary {
+    /// An oblivious scheduler whose fixed schedule is derived from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        ObliviousAdversary { seed }
+    }
+}
+
+impl Adversary for ObliviousAdversary {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+        // splitmix64 of (seed, event index): depends only on predetermined data.
+        let mut x = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(observation.events_executed + 1));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        Decision::Schedule((x % enabled.len() as u64) as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        "oblivious"
+    }
+}
+
+/// Runs participants sequentially: all events that advance the lowest-indexed
+/// unfinished participant are scheduled before anyone else moves.
+///
+/// This is the schedule used in Section 3.2 of the paper to show that the
+/// fixed-bias PoisonPill cannot beat Ω(√n) expected survivors.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialAdversary;
+
+impl SequentialAdversary {
+    /// A sequential scheduler.
+    pub fn new() -> Self {
+        SequentialAdversary
+    }
+}
+
+impl Adversary for SequentialAdversary {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+        // The participant currently being "run to completion": the live
+        // participant with the smallest id that still has an enabled event.
+        let mut preferred: Option<(usize, usize)> = None; // (proc index, event index)
+        for (event_index, event) in enabled.iter().enumerate() {
+            let advances = event.advances();
+            let phase = observation.process(advances).phase;
+            let is_live = matches!(
+                phase,
+                ProcessPhase::NotStarted | ProcessPhase::StepReady | ProcessPhase::AwaitingQuorum
+            );
+            if !is_live {
+                continue;
+            }
+            match preferred {
+                Some((best_proc, _)) if best_proc <= advances.index() => {}
+                _ => preferred = Some((advances.index(), event_index)),
+            }
+        }
+        match preferred {
+            Some((_, event_index)) => Decision::Schedule(event_index),
+            // Only bookkeeping deliveries remain (replies to finished
+            // processors); flush the oldest one.
+            None => Decision::Schedule(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// The coin-inspecting strong adversary sketched in the paper's introduction:
+/// it looks at every visible coin flip and gives strict priority to
+/// processors that flipped 0 (low priority), hoping to let them finish their
+/// phase before any high-priority processor becomes visible, thereby
+/// maximising the number of survivors.
+#[derive(Debug, Clone)]
+pub struct CoinAwareAdversary {
+    tie_breaker: ChaCha8Rng,
+}
+
+impl CoinAwareAdversary {
+    /// A coin-inspecting adversary; `seed` only breaks ties among equally
+    /// attractive events.
+    pub fn with_seed(seed: u64) -> Self {
+        CoinAwareAdversary {
+            tie_breaker: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    fn priority(observation: &SystemObservation, event: &EnabledEvent) -> u8 {
+        let advances = event.advances();
+        let phase = observation.process(advances).phase;
+        if matches!(phase, ProcessPhase::Finished | ProcessPhase::Crashed | ProcessPhase::Idle) {
+            return 3;
+        }
+        match observation.coin_of(advances) {
+            // Processors whose visible coin is 0: run them first so they
+            // complete before observing any high-priority processor.
+            Some(false) => 0,
+            // Processors that have not flipped yet: let them reach the flip.
+            None => 1,
+            // Processors that flipped 1: stall them as long as possible.
+            Some(true) => 2,
+        }
+    }
+}
+
+impl Adversary for CoinAwareAdversary {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+        let best = enabled
+            .iter()
+            .map(|event| Self::priority(observation, event))
+            .min()
+            .unwrap_or(3);
+        let candidates: Vec<usize> = enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, event)| Self::priority(observation, event) == best)
+            .map(|(index, _)| index)
+            .collect();
+        let pick = candidates[self.tie_breaker.gen_range(0..candidates.len())];
+        Decision::Schedule(pick)
+    }
+
+    fn name(&self) -> &'static str {
+        "coin-aware"
+    }
+}
+
+/// When and whom to crash.
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    /// `(after_events, victim)` pairs: once the execution has performed at
+    /// least `after_events` events, crash `victim`.
+    pub scheduled: Vec<(u64, ProcId)>,
+}
+
+impl CrashPlan {
+    /// No crashes.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Crash all the given victims immediately (before any protocol step).
+    pub fn immediately(victims: impl IntoIterator<Item = ProcId>) -> Self {
+        CrashPlan {
+            scheduled: victims.into_iter().map(|v| (0, v)).collect(),
+        }
+    }
+
+    /// Crash `victim` once at least `after_events` events have executed.
+    #[must_use]
+    pub fn and_then(mut self, after_events: u64, victim: ProcId) -> Self {
+        self.scheduled.push((after_events, victim));
+        self
+    }
+}
+
+/// Wraps an inner adversary and injects crashes according to a [`CrashPlan`].
+#[derive(Debug, Clone)]
+pub struct CrashingAdversary<A> {
+    inner: A,
+    plan: CrashPlan,
+    next: usize,
+}
+
+impl<A: Adversary> CrashingAdversary<A> {
+    /// Wrap `inner`, crashing processors according to `plan`.
+    pub fn new(inner: A, plan: CrashPlan) -> Self {
+        let mut plan = plan;
+        plan.scheduled.sort_by_key(|(after, _)| *after);
+        CrashingAdversary {
+            inner,
+            plan,
+            next: 0,
+        }
+    }
+}
+
+impl<A: Adversary> Adversary for CrashingAdversary<A> {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+        if self.next < self.plan.scheduled.len() {
+            let (after, victim) = self.plan.scheduled[self.next];
+            let already_crashed =
+                matches!(observation.process(victim).phase, ProcessPhase::Crashed);
+            if observation.events_executed >= after {
+                self.next += 1;
+                if !already_crashed && observation.crash_budget_left > 0 {
+                    return Decision::Crash(victim);
+                }
+            }
+        }
+        self.inner.decide(observation, enabled)
+    }
+
+    fn name(&self) -> &'static str {
+        "crashing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageId;
+    use crate::observation::ProcessObservation;
+    use fle_model::LocalStateView;
+
+    fn observation(phases: Vec<(ProcessPhase, Option<bool>)>) -> SystemObservation {
+        let processes = phases
+            .into_iter()
+            .enumerate()
+            .map(|(i, (phase, coin))| ProcessObservation {
+                proc: ProcId(i),
+                phase,
+                local_state: Some(LocalStateView::new("t", "t").with_coin(coin)),
+            })
+            .collect();
+        SystemObservation {
+            n: 3,
+            events_executed: 0,
+            crash_budget_left: 1,
+            processes,
+        }
+    }
+
+    #[test]
+    fn sequential_prefers_lowest_live_participant() {
+        let obs = observation(vec![
+            (ProcessPhase::Finished, None),
+            (ProcessPhase::StepReady, None),
+            (ProcessPhase::StepReady, None),
+        ]);
+        let enabled = vec![
+            EnabledEvent::Step(ProcId(2)),
+            EnabledEvent::Step(ProcId(1)),
+        ];
+        let mut adversary = SequentialAdversary::new();
+        assert_eq!(adversary.decide(&obs, &enabled), Decision::Schedule(1));
+        assert_eq!(adversary.name(), "sequential");
+    }
+
+    #[test]
+    fn coin_aware_prefers_zero_flippers() {
+        let obs = observation(vec![
+            (ProcessPhase::StepReady, Some(true)),
+            (ProcessPhase::StepReady, Some(false)),
+            (ProcessPhase::StepReady, None),
+        ]);
+        let enabled = vec![
+            EnabledEvent::Step(ProcId(0)),
+            EnabledEvent::Step(ProcId(1)),
+            EnabledEvent::Step(ProcId(2)),
+        ];
+        let mut adversary = CoinAwareAdversary::with_seed(0);
+        assert_eq!(
+            adversary.decide(&obs, &enabled),
+            Decision::Schedule(1),
+            "the 0-flipper must be scheduled before the 1-flipper and the undecided"
+        );
+    }
+
+    #[test]
+    fn coin_aware_delivery_priority_follows_advanced_processor() {
+        let obs = observation(vec![
+            (ProcessPhase::AwaitingQuorum, Some(true)),
+            (ProcessPhase::AwaitingQuorum, Some(false)),
+            (ProcessPhase::Idle, None),
+        ]);
+        let enabled = vec![
+            EnabledEvent::Deliver {
+                id: MessageId(0),
+                from: ProcId(2),
+                to: ProcId(0),
+                is_request: false,
+            },
+            EnabledEvent::Deliver {
+                id: MessageId(1),
+                from: ProcId(2),
+                to: ProcId(1),
+                is_request: false,
+            },
+        ];
+        let mut adversary = CoinAwareAdversary::with_seed(1);
+        assert_eq!(adversary.decide(&obs, &enabled), Decision::Schedule(1));
+    }
+
+    #[test]
+    fn oblivious_ignores_state() {
+        let obs_a = observation(vec![(ProcessPhase::StepReady, Some(true))]);
+        let obs_b = observation(vec![(ProcessPhase::StepReady, Some(false))]);
+        let enabled = vec![
+            EnabledEvent::Step(ProcId(0)),
+            EnabledEvent::Step(ProcId(0)),
+            EnabledEvent::Step(ProcId(0)),
+        ];
+        let mut adversary = ObliviousAdversary::with_seed(9);
+        let a = adversary.decide(&obs_a, &enabled);
+        let mut adversary = ObliviousAdversary::with_seed(9);
+        let b = adversary.decide(&obs_b, &enabled);
+        assert_eq!(a, b, "the weak adversary's schedule does not depend on coins");
+    }
+
+    #[test]
+    fn crashing_adversary_follows_plan_then_delegates() {
+        let obs = observation(vec![
+            (ProcessPhase::StepReady, None),
+            (ProcessPhase::StepReady, None),
+            (ProcessPhase::StepReady, None),
+        ]);
+        let enabled = vec![EnabledEvent::Step(ProcId(0))];
+        let plan = CrashPlan::immediately([ProcId(2)]);
+        let mut adversary = CrashingAdversary::new(RandomAdversary::with_seed(1), plan);
+        assert_eq!(adversary.decide(&obs, &enabled), Decision::Crash(ProcId(2)));
+        // Plan exhausted: delegate to the inner adversary.
+        assert!(matches!(
+            adversary.decide(&obs, &enabled),
+            Decision::Schedule(_)
+        ));
+    }
+
+    #[test]
+    fn random_adversary_always_schedules_within_bounds() {
+        let obs = observation(vec![(ProcessPhase::StepReady, None)]);
+        let enabled = vec![EnabledEvent::Step(ProcId(0)); 5];
+        let mut adversary = RandomAdversary::with_seed(3);
+        for _ in 0..100 {
+            match adversary.decide(&obs, &enabled) {
+                Decision::Schedule(i) => assert!(i < enabled.len()),
+                Decision::Crash(_) => panic!("random adversary never crashes"),
+            }
+        }
+    }
+}

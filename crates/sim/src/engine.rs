@@ -1,0 +1,836 @@
+//! The simulation engine: event loop, network, quorum engine and adversary
+//! interface.
+
+use crate::adversary::Adversary;
+use crate::error::SimError;
+use crate::message::{InFlightMessage, MessageId};
+use crate::observation::{
+    Decision, EnabledEvent, ProcessObservation, ProcessPhase, SystemObservation,
+};
+use crate::process::{PendingWork, SimProcess};
+use crate::report::ExecutionReport;
+use crate::trace::{Trace, TraceEvent};
+use fle_model::{Action, CollectedViews, ProcId, Protocol, Response, View, WireMessage};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Configuration of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of processors in the system.
+    pub n: usize,
+    /// Failure budget `t`. Defaults to `⌈n/2⌉ − 1`, the maximum the paper's
+    /// algorithms tolerate.
+    pub crash_budget: usize,
+    /// Seed for every random choice made by the protocols.
+    pub seed: u64,
+    /// Upper bound on executed events, to turn accidental livelock into an
+    /// error instead of a hang.
+    pub max_events: u64,
+    /// Whether to record the full execution trace.
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// A configuration for `n` processors with the default failure budget
+    /// (`⌈n/2⌉ − 1`), seed 0 and an event budget proportional to `n²`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a system needs at least one processor");
+        SimConfig {
+            n,
+            crash_budget: n.div_ceil(2).saturating_sub(1),
+            seed: 0,
+            max_events: default_event_budget(n),
+            record_trace: false,
+        }
+    }
+
+    /// Set the random seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the crash budget (clamped to `⌈n/2⌉ − 1`).
+    #[must_use]
+    pub fn with_crash_budget(mut self, budget: usize) -> Self {
+        self.crash_budget = budget.min(self.n.div_ceil(2).saturating_sub(1));
+        self
+    }
+
+    /// Enable trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Override the event budget.
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Quorum size: `⌊n/2⌋ + 1`.
+    pub fn quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+}
+
+fn default_event_budget(n: usize) -> u64 {
+    // Every communicate call generates O(n) messages and each participant
+    // performs O(log* n) + O(log^2 n) of them across all algorithms in this
+    // workspace; n^2 * 700 leaves ample slack for the renaming algorithm,
+    // which performs O(log^2 n) calls per processor.
+    (n as u64).saturating_mul(n as u64).saturating_mul(700) + 200_000
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the crate-level documentation for the model. Typical use:
+/// create a [`SimConfig`], add participants with
+/// [`Simulator::add_participant`], and call [`Simulator::run`] with an
+/// [`Adversary`].
+pub struct Simulator {
+    config: SimConfig,
+    processes: Vec<SimProcess>,
+    in_flight: BTreeMap<MessageId, InFlightMessage>,
+    next_message_id: u64,
+    events_executed: u64,
+    crashes: Vec<ProcId>,
+    rng: ChaCha8Rng,
+    report: ExecutionReport,
+    /// Persistent adversary observation, updated incrementally as processors
+    /// change state so that each event costs O(1) observation maintenance.
+    observation: SystemObservation,
+}
+
+impl Simulator {
+    /// Create a simulator with `config.n` processors, none of which
+    /// participates yet.
+    pub fn new(config: SimConfig) -> Self {
+        let processes = (0..config.n)
+            .map(|i| SimProcess::replica_only(ProcId(i)))
+            .collect();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let trace = if config.record_trace {
+            Trace::recording()
+        } else {
+            Trace::disabled()
+        };
+        let observation = SystemObservation {
+            n: config.n,
+            events_executed: 0,
+            crash_budget_left: config.crash_budget,
+            processes: (0..config.n)
+                .map(|i| ProcessObservation {
+                    proc: ProcId(i),
+                    phase: ProcessPhase::Idle,
+                    local_state: None,
+                })
+                .collect(),
+        };
+        Simulator {
+            config,
+            processes,
+            in_flight: BTreeMap::new(),
+            next_message_id: 0,
+            events_executed: 0,
+            crashes: Vec::new(),
+            rng,
+            report: ExecutionReport {
+                trace,
+                ..ExecutionReport::default()
+            },
+            observation,
+        }
+    }
+
+    /// Register `proc` as a participant running `protocol`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidParticipant`] if the processor id is out of
+    /// range or already participates.
+    pub fn try_add_participant(
+        &mut self,
+        proc: ProcId,
+        protocol: Box<dyn Protocol>,
+    ) -> Result<(), SimError> {
+        if proc.index() >= self.config.n {
+            return Err(SimError::InvalidParticipant {
+                proc,
+                reason: format!("system only has {} processors", self.config.n),
+            });
+        }
+        if self.processes[proc.index()].participates() {
+            return Err(SimError::InvalidParticipant {
+                proc,
+                reason: "already registered".to_string(),
+            });
+        }
+        self.processes[proc.index()].participate(protocol);
+        self.refresh_process_observation(proc);
+        Ok(())
+    }
+
+    /// Register `proc` as a participant running `protocol`.
+    ///
+    /// # Panics
+    /// Panics on the error conditions of [`Simulator::try_add_participant`];
+    /// use that method to handle them gracefully.
+    pub fn add_participant(&mut self, proc: ProcId, protocol: Box<dyn Protocol>) {
+        self.try_add_participant(proc, protocol)
+            .expect("invalid participant registration");
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run the execution to completion under the given adversary.
+    ///
+    /// The run ends when every live participant has returned. The adversary
+    /// chooses every step, delivery and crash; if it declines to decide the
+    /// engine falls back to the oldest enabled event, so executions always
+    /// make progress.
+    ///
+    /// # Errors
+    /// * [`SimError::EventBudgetExhausted`] if the event budget runs out.
+    /// * [`SimError::CrashBudgetExceeded`] if the adversary exceeds `t`.
+    /// * [`SimError::InvalidDecision`] if the adversary returns a decision
+    ///   that does not refer to an enabled event.
+    pub fn run(&mut self, adversary: &mut dyn Adversary) -> Result<ExecutionReport, SimError> {
+        while self.live_participants_remaining() {
+            if self.events_executed >= self.config.max_events {
+                return Err(SimError::EventBudgetExhausted {
+                    budget: self.config.max_events,
+                    unfinished: self
+                        .processes
+                        .iter()
+                        .filter(|p| p.is_live_participant())
+                        .map(|p| p.id)
+                        .collect(),
+                });
+            }
+
+            let enabled = self.enabled_events();
+            if enabled.is_empty() {
+                // Every live participant is blocked on a quorum that can never
+                // form (too many crashes for the remaining replicas). The
+                // model guarantees termination only for t < n/2, so this can
+                // only be reached by misconfiguration; treat it as budget
+                // exhaustion for reporting purposes.
+                return Err(SimError::EventBudgetExhausted {
+                    budget: self.config.max_events,
+                    unfinished: self
+                        .processes
+                        .iter()
+                        .filter(|p| p.is_live_participant())
+                        .map(|p| p.id)
+                        .collect(),
+                });
+            }
+
+            self.refresh_observation_header();
+            let decision = adversary.decide(&self.observation, &enabled);
+            match decision {
+                Decision::Crash(victim) => {
+                    self.crash(victim)?;
+                }
+                Decision::Schedule(index) => {
+                    let event = *enabled.get(index).ok_or_else(|| SimError::InvalidDecision {
+                        reason: format!(
+                            "index {index} out of bounds for {} enabled events",
+                            enabled.len()
+                        ),
+                    })?;
+                    self.execute(event);
+                }
+            }
+        }
+
+        self.finalize();
+        Ok(std::mem::take(&mut self.report))
+    }
+
+    /// Convenience wrapper: run and panic on simulator errors. Useful in
+    /// benchmarks and examples where an error is always a bug.
+    ///
+    /// # Panics
+    /// Panics if [`Simulator::run`] returns an error.
+    pub fn run_to_completion(&mut self, adversary: &mut dyn Adversary) -> ExecutionReport {
+        self.run(adversary).expect("simulation failed")
+    }
+
+    fn live_participants_remaining(&self) -> bool {
+        self.processes.iter().any(SimProcess::is_live_participant)
+    }
+
+    fn enabled_events(&self) -> Vec<EnabledEvent> {
+        let mut events = Vec::new();
+        for process in &self.processes {
+            if process.step_enabled() {
+                events.push(EnabledEvent::Step(process.id));
+            }
+        }
+        for message in self.in_flight.values() {
+            // Messages to crashed processors remain deliverable (they are
+            // simply ignored on arrival), but there is no point offering them
+            // to the adversary: delivering them can never unblock anyone.
+            if !self.processes[message.to.index()].crashed {
+                events.push(EnabledEvent::Deliver {
+                    id: message.id,
+                    from: message.from,
+                    to: message.to,
+                    is_request: message.is_request(),
+                });
+            }
+        }
+        events
+    }
+
+    /// Update the scalar fields of the persistent observation. The
+    /// per-processor entries are refreshed incrementally by
+    /// [`Simulator::refresh_process_observation`] whenever a processor's
+    /// state changes, which keeps the per-event cost independent of `n`.
+    fn refresh_observation_header(&mut self) {
+        self.observation.events_executed = self.events_executed;
+        self.observation.crash_budget_left =
+            self.config.crash_budget.saturating_sub(self.crashes.len());
+    }
+
+    /// Rebuild the observation entry for processor `p`. Called whenever the
+    /// processor steps, receives a delivery, crashes or is registered.
+    fn refresh_process_observation(&mut self, p: ProcId) {
+        let process = &self.processes[p.index()];
+        let phase = if process.crashed {
+            ProcessPhase::Crashed
+        } else if !process.participates() {
+            ProcessPhase::Idle
+        } else {
+            match &process.pending {
+                PendingWork::NotStarted => ProcessPhase::NotStarted,
+                PendingWork::LocalResponse(_) | PendingWork::ResponseReady(_) => {
+                    ProcessPhase::StepReady
+                }
+                PendingWork::AwaitingAcks { .. } | PendingWork::AwaitingViews { .. } => {
+                    ProcessPhase::AwaitingQuorum
+                }
+                PendingWork::Finished(_) => ProcessPhase::Finished,
+            }
+        };
+        self.observation.processes[p.index()] = ProcessObservation {
+            proc: p,
+            phase,
+            local_state: process
+                .protocol
+                .as_ref()
+                .map(|proto| proto.adversary_view()),
+        };
+    }
+
+    fn crash(&mut self, victim: ProcId) -> Result<(), SimError> {
+        if self.crashes.len() >= self.config.crash_budget {
+            return Err(SimError::CrashBudgetExceeded {
+                victim,
+                budget: self.config.crash_budget,
+            });
+        }
+        if victim.index() >= self.config.n {
+            return Err(SimError::InvalidDecision {
+                reason: format!("cannot crash non-existent processor {victim}"),
+            });
+        }
+        let process = &mut self.processes[victim.index()];
+        if process.crashed {
+            return Err(SimError::InvalidDecision {
+                reason: format!("{victim} is already crashed"),
+            });
+        }
+        process.crashed = true;
+        self.crashes.push(victim);
+        self.report.trace.push(TraceEvent::Crash { proc: victim });
+        self.refresh_process_observation(victim);
+        Ok(())
+    }
+
+    fn execute(&mut self, event: EnabledEvent) {
+        self.events_executed += 1;
+        match event {
+            EnabledEvent::Step(proc) => {
+                self.execute_step(proc);
+                self.refresh_process_observation(proc);
+            }
+            EnabledEvent::Deliver { id, to, .. } => {
+                self.execute_delivery(id);
+                self.refresh_process_observation(to);
+            }
+        }
+    }
+
+    fn execute_step(&mut self, proc: ProcId) {
+        self.report.trace.push(TraceEvent::Step { proc });
+        let index = proc.index();
+
+        // Take the ready response out of the pending state.
+        let response = {
+            let process = &mut self.processes[index];
+            if process.started_at.is_none() {
+                process.started_at = Some(self.events_executed);
+                self.report
+                    .intervals
+                    .insert(proc, (self.events_executed, None));
+            }
+            match std::mem::replace(&mut process.pending, PendingWork::NotStarted) {
+                PendingWork::NotStarted => Response::Start,
+                PendingWork::LocalResponse(r) | PendingWork::ResponseReady(r) => r,
+                other => {
+                    // step_enabled() guarantees this cannot happen; restore and bail.
+                    process.pending = other;
+                    return;
+                }
+            }
+        };
+
+        let action = {
+            let process = &mut self.processes[index];
+            let protocol = process
+                .protocol
+                .as_mut()
+                .expect("only participants take steps");
+            protocol.step(response)
+        };
+
+        self.apply_action(proc, action);
+    }
+
+    fn apply_action(&mut self, proc: ProcId, action: Action) {
+        let quorum = self.config.quorum();
+        let n = self.config.n;
+        let index = proc.index();
+        match action {
+            Action::Propagate { entries } => {
+                let seq = self.processes[index].fresh_seq();
+                self.processes[index].replica.apply_all(&entries);
+                {
+                    let metrics = self.report.metrics.proc_mut(proc);
+                    metrics.communicate_calls += 1;
+                }
+                let mut acked = std::collections::BTreeSet::new();
+                acked.insert(proc);
+                self.processes[index].pending = PendingWork::AwaitingAcks { seq, acked };
+                for target in 0..n {
+                    if target == index {
+                        continue;
+                    }
+                    self.send(
+                        proc,
+                        ProcId(target),
+                        WireMessage::Propagate {
+                            seq,
+                            entries: entries.clone(),
+                        },
+                    );
+                }
+                self.maybe_complete_quorum(proc, quorum);
+            }
+            Action::Collect { instance } => {
+                let seq = self.processes[index].fresh_seq();
+                let own_view = self.processes[index].replica.view_of(instance);
+                {
+                    let metrics = self.report.metrics.proc_mut(proc);
+                    metrics.communicate_calls += 1;
+                }
+                self.processes[index].pending = PendingWork::AwaitingViews {
+                    seq,
+                    views: vec![(proc, own_view)],
+                };
+                for target in 0..n {
+                    if target == index {
+                        continue;
+                    }
+                    self.send(proc, ProcId(target), WireMessage::Collect { seq, instance });
+                }
+                self.maybe_complete_quorum(proc, quorum);
+            }
+            Action::Flip { prob_one } => {
+                let value = self.rng.gen_bool(prob_one.clamp(0.0, 1.0));
+                self.report.metrics.proc_mut(proc).coin_flips += 1;
+                self.report.trace.push(TraceEvent::Coin { proc, value });
+                self.processes[index].pending = PendingWork::LocalResponse(Response::Coin(value));
+            }
+            Action::Choose { choices } => {
+                self.report.metrics.proc_mut(proc).coin_flips += 1;
+                let chosen = if choices.is_empty() {
+                    0
+                } else {
+                    choices[self.rng.gen_range(0..choices.len())]
+                };
+                self.processes[index].pending =
+                    PendingWork::LocalResponse(Response::Chosen(chosen));
+            }
+            Action::Return(outcome) => {
+                self.processes[index].pending = PendingWork::Finished(outcome);
+                self.processes[index].finished_at = Some(self.events_executed);
+                self.report.outcomes.insert(proc, outcome);
+                if let Some(interval) = self.report.intervals.get_mut(&proc) {
+                    interval.1 = Some(self.events_executed);
+                }
+                self.report.trace.push(TraceEvent::Return { proc, outcome });
+            }
+        }
+    }
+
+    /// In degenerate systems (n = 1, or a quorum of 1) the caller's own
+    /// acknowledgement already forms a quorum; promote the pending state.
+    fn maybe_complete_quorum(&mut self, proc: ProcId, quorum: usize) {
+        let process = &mut self.processes[proc.index()];
+        let completed_seq = match &mut process.pending {
+            PendingWork::AwaitingAcks { seq, acked } if acked.len() >= quorum => {
+                let seq = *seq;
+                process.pending = PendingWork::ResponseReady(Response::AckQuorum);
+                Some(seq)
+            }
+            PendingWork::AwaitingViews { seq, views } if views.len() >= quorum => {
+                let seq = *seq;
+                let collected = std::mem::take(views);
+                process.pending =
+                    PendingWork::ResponseReady(Response::Views(CollectedViews::new(collected)));
+                Some(seq)
+            }
+            _ => None,
+        };
+        if let Some(seq) = completed_seq {
+            self.purge_completed_call(proc, seq);
+        }
+    }
+
+    /// Drop the in-flight messages of a communicate call that has already
+    /// reached its quorum: the leftover requests and replies can never affect
+    /// the caller again, and keeping them around only slows the adversary
+    /// down. Semantically this is the adversary delaying them forever, which
+    /// the asynchronous model allows.
+    fn purge_completed_call(&mut self, caller: ProcId, seq: u64) {
+        // Sequence numbers are scoped to their caller, so only the caller's
+        // own outgoing requests and the replies addressed back to the caller
+        // belong to the completed call. Requests *to* the caller and replies
+        // *from* the caller carry other processors' sequence numbers and must
+        // stay in flight.
+        self.in_flight.retain(|_, message| {
+            let belongs_to_call = message.payload.seq() == seq
+                && ((message.from == caller && message.is_request())
+                    || (message.to == caller && message.is_reply()));
+            !belongs_to_call
+        });
+    }
+
+    /// Whether `caller` still has the communicate call `seq` outstanding.
+    fn call_outstanding(&self, caller: ProcId, seq: u64) -> bool {
+        match &self.processes[caller.index()].pending {
+            PendingWork::AwaitingAcks { seq: s, .. } | PendingWork::AwaitingViews { seq: s, .. } => {
+                *s == seq
+            }
+            _ => false,
+        }
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, payload: WireMessage) {
+        let id = MessageId(self.next_message_id);
+        self.next_message_id += 1;
+        self.report.metrics.proc_mut(from).messages_sent += 1;
+        self.in_flight.insert(
+            id,
+            InFlightMessage {
+                id,
+                from,
+                to,
+                payload,
+                sent_at: self.events_executed,
+            },
+        );
+    }
+
+    fn execute_delivery(&mut self, id: MessageId) {
+        let Some(message) = self.in_flight.remove(&id) else {
+            return;
+        };
+        self.report.trace.push(TraceEvent::Deliver {
+            id,
+            from: message.from,
+            to: message.to,
+        });
+        let to_index = message.to.index();
+        self.report.metrics.proc_mut(message.to).messages_received += 1;
+
+        if self.processes[to_index].crashed {
+            // Messages are delivered to faulty processors but produce no
+            // replies and no protocol progress.
+            return;
+        }
+
+        let quorum = self.config.quorum();
+        match message.payload {
+            WireMessage::Propagate { seq, entries } => {
+                self.processes[to_index].replica.apply_all(&entries);
+                // Replying to a call the sender has already completed can
+                // never matter; skip it (equivalently: delay it forever).
+                if self.call_outstanding(message.from, seq) {
+                    self.send(message.to, message.from, WireMessage::Ack { seq });
+                }
+            }
+            WireMessage::Collect { seq, instance } => {
+                if self.call_outstanding(message.from, seq) {
+                    let view: View = self.processes[to_index].replica.view_of(instance);
+                    self.send(
+                        message.to,
+                        message.from,
+                        WireMessage::CollectReply { seq, view },
+                    );
+                }
+            }
+            WireMessage::Ack { seq } => {
+                self.processes[to_index].record_ack(message.from, seq, quorum);
+                self.purge_if_completed(message.to);
+            }
+            WireMessage::CollectReply { seq, view } => {
+                self.processes[to_index].record_view(message.from, seq, view, quorum);
+                self.purge_if_completed(message.to);
+            }
+        }
+    }
+
+    /// After a reply was recorded, purge the call's leftover traffic if the
+    /// quorum has just been reached.
+    fn purge_if_completed(&mut self, caller: ProcId) {
+        if matches!(
+            self.processes[caller.index()].pending,
+            PendingWork::ResponseReady(_)
+        ) {
+            // The completed call's sequence number is the caller's latest.
+            let seq = self.processes[caller.index()].next_seq;
+            self.purge_completed_call(caller, seq);
+        }
+    }
+
+    fn finalize(&mut self) {
+        self.report.events_executed = self.events_executed;
+        self.report.crashed = self.crashes.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{RandomAdversary, SequentialAdversary};
+    use fle_model::{InstanceId, Key, LocalStateView, Outcome, Slot, Value};
+
+    /// A protocol that propagates a flag, collects, and returns WIN if it saw
+    /// its own flag in some view (it always should).
+    struct PropagateCollect {
+        me: ProcId,
+        saw_self: bool,
+        phase: u8,
+    }
+
+    impl PropagateCollect {
+        fn new(me: ProcId) -> Self {
+            PropagateCollect {
+                me,
+                saw_self: false,
+                phase: 0,
+            }
+        }
+    }
+
+    impl Protocol for PropagateCollect {
+        fn step(&mut self, response: Response) -> Action {
+            match self.phase {
+                0 => {
+                    assert_eq!(response, Response::Start);
+                    self.phase = 1;
+                    Action::Propagate {
+                        entries: vec![(
+                            Key::proc(InstanceId::custom(1, 1), self.me),
+                            Value::Flag(true),
+                        )],
+                    }
+                }
+                1 => {
+                    assert_eq!(response, Response::AckQuorum);
+                    self.phase = 2;
+                    Action::Collect {
+                        instance: InstanceId::custom(1, 1),
+                    }
+                }
+                _ => {
+                    let views = response.expect_views();
+                    self.saw_self = views.any_view_has(&Slot::Proc(self.me));
+                    Action::Return(if self.saw_self {
+                        Outcome::Win
+                    } else {
+                        Outcome::Lose
+                    })
+                }
+            }
+        }
+
+        fn adversary_view(&self) -> LocalStateView {
+            LocalStateView::new("propagate-collect", "running").with_round(self.phase as u64)
+        }
+    }
+
+    #[test]
+    fn propagate_then_collect_sees_own_write() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let mut sim = Simulator::new(SimConfig::new(n).with_seed(1));
+            for i in 0..n {
+                sim.add_participant(ProcId(i), Box::new(PropagateCollect::new(ProcId(i))));
+            }
+            let report = sim.run(&mut RandomAdversary::with_seed(42)).unwrap();
+            for i in 0..n {
+                assert_eq!(
+                    report.outcome(ProcId(i)),
+                    Some(Outcome::Win),
+                    "n={n}, processor {i} must observe its own propagated write"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_linear_per_communicate_call() {
+        let n = 10;
+        let mut sim = Simulator::new(SimConfig::new(n));
+        sim.add_participant(ProcId(0), Box::new(PropagateCollect::new(ProcId(0))));
+        let report = sim.run(&mut SequentialAdversary::new()).unwrap();
+        // Two communicate calls: each sends n-1 requests; replicas send back
+        // up to n-1 replies each. Self-delivery is free.
+        let sent = report.total_messages();
+        assert!(sent >= 2 * (n as u64 - 1), "requests must be counted: {sent}");
+        assert!(
+            sent <= 4 * (n as u64 - 1),
+            "no more than requests + replies may be counted: {sent}"
+        );
+        assert_eq!(report.max_communicate_calls(), 2);
+    }
+
+    #[test]
+    fn crash_budget_is_enforced() {
+        let mut sim = Simulator::new(SimConfig::new(4));
+        sim.add_participant(ProcId(0), Box::new(PropagateCollect::new(ProcId(0))));
+
+        struct CrashHappy;
+        impl Adversary for CrashHappy {
+            fn decide(&mut self, obs: &SystemObservation, _enabled: &[EnabledEvent]) -> Decision {
+                // Keep crashing replicas (never the participant p0) until the
+                // budget runs out.
+                let victim = obs
+                    .processes
+                    .iter()
+                    .skip(1)
+                    .find(|p| !matches!(p.phase, ProcessPhase::Crashed))
+                    .map(|p| p.proc)
+                    .unwrap_or(ProcId(1));
+                Decision::Crash(victim)
+            }
+            fn name(&self) -> &'static str {
+                "crash-happy"
+            }
+        }
+
+        let err = sim.run(&mut CrashHappy).unwrap_err();
+        assert!(matches!(err, SimError::CrashBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn single_processor_system_terminates_immediately() {
+        let mut sim = Simulator::new(SimConfig::new(1));
+        sim.add_participant(ProcId(0), Box::new(PropagateCollect::new(ProcId(0))));
+        let report = sim.run(&mut RandomAdversary::with_seed(0)).unwrap();
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Win));
+        assert_eq!(report.total_messages(), 0, "a lone processor sends nothing");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = Simulator::new(SimConfig::new(6).with_seed(3).with_trace());
+            for i in 0..6 {
+                sim.add_participant(ProcId(i), Box::new(PropagateCollect::new(ProcId(i))));
+            }
+            sim.run(&mut RandomAdversary::with_seed(seed)).unwrap()
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a.trace.digest(), b.trace.digest());
+        assert_eq!(a.total_messages(), b.total_messages());
+        // A different adversary seed virtually always yields a different schedule.
+        assert_ne!(a.trace.digest(), c.trace.digest());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut sim = Simulator::new(SimConfig::new(2));
+        sim.add_participant(ProcId(0), Box::new(PropagateCollect::new(ProcId(0))));
+        let err = sim
+            .try_add_participant(ProcId(0), Box::new(PropagateCollect::new(ProcId(0))))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParticipant { .. }));
+        let err = sim
+            .try_add_participant(ProcId(7), Box::new(PropagateCollect::new(ProcId(7))))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParticipant { .. }));
+    }
+
+    #[test]
+    fn crashed_minority_does_not_block_termination() {
+        let n = 5;
+        let mut sim = Simulator::new(SimConfig::new(n));
+        for i in 0..n {
+            sim.add_participant(ProcId(i), Box::new(PropagateCollect::new(ProcId(i))));
+        }
+
+        /// Crash processors 3 and 4 immediately, then schedule fairly.
+        struct CrashTwoThenFair {
+            inner: RandomAdversary,
+            crashed: usize,
+        }
+        impl Adversary for CrashTwoThenFair {
+            fn decide(&mut self, obs: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+                if self.crashed < 2 && obs.crash_budget_left > 0 {
+                    let victim = ProcId(3 + self.crashed);
+                    self.crashed += 1;
+                    return Decision::Crash(victim);
+                }
+                self.inner.decide(obs, enabled)
+            }
+            fn name(&self) -> &'static str {
+                "crash-two-then-fair"
+            }
+        }
+
+        let report = sim
+            .run(&mut CrashTwoThenFair {
+                inner: RandomAdversary::with_seed(5),
+                crashed: 0,
+            })
+            .unwrap();
+        for i in 0..3 {
+            assert_eq!(
+                report.outcome(ProcId(i)),
+                Some(Outcome::Win),
+                "correct processor {i} must terminate despite 2 crashes"
+            );
+        }
+        assert_eq!(report.crashed.len(), 2);
+        assert_eq!(report.outcome(ProcId(3)), None);
+    }
+}

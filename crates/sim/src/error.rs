@@ -1,0 +1,91 @@
+//! Simulator errors.
+
+use fle_model::ProcId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted before every live participant returned.
+    ///
+    /// With a correct algorithm and a fair adversary this indicates the
+    /// budget is too small; with an unfair adversary it indicates the
+    /// adversary starved some processor forever (which the model forbids).
+    EventBudgetExhausted {
+        /// The configured budget.
+        budget: u64,
+        /// Participants that had not returned when the budget ran out.
+        unfinished: Vec<ProcId>,
+    },
+    /// The adversary asked to crash more processors than the failure budget
+    /// `t ≤ ⌈n/2⌉ − 1` allows.
+    CrashBudgetExceeded {
+        /// The processor the adversary tried to crash.
+        victim: ProcId,
+        /// The failure budget.
+        budget: usize,
+    },
+    /// The adversary returned a decision that does not refer to an enabled
+    /// event.
+    InvalidDecision {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A participant was registered twice or referred to a processor outside
+    /// `0..n`.
+    InvalidParticipant {
+        /// The offending processor id.
+        proc: ProcId,
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventBudgetExhausted { budget, unfinished } => write!(
+                f,
+                "event budget of {budget} exhausted with {} unfinished participants",
+                unfinished.len()
+            ),
+            SimError::CrashBudgetExceeded { victim, budget } => write!(
+                f,
+                "crashing {victim} would exceed the failure budget of {budget}"
+            ),
+            SimError::InvalidDecision { reason } => {
+                write!(f, "adversary returned an invalid decision: {reason}")
+            }
+            SimError::InvalidParticipant { proc, reason } => {
+                write!(f, "invalid participant {proc}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_messages() {
+        let e = SimError::CrashBudgetExceeded {
+            victim: ProcId(3),
+            budget: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("p3"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(SimError::InvalidDecision {
+            reason: "nope".to_string(),
+        });
+    }
+}

@@ -1,0 +1,83 @@
+//! In-flight messages and their identifiers.
+
+use fle_model::{ProcId, WireMessage};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a message travelling through the network.
+///
+/// Identifiers are assigned in send order and never reused, so they double as
+/// a deterministic tiebreaker for adversaries.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A message that has been sent but not yet delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlightMessage {
+    /// The message identifier.
+    pub id: MessageId,
+    /// Sender.
+    pub from: ProcId,
+    /// Recipient.
+    pub to: ProcId,
+    /// Payload.
+    pub payload: WireMessage,
+    /// Event count at which the message was sent (for adversaries that want
+    /// FIFO-ish or age-based policies).
+    pub sent_at: u64,
+}
+
+impl InFlightMessage {
+    /// Whether the payload is a request (propagate or collect).
+    pub fn is_request(&self) -> bool {
+        self.payload.is_request()
+    }
+
+    /// Whether the payload is a reply (ack or collect reply).
+    pub fn is_reply(&self) -> bool {
+        self.payload.is_reply()
+    }
+}
+
+impl fmt::Display for InFlightMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}→{} {}",
+            self.id, self.from, self.to, self.payload
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_payload() {
+        let msg = InFlightMessage {
+            id: MessageId(1),
+            from: ProcId(0),
+            to: ProcId(1),
+            payload: WireMessage::Ack { seq: 3 },
+            sent_at: 0,
+        };
+        assert!(msg.is_reply());
+        assert!(!msg.is_request());
+        assert!(msg.to_string().contains("p0→p1"));
+    }
+
+    #[test]
+    fn message_ids_order_by_send_order() {
+        assert!(MessageId(1) < MessageId(2));
+        assert_eq!(MessageId(5).to_string(), "m5");
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-processor simulation state.
+
+use crate::replica::ReplicaStore;
+use fle_model::wire::CallSeq;
+use fle_model::{Outcome, ProcId, Protocol, Response, View};
+use std::collections::BTreeSet;
+
+/// What a participating processor is currently waiting for.
+#[derive(Debug)]
+pub enum PendingWork {
+    /// The protocol has not been activated yet; the next step feeds
+    /// [`Response::Start`].
+    NotStarted,
+    /// A local response (coin flip / random choice) has been computed and
+    /// waits for the adversary to schedule the processor's next step.
+    LocalResponse(Response),
+    /// A `propagate` call is outstanding.
+    AwaitingAcks {
+        /// Sequence number of the call.
+        seq: CallSeq,
+        /// Processors that acknowledged so far (includes the caller itself).
+        acked: BTreeSet<ProcId>,
+    },
+    /// A `collect` call is outstanding.
+    AwaitingViews {
+        /// Sequence number of the call.
+        seq: CallSeq,
+        /// Views received so far (includes the caller's own view).
+        views: Vec<(ProcId, View)>,
+    },
+    /// The quorum has been reached and the response is ready to be consumed
+    /// at the processor's next step.
+    ResponseReady(Response),
+    /// The protocol returned.
+    Finished(Outcome),
+}
+
+/// A processor in the simulation.
+///
+/// Non-participating processors have `protocol = None`; they never take
+/// protocol steps but still serve their [`ReplicaStore`] to others.
+pub struct SimProcess {
+    /// The processor's identifier.
+    pub id: ProcId,
+    /// The protocol this processor runs, if it participates.
+    pub protocol: Option<Box<dyn Protocol>>,
+    /// What the processor is waiting for.
+    pub pending: PendingWork,
+    /// The node's replica of all registers.
+    pub replica: ReplicaStore,
+    /// Whether the adversary crashed this processor.
+    pub crashed: bool,
+    /// Event index of the first protocol step (invocation time), if any.
+    pub started_at: Option<u64>,
+    /// Event index at which the protocol returned, if it has.
+    pub finished_at: Option<u64>,
+    /// Sequence number generator for communicate calls.
+    pub next_seq: CallSeq,
+}
+
+impl std::fmt::Debug for SimProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimProcess")
+            .field("id", &self.id)
+            .field("participates", &self.protocol.is_some())
+            .field("pending", &self.pending)
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+impl SimProcess {
+    /// A fresh processor with no protocol (pure replica).
+    pub fn replica_only(id: ProcId) -> Self {
+        SimProcess {
+            id,
+            protocol: None,
+            pending: PendingWork::Finished(Outcome::Proceed),
+            replica: ReplicaStore::new(),
+            crashed: false,
+            started_at: None,
+            finished_at: None,
+            next_seq: 0,
+        }
+    }
+
+    /// Attach a protocol, turning the node into a participant.
+    pub fn participate(&mut self, protocol: Box<dyn Protocol>) {
+        self.protocol = Some(protocol);
+        self.pending = PendingWork::NotStarted;
+    }
+
+    /// Whether this node runs a protocol.
+    pub fn participates(&self) -> bool {
+        self.protocol.is_some()
+    }
+
+    /// The final outcome, if the protocol has returned.
+    pub fn outcome(&self) -> Option<Outcome> {
+        match &self.pending {
+            PendingWork::Finished(outcome) if self.protocol.is_some() => Some(*outcome),
+            _ => None,
+        }
+    }
+
+    /// Whether this participant still has work to do (not crashed, not done).
+    pub fn is_live_participant(&self) -> bool {
+        self.participates() && !self.crashed && self.outcome().is_none()
+    }
+
+    /// Whether the adversary can usefully schedule a step for this processor
+    /// right now.
+    pub fn step_enabled(&self) -> bool {
+        if self.crashed || !self.participates() {
+            return false;
+        }
+        matches!(
+            self.pending,
+            PendingWork::NotStarted
+                | PendingWork::LocalResponse(_)
+                | PendingWork::ResponseReady(_)
+        )
+    }
+
+    /// Allocate a fresh communicate-call sequence number.
+    pub fn fresh_seq(&mut self) -> CallSeq {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Record an acknowledgement for the outstanding propagate call, and
+    /// promote the pending state to [`PendingWork::ResponseReady`] once a
+    /// quorum has been reached.
+    pub fn record_ack(&mut self, from: ProcId, seq: CallSeq, quorum: usize) {
+        if let PendingWork::AwaitingAcks { seq: want, acked } = &mut self.pending {
+            if *want == seq {
+                acked.insert(from);
+                if acked.len() >= quorum {
+                    self.pending = PendingWork::ResponseReady(Response::AckQuorum);
+                }
+            }
+        }
+    }
+
+    /// Record a collect reply for the outstanding collect call, promoting to
+    /// [`PendingWork::ResponseReady`] once a quorum has been reached.
+    pub fn record_view(&mut self, from: ProcId, seq: CallSeq, view: View, quorum: usize) {
+        if let PendingWork::AwaitingViews { seq: want, views } = &mut self.pending {
+            if *want == seq && !views.iter().any(|(p, _)| *p == from) {
+                views.push((from, view));
+                if views.len() >= quorum {
+                    let collected = std::mem::take(views);
+                    self.pending = PendingWork::ResponseReady(Response::Views(
+                        fle_model::CollectedViews::new(collected),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_model::{Action, LocalStateView};
+
+    struct Nop;
+    impl Protocol for Nop {
+        fn step(&mut self, _response: Response) -> Action {
+            Action::Return(Outcome::Lose)
+        }
+        fn adversary_view(&self) -> LocalStateView {
+            LocalStateView::new("nop", "nop")
+        }
+    }
+
+    #[test]
+    fn replica_only_nodes_never_step() {
+        let p = SimProcess::replica_only(ProcId(2));
+        assert!(!p.participates());
+        assert!(!p.step_enabled());
+        assert_eq!(p.outcome(), None);
+    }
+
+    #[test]
+    fn participant_lifecycle() {
+        let mut p = SimProcess::replica_only(ProcId(0));
+        p.participate(Box::new(Nop));
+        assert!(p.participates());
+        assert!(p.step_enabled());
+        assert!(p.is_live_participant());
+
+        p.pending = PendingWork::Finished(Outcome::Win);
+        assert_eq!(p.outcome(), Some(Outcome::Win));
+        assert!(!p.is_live_participant());
+    }
+
+    #[test]
+    fn ack_quorum_promotes_pending_state() {
+        let mut p = SimProcess::replica_only(ProcId(0));
+        p.participate(Box::new(Nop));
+        p.pending = PendingWork::AwaitingAcks {
+            seq: 1,
+            acked: BTreeSet::from([ProcId(0)]),
+        };
+        p.record_ack(ProcId(1), 1, 3);
+        assert!(!p.step_enabled(), "two of three acks is not a quorum");
+        // A stale ack for another sequence number is ignored.
+        p.record_ack(ProcId(2), 9, 3);
+        assert!(!p.step_enabled());
+        p.record_ack(ProcId(2), 1, 3);
+        assert!(p.step_enabled(), "quorum reached, step becomes enabled");
+    }
+
+    #[test]
+    fn duplicate_views_do_not_count_twice() {
+        let mut p = SimProcess::replica_only(ProcId(0));
+        p.participate(Box::new(Nop));
+        p.pending = PendingWork::AwaitingViews {
+            seq: 4,
+            views: vec![(ProcId(0), View::new())],
+        };
+        p.record_view(ProcId(1), 4, View::new(), 3);
+        p.record_view(ProcId(1), 4, View::new(), 3);
+        assert!(!p.step_enabled(), "duplicate responder must not fill the quorum");
+        p.record_view(ProcId(2), 4, View::new(), 3);
+        assert!(p.step_enabled());
+    }
+
+    #[test]
+    fn fresh_seq_is_monotone() {
+        let mut p = SimProcess::replica_only(ProcId(0));
+        let a = p.fresh_seq();
+        let b = p.fresh_seq();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,91 @@
+//! The result of one simulated execution.
+
+use crate::trace::Trace;
+use fle_model::{ExecutionMetrics, Outcome, ProcId};
+use std::collections::BTreeMap;
+
+/// Everything the simulator reports about one execution.
+#[derive(Debug, Default)]
+pub struct ExecutionReport {
+    /// Outcome of every participant that returned.
+    pub outcomes: BTreeMap<ProcId, Outcome>,
+    /// Invocation/return intervals (in event counts) per participant, used by
+    /// the linearizability checkers.
+    pub intervals: BTreeMap<ProcId, (u64, Option<u64>)>,
+    /// Complexity counters.
+    pub metrics: ExecutionMetrics,
+    /// Processors crashed by the adversary.
+    pub crashed: Vec<ProcId>,
+    /// Total number of events executed.
+    pub events_executed: u64,
+    /// The execution trace (empty unless recording was enabled).
+    pub trace: Trace,
+}
+
+impl ExecutionReport {
+    /// Outcome of processor `p`, if it returned.
+    pub fn outcome(&self, p: ProcId) -> Option<Outcome> {
+        self.outcomes.get(&p).copied()
+    }
+
+    /// Participants that returned the given outcome.
+    pub fn with_outcome(&self, outcome: Outcome) -> Vec<ProcId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| **o == outcome)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// The winners of a leader election (should be at most one).
+    pub fn winners(&self) -> Vec<ProcId> {
+        self.with_outcome(Outcome::Win)
+    }
+
+    /// The survivors of a sifting phase.
+    pub fn survivors(&self) -> Vec<ProcId> {
+        self.with_outcome(Outcome::Survive)
+    }
+
+    /// The names returned by a renaming execution, keyed by processor.
+    pub fn names(&self) -> BTreeMap<ProcId, usize> {
+        self.outcomes
+            .iter()
+            .filter_map(|(p, o)| match o {
+                Outcome::Name(u) => Some((*p, *u)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total messages sent (the paper's message complexity).
+    pub fn total_messages(&self) -> u64 {
+        self.metrics.total_messages()
+    }
+
+    /// Maximum communicate calls by a single processor (the paper's time
+    /// complexity, Claim 2.1).
+    pub fn max_communicate_calls(&self) -> u64 {
+        self.metrics.max_communicate_calls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let mut report = ExecutionReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Win);
+        report.outcomes.insert(ProcId(1), Outcome::Lose);
+        report.outcomes.insert(ProcId(2), Outcome::Name(3));
+
+        assert_eq!(report.outcome(ProcId(0)), Some(Outcome::Win));
+        assert_eq!(report.outcome(ProcId(9)), None);
+        assert_eq!(report.winners(), vec![ProcId(0)]);
+        assert_eq!(report.with_outcome(Outcome::Lose), vec![ProcId(1)]);
+        assert_eq!(report.names().get(&ProcId(2)), Some(&3));
+        assert!(report.survivors().is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Execution traces, used for determinism tests and debugging.
+
+use crate::message::MessageId;
+use fle_model::{Outcome, ProcId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One executed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A computation step of `proc` was executed.
+    Step {
+        /// The stepping processor.
+        proc: ProcId,
+    },
+    /// Message `id` from `from` was delivered to `to`.
+    Deliver {
+        /// Delivered message.
+        id: MessageId,
+        /// Sender.
+        from: ProcId,
+        /// Recipient.
+        to: ProcId,
+    },
+    /// The adversary crashed `proc`.
+    Crash {
+        /// The crashed processor.
+        proc: ProcId,
+    },
+    /// `proc` returned from its protocol.
+    Return {
+        /// The returning processor.
+        proc: ProcId,
+        /// Its outcome.
+        outcome: Outcome,
+    },
+    /// `proc` flipped a coin with the given outcome.
+    Coin {
+        /// The flipping processor.
+        proc: ProcId,
+        /// The flip outcome.
+        value: bool,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Step { proc } => write!(f, "step {proc}"),
+            TraceEvent::Deliver { id, from, to } => write!(f, "deliver {id} {from}→{to}"),
+            TraceEvent::Crash { proc } => write!(f, "crash {proc}"),
+            TraceEvent::Return { proc, outcome } => write!(f, "return {proc} {outcome}"),
+            TraceEvent::Coin { proc, value } => write!(f, "coin {proc} {}", u8::from(*value)),
+        }
+    }
+}
+
+/// An ordered record of executed events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    recording: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn recording() -> Self {
+        Trace {
+            events: Vec::new(),
+            recording: true,
+        }
+    }
+
+    /// A trace that discards events (but still maintains the digest).
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            recording: false,
+        }
+    }
+
+    /// Record an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.recording {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events (empty if recording is disabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A stable digest of the recorded events (FNV-1a over the display
+    /// forms). Two executions with the same digest and lengths are, for all
+    /// practical purposes, identical.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for event in &self.events {
+            for byte in event.to_string().bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceEvent::Step { proc: ProcId(0) });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn digest_distinguishes_traces() {
+        let mut a = Trace::recording();
+        a.push(TraceEvent::Step { proc: ProcId(0) });
+        a.push(TraceEvent::Coin {
+            proc: ProcId(0),
+            value: true,
+        });
+
+        let mut b = Trace::recording();
+        b.push(TraceEvent::Step { proc: ProcId(0) });
+        b.push(TraceEvent::Coin {
+            proc: ProcId(0),
+            value: false,
+        });
+
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn identical_traces_share_digests() {
+        let build = || {
+            let mut t = Trace::recording();
+            t.push(TraceEvent::Deliver {
+                id: MessageId(3),
+                from: ProcId(1),
+                to: ProcId(2),
+            });
+            t.push(TraceEvent::Return {
+                proc: ProcId(1),
+                outcome: Outcome::Win,
+            });
+            t
+        };
+        assert_eq!(build().digest(), build().digest());
+    }
+}

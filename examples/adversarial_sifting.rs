@@ -1,0 +1,66 @@
+//! The heart of the paper in one table: how many processors survive a single
+//! sifting phase under the strong adversary?
+//!
+//! The plain PoisonPill (Figure 1, bias 1/√n) cannot beat Ω(√n) survivors —
+//! the sequential schedule of Section 3.2 forces that many. The heterogeneous
+//! PoisonPill (Figure 2) keeps the expected survivor count at O(log² n) under
+//! every schedule, which is what makes the O(log* n) election possible.
+//!
+//! Run with `cargo run --release --example adversarial_sifting`.
+
+use fast_leader_election::prelude::*;
+
+fn build_adversary(kind: &str, seed: u64) -> Box<dyn Adversary> {
+    match kind {
+        "random" => Box::new(RandomAdversary::with_seed(seed)),
+        "sequential" => Box::new(SequentialAdversary::new()),
+        "coin-aware" => Box::new(CoinAwareAdversary::with_seed(seed)),
+        other => panic!("unknown adversary kind {other}"),
+    }
+}
+
+fn average_survivors(n: usize, trials: u64, heterogeneous: bool, kind: &str) -> f64 {
+    let total: usize = (0..trials)
+        .map(|seed| {
+            let setup = SiftSetup::all_participate(n).with_seed(seed);
+            let mut adversary = build_adversary(kind, seed);
+            let report = if heterogeneous {
+                run_heterogeneous_poison_pill(&setup, adversary.as_mut())
+            } else {
+                run_poison_pill(&setup, 1.0 / (n as f64).sqrt(), adversary.as_mut())
+            }
+            .expect("the sifting phase terminates");
+            assert!(checks::at_least_one_survivor(&report), "Claim 3.1");
+            report.survivors().len()
+        })
+        .sum();
+    total as f64 / trials as f64
+}
+
+fn main() {
+    let trials = 10;
+    println!("survivors of one sifting phase (average over {trials} trials)\n");
+    println!(
+        "{:>6}  {:>12}  {:>18}  {:>18}  {:>8}  {:>10}",
+        "n", "adversary", "fixed-bias sift", "heterogeneous", "sqrt(n)", "log2(n)^2"
+    );
+    for n in [16usize, 64, 144, 256] {
+        for kind in ["random", "sequential", "coin-aware"] {
+            let plain = average_survivors(n, trials, false, kind);
+            let het = average_survivors(n, trials, true, kind);
+            println!(
+                "{:>6}  {:>12}  {:>18.2}  {:>18.2}  {:>8.2}  {:>10.2}",
+                n,
+                kind,
+                plain,
+                het,
+                (n as f64).sqrt(),
+                (n as f64).log2().powi(2)
+            );
+        }
+    }
+    println!(
+        "\nThe fixed-bias sift tracks sqrt(n) under the sequential and coin-aware schedules,\n\
+         while the heterogeneous sift stays flat - exactly the separation the paper exploits."
+    );
+}

@@ -1,0 +1,37 @@
+//! Quickstart: elect a leader among 32 simulated processors and print the
+//! complexity figures the paper reasons about.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fast_leader_election::prelude::*;
+
+fn main() {
+    let n = 32;
+    let setup = ElectionSetup::all_participate(n).with_seed(2024);
+    let mut adversary = RandomAdversary::with_seed(7);
+
+    let report = run_leader_election(&setup, &mut adversary).expect("the election terminates");
+
+    let winner = report.winners()[0];
+    println!("system size                 : {n} processors");
+    println!("participants                : {n}");
+    println!("elected leader              : {winner}");
+    println!(
+        "time (max communicate calls): {}   [paper: O(log* k), log*({n}) = {}]",
+        report.max_communicate_calls(),
+        log_star(n as u64)
+    );
+    println!(
+        "message complexity          : {}   [paper: O(kn) = O({})]",
+        report.total_messages(),
+        n * n
+    );
+    println!(
+        "losers                      : {}",
+        report.with_outcome(Outcome::Lose).len()
+    );
+
+    assert!(checks::unique_winner(&report));
+    assert!(checks::linearizable_test_and_set(&report));
+    println!("\ncorrectness: unique winner OK, linearizable OK");
+}

@@ -1,0 +1,31 @@
+//! Tight renaming as a service: n clients arrive with large, arbitrary
+//! identifiers and leave with unique names 1..=n (Section 4 of the paper).
+//!
+//! Run with `cargo run --example renaming_service`.
+
+use fast_leader_election::prelude::*;
+
+fn main() {
+    let n = 12;
+    let setup = RenamingSetup::all_participate(n).with_seed(99);
+    let mut adversary = RandomAdversary::with_seed(13);
+
+    let report = run_renaming(&setup, &mut adversary).expect("renaming terminates");
+    assert!(checks::valid_tight_renaming(&report, n, n));
+
+    println!("tight renaming of {n} clients into the namespace 1..={n}\n");
+    println!("{:>10}  {:>6}", "processor", "name");
+    for (proc, name) in report.names() {
+        println!("{proc:>10}  {name:>6}");
+    }
+    println!(
+        "\ntime (max communicate calls): {}   [paper: O(log^2 n) ≈ {:.1}]",
+        report.max_communicate_calls(),
+        (n as f64).log2().powi(2)
+    );
+    println!(
+        "message complexity          : {}   [paper: O(n^2) = {}]",
+        report.total_messages(),
+        n * n
+    );
+}

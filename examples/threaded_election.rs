@@ -1,0 +1,52 @@
+//! The same leader-election protocol, but on real OS threads: one thread per
+//! processor, crossbeam channels as the network, and random per-message
+//! delays as asynchrony.
+//!
+//! Run with `cargo run --example threaded_election`.
+
+use fast_leader_election::prelude::*;
+
+fn main() {
+    let n = 8;
+    let config = RuntimeConfig::new(n)
+        .with_seed(5)
+        .with_max_delay_micros(200);
+
+    let participants = (0..n)
+        .map(|i| {
+            let p = ProcId(i);
+            (p, Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>)
+        })
+        .collect();
+
+    let report = ThreadedRuntime::new(config)
+        .run(participants)
+        .expect("the threaded election completes");
+
+    let winners = report.winners();
+    println!("threaded leader election over {n} OS threads");
+    println!("winner                      : {}", winners[0]);
+    println!(
+        "time (max communicate calls): {}",
+        report.max_communicate_calls()
+    );
+    println!("total messages              : {}", report.total_messages());
+    assert_eq!(winners.len(), 1, "exactly one thread may win");
+
+    // The fault-tolerance story also holds on threads: with an unresponsive
+    // minority the election still terminates.
+    let config = RuntimeConfig::new(5).with_seed(6).with_unresponsive([ProcId(4)]);
+    let participants = (0..4)
+        .map(|i| {
+            let p = ProcId(i);
+            (p, Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>)
+        })
+        .collect();
+    let report = ThreadedRuntime::new(config)
+        .run(participants)
+        .expect("completes despite an unresponsive replica");
+    println!(
+        "\nwith 1 of 5 replicas unresponsive the election still elects {}",
+        report.winners()[0]
+    );
+}
