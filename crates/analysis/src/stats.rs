@@ -54,11 +54,7 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
             / (self.values.len() - 1) as f64;
         var.sqrt()
     }

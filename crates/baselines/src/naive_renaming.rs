@@ -37,7 +37,10 @@ impl RandomOrderRenaming {
     /// # Panics
     /// Panics if `namespace == 0`.
     pub fn new(me: ProcId, namespace: usize) -> Self {
-        assert!(namespace > 0, "the namespace must contain at least one name");
+        assert!(
+            namespace > 0,
+            "the namespace must contain at least one name"
+        );
         RandomOrderRenaming {
             me,
             namespace,
@@ -138,7 +141,12 @@ mod tests {
     use fle_core::checks;
     use fle_sim::{Adversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator};
 
-    fn run_naive(n: usize, k: usize, seed: u64, adversary: &mut dyn Adversary) -> fle_sim::ExecutionReport {
+    fn run_naive(
+        n: usize,
+        k: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+    ) -> fle_sim::ExecutionReport {
         let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
         for i in 0..k {
             sim.add_participant(ProcId(i), Box::new(RandomOrderRenaming::new(ProcId(i), n)));

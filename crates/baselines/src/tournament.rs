@@ -16,9 +16,7 @@
 //! with the adaptive O(log\* k) of the paper's algorithm.
 
 use fle_core::leader_election::{ElectionConfig, LeaderElection};
-use fle_model::{
-    Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
-};
+use fle_model::{Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response};
 
 /// The number of leaves of the tournament bracket: the smallest power of two
 /// that is at least `n` (and at least 2, so there is always a root match).

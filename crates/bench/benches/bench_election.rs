@@ -1,6 +1,11 @@
 //! Wall-clock cost of a full leader election: the paper's O(log* k)
 //! construction vs the Θ(log n) tournament baseline, plus the threaded
 //! runtime. Counterpart of experiment E3.
+//!
+//! Also records `BENCH_baseline.json`: election events/sec at
+//! n ∈ {16, 64, 256} under the incremental scheduler vs the naive
+//! rebuild-per-event scheduler, so perf PRs have a trajectory to compare
+//! against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -40,5 +45,20 @@ fn election(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, election);
+fn scheduler_baseline(_c: &mut Criterion) {
+    // Single-threaded dedicated timing (not criterion-sampled) so the two
+    // engine modes are directly comparable; writes BENCH_baseline.json.
+    let points = fle_bench::baseline::record_default();
+    for p in &points {
+        println!(
+            "baseline n={:<4} incremental {:>12.0} ev/s   naive {:>12.0} ev/s   speedup {:.2}x",
+            p.n,
+            p.incremental_events_per_sec,
+            p.naive_events_per_sec,
+            p.speedup()
+        );
+    }
+}
+
+criterion_group!(benches, election, scheduler_baseline);
 criterion_main!(benches);

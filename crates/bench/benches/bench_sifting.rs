@@ -1,7 +1,11 @@
 //! Wall-clock cost of one sifting phase (plain vs heterogeneous PoisonPill),
-//! the simulator-level counterpart of experiments E1/E2/E8.
+//! the simulator-level counterpart of experiments E1/E2/E8 — plus a direct
+//! incremental-vs-naive scheduler comparison on the sifting workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_core::PoisonPill;
+use fle_model::ProcId;
+use fle_sim::{RandomAdversary, SimConfig, Simulator};
 use std::hint::black_box;
 
 fn sifting(c: &mut Criterion) {
@@ -26,5 +30,43 @@ fn sifting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sifting);
+fn one_sift_with_scheduler(n: usize, seed: u64, naive: bool) -> usize {
+    let mut config = SimConfig::new(n).with_seed(seed);
+    if naive {
+        config = config.with_naive_event_set();
+    }
+    let mut sim = Simulator::new(config);
+    let bias = 1.0 / (n as f64).sqrt();
+    for i in 0..n {
+        sim.add_participant(ProcId(i), Box::new(PoisonPill::with_bias(ProcId(i), bias)));
+    }
+    sim.run(&mut RandomAdversary::with_seed(seed))
+        .expect("sift terminates")
+        .survivors()
+        .len()
+}
+
+fn scheduler_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sifting_scheduler");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(one_sift_with_scheduler(n, seed, false))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_rebuild", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(one_sift_with_scheduler(n, seed, true))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sifting, scheduler_modes);
 criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! The simulator-throughput baseline: incremental vs naive event scheduling.
+//!
+//! Measures full leader elections (all `n` processors participate, fair
+//! random adversary) in events per second under both engine modes:
+//!
+//! * **incremental** — the production scheduler: enabled events served from
+//!   the incrementally maintained indexes (O(log) per event),
+//! * **naive** — [`fle_sim::SimConfig::with_naive_event_set`]: the historical
+//!   rebuild-the-event-list-per-event scheduler (O(n + messages) per event).
+//!
+//! Both modes execute *byte-identical schedules* (asserted here via the event
+//! counts), so the ratio is a pure scheduling-cost measurement. The result is
+//! recorded in `BENCH_baseline.json` so future performance PRs have a
+//! trajectory to compare against.
+
+use crate::json::write_or_warn;
+use fle_core::LeaderElection;
+use fle_model::ProcId;
+use fle_sim::{RandomAdversary, SimConfig, Simulator};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Throughput of both engine modes at one system size.
+#[derive(Debug, Clone)]
+pub struct BaselinePoint {
+    /// System size (all `n` processors participate).
+    pub n: usize,
+    /// Seeds measured.
+    pub trials: u64,
+    /// Total events executed across all trials (identical in both modes).
+    pub events: u64,
+    /// Events per second with the incremental scheduler.
+    pub incremental_events_per_sec: f64,
+    /// Events per second with the naive rebuild-per-event scheduler.
+    pub naive_events_per_sec: f64,
+}
+
+impl BaselinePoint {
+    /// Incremental over naive throughput.
+    pub fn speedup(&self) -> f64 {
+        self.incremental_events_per_sec / self.naive_events_per_sec
+    }
+}
+
+fn run_elections(n: usize, trials: u64, naive: bool) -> (f64, u64) {
+    let mut events = 0u64;
+    let start = Instant::now();
+    for seed in 0..trials {
+        let mut config = SimConfig::new(n).with_seed(seed);
+        if naive {
+            config = config.with_naive_event_set();
+        }
+        let mut sim = Simulator::new(config);
+        for i in 0..n {
+            sim.add_participant(ProcId(i), Box::new(LeaderElection::new(ProcId(i))));
+        }
+        let report = sim
+            .run(&mut RandomAdversary::with_seed(seed))
+            .expect("election terminates");
+        assert_eq!(report.winners().len(), 1);
+        events += report.events_executed;
+    }
+    (start.elapsed().as_secs_f64(), events)
+}
+
+/// Measure both engine modes at each size (single-threaded, for comparable
+/// timings).
+pub fn measure(sizes: &[usize], trials: u64) -> Vec<BaselinePoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let (incremental_secs, events) = run_elections(n, trials, false);
+            let (naive_secs, naive_events) = run_elections(n, trials, true);
+            assert_eq!(
+                events, naive_events,
+                "both engine modes must execute identical schedules"
+            );
+            BaselinePoint {
+                n,
+                trials,
+                events,
+                incremental_events_per_sec: events as f64 / incremental_secs,
+                naive_events_per_sec: events as f64 / naive_secs,
+            }
+        })
+        .collect()
+}
+
+/// Render baseline points as the `BENCH_baseline.json` document.
+pub fn to_json(points: &[BaselinePoint]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"election_events_per_sec\",\n");
+    out.push_str(
+        "  \"workload\": \"full leader election, all n participate, random adversary\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (index, p) in points.iter().enumerate() {
+        let comma = if index + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {}, \"trials\": {}, \"events\": {}, \
+             \"incremental_events_per_sec\": {:.1}, \"naive_events_per_sec\": {:.1}, \
+             \"speedup\": {:.2}}}{comma}",
+            p.n,
+            p.trials,
+            p.events,
+            p.incremental_events_per_sec,
+            p.naive_events_per_sec,
+            p.speedup()
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Measure the standard sizes and write `BENCH_baseline.json` at `path`;
+/// returns the points.
+pub fn record(path: &Path, sizes: &[usize], trials: u64) -> Vec<BaselinePoint> {
+    let points = measure(sizes, trials);
+    write_or_warn(path, &to_json(&points));
+    points
+}
+
+/// The standard baseline: n ∈ {16, 64, 256}, written to the tracked
+/// `BENCH_baseline.json` at the workspace root (resolved relative to this
+/// crate, so it lands in the same place whether invoked via the
+/// `bench_baseline` bin or via `cargo bench`, whose working directory is the
+/// package root).
+pub fn record_default() -> Vec<BaselinePoint> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json");
+    record(&path, &[16, 64, 256], 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_agree_and_incremental_wins_at_scale() {
+        // Small sizes keep the test fast; the full criterion run uses 256.
+        let points = measure(&[16, 48], 2);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.events > 0);
+            assert!(p.incremental_events_per_sec > 0.0);
+            assert!(p.naive_events_per_sec > 0.0);
+        }
+        let json = to_json(&points);
+        assert!(json.contains("\"n\": 16"));
+        assert!(json.contains("speedup"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Record the simulator-throughput baseline: full leader elections at
+//! n ∈ {16, 64, 256} in events/sec, incremental scheduler vs the naive
+//! rebuild-per-event scheduler, written to `BENCH_baseline.json`.
+//!
+//! Run with `cargo run --release -p fle-bench --bin bench_baseline`.
+
+fn main() {
+    println!("election throughput baseline (identical schedules in both modes)\n");
+    let points = fle_bench::baseline::record_default();
+    println!(
+        "{:>6}  {:>10}  {:>22}  {:>22}  {:>8}",
+        "n", "events", "incremental (ev/s)", "naive rebuild (ev/s)", "speedup"
+    );
+    for p in &points {
+        println!(
+            "{:>6}  {:>10}  {:>22.0}  {:>22.0}  {:>7.2}x",
+            p.n,
+            p.events,
+            p.incremental_events_per_sec,
+            p.naive_events_per_sec,
+            p.speedup()
+        );
+    }
+}

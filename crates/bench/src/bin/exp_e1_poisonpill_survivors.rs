@@ -1,8 +1,8 @@
 //! E1 — survivors of the plain PoisonPill phase (Claims 3.1/3.2, Section 3.2).
 fn main() {
-    println!("E1: plain PoisonPill survivors per phase (bias 1/sqrt(n))\n");
-    println!(
-        "{}",
-        fle_bench::e1_poisonpill_survivors(&[16, 32, 64, 128], 5).render()
-    );
+    let title = "E1: plain PoisonPill survivors per phase (bias 1/sqrt(n))";
+    println!("{title}\n");
+    let table = fle_bench::e1_poisonpill_survivors(&[16, 32, 64, 128], 5);
+    println!("{}", table.render());
+    fle_bench::json::write_table_document("E1", title, &table);
 }

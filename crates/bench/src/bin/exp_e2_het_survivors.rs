@@ -1,8 +1,8 @@
 //! E2 — survivors of the Heterogeneous PoisonPill phase (Lemmas 3.6/3.7).
 fn main() {
-    println!("E2: Heterogeneous PoisonPill survivors per phase\n");
-    println!(
-        "{}",
-        fle_bench::e2_het_survivors(&[16, 32, 64, 128], 5).render()
-    );
+    let title = "E2: Heterogeneous PoisonPill survivors per phase";
+    println!("{title}\n");
+    let table = fle_bench::e2_het_survivors(&[16, 32, 64, 128], 5);
+    println!("{}", table.render());
+    fle_bench::json::write_table_document("E2", title, &table);
 }

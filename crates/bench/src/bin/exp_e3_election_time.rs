@@ -1,8 +1,8 @@
 //! E3 — election time: O(log* k) PoisonPill election vs Θ(log n) tournament.
 fn main() {
-    println!("E3: leader election time (max communicate calls per processor)\n");
-    println!(
-        "{}",
-        fle_bench::e3_election_time(&[4, 8, 16, 32, 64], 3).render()
-    );
+    let title = "E3: leader election time (max communicate calls per processor)";
+    println!("{title}\n");
+    let table = fle_bench::e3_election_time(&[4, 8, 16, 32, 64], 3);
+    println!("{}", table.render());
+    fle_bench::json::write_table_document("E3", title, &table);
 }

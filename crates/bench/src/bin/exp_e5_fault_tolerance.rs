@@ -1,8 +1,8 @@
 //! E5 — fault tolerance and linearizability under ⌈n/2⌉−1 crashes.
 fn main() {
-    println!("E5: crash tolerance and linearizability of the election\n");
-    println!(
-        "{}",
-        fle_bench::e5_fault_tolerance(&[5, 9, 17], 10).render()
-    );
+    let title = "E5: crash tolerance and linearizability of the election";
+    println!("{title}\n");
+    let table = fle_bench::e5_fault_tolerance(&[5, 9, 17], 10);
+    println!("{}", table.render());
+    fle_bench::json::write_table_document("E5", title, &table);
 }

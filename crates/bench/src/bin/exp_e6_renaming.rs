@@ -1,5 +1,8 @@
 //! E6 — renaming time and messages: paper's algorithm vs random-order baseline.
 fn main() {
-    println!("E6: tight renaming, paper's algorithm vs random-order baseline\n");
-    println!("{}", fle_bench::e6_renaming(&[4, 8, 16, 24], 3).render());
+    let title = "E6: tight renaming, paper's algorithm vs random-order baseline";
+    println!("{title}\n");
+    let table = fle_bench::e6_renaming(&[4, 8, 16, 24], 3);
+    println!("{}", table.render());
+    fle_bench::json::write_table_document("E6", title, &table);
 }

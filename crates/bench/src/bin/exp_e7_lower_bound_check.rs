@@ -1,8 +1,8 @@
 //! E7 — the Ω(kn) message lower bound (Corollary B.3) as an empirical sanity check.
 fn main() {
-    println!("E7: measured messages vs the kn/16 lower bound\n");
-    println!(
-        "{}",
-        fle_bench::e7_lower_bound_check(&[8, 16, 32, 48], 3).render()
-    );
+    let title = "E7: measured messages vs the kn/16 lower bound";
+    println!("{title}\n");
+    let table = fle_bench::e7_lower_bound_check(&[8, 16, 32, 48], 3);
+    println!("{}", table.render());
+    fle_bench::json::write_table_document("E7", title, &table);
 }

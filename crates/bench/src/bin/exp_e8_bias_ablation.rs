@@ -1,5 +1,8 @@
 //! E8 — ablation: fixed coin biases vs the heterogeneous bias under the strong adversary.
 fn main() {
-    println!("E8: sifting bias ablation under coin-aware and sequential adversaries\n");
-    println!("{}", fle_bench::e8_bias_ablation(&[64, 128], 5).render());
+    let title = "E8: sifting bias ablation under coin-aware and sequential adversaries";
+    println!("{title}\n");
+    let table = fle_bench::e8_bias_ablation(&[64, 128], 5);
+    println!("{}", table.render());
+    fle_bench::json::write_table_document("E8", title, &table);
 }

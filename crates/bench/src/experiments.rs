@@ -1,12 +1,13 @@
 //! The experiment implementations (E1–E8 of DESIGN.md).
 
+use crate::batch::BatchRunner;
 use fle_analysis::{theory, Summary, Table};
 use fle_baselines::{RandomOrderRenaming, TournamentConfig, TournamentTas};
+use fle_core::checks;
 use fle_core::harness::{
     run_heterogeneous_poison_pill, run_leader_election, run_poison_pill, run_renaming,
     ElectionSetup, RenamingSetup, SiftSetup,
 };
-use fle_core::checks;
 use fle_model::ProcId;
 use fle_sim::{
     Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, ObliviousAdversary,
@@ -67,6 +68,7 @@ fn fmt2(value: f64) -> String {
 /// E1 — Claims 3.1/3.2 and Section 3.2: survivors of one plain PoisonPill
 /// phase (bias `1/√n`) under each adversary, against the `√n` curve.
 pub fn e1_poisonpill_survivors(sizes: &[usize], trials: u64) -> Table {
+    let runner = BatchRunner::new();
     let mut table = Table::new([
         "n",
         "adversary",
@@ -77,19 +79,17 @@ pub fn e1_poisonpill_survivors(sizes: &[usize], trials: u64) -> Table {
     ]);
     for &n in sizes {
         for adversary in AdversaryKind::all() {
-            let samples: Vec<f64> = (0..trials)
-                .map(|seed| {
-                    let setup = SiftSetup::all_participate(n).with_seed(seed);
-                    let report = run_poison_pill(
-                        &setup,
-                        1.0 / (n as f64).sqrt(),
-                        adversary.build(seed).as_mut(),
-                    )
-                    .expect("sift terminates");
-                    assert!(checks::at_least_one_survivor(&report), "Claim 3.1 violated");
-                    report.survivors().len() as f64
-                })
-                .collect();
+            let samples = runner.map_seeds(trials, |seed| {
+                let setup = SiftSetup::all_participate(n).with_seed(seed);
+                let report = run_poison_pill(
+                    &setup,
+                    1.0 / (n as f64).sqrt(),
+                    adversary.build(seed).as_mut(),
+                )
+                .expect("sift terminates");
+                assert!(checks::at_least_one_survivor(&report), "Claim 3.1 violated");
+                report.survivors().len() as f64
+            });
             let summary = Summary::of(samples);
             table.add_row([
                 n.to_string(),
@@ -107,6 +107,7 @@ pub fn e1_poisonpill_survivors(sizes: &[usize], trials: u64) -> Table {
 /// E2 — Lemmas 3.6/3.7: survivors of one Heterogeneous PoisonPill phase under
 /// each adversary, against the `log² n` curve (and `√n` for comparison).
 pub fn e2_het_survivors(sizes: &[usize], trials: u64) -> Table {
+    let runner = BatchRunner::new();
     let mut table = Table::new([
         "n",
         "adversary",
@@ -117,16 +118,13 @@ pub fn e2_het_survivors(sizes: &[usize], trials: u64) -> Table {
     ]);
     for &n in sizes {
         for adversary in AdversaryKind::all() {
-            let samples: Vec<f64> = (0..trials)
-                .map(|seed| {
-                    let setup = SiftSetup::all_participate(n).with_seed(seed);
-                    let report =
-                        run_heterogeneous_poison_pill(&setup, adversary.build(seed).as_mut())
-                            .expect("sift terminates");
-                    assert!(checks::at_least_one_survivor(&report), "Claim 3.1 violated");
-                    report.survivors().len() as f64
-                })
-                .collect();
+            let samples = runner.map_seeds(trials, |seed| {
+                let setup = SiftSetup::all_participate(n).with_seed(seed);
+                let report = run_heterogeneous_poison_pill(&setup, adversary.build(seed).as_mut())
+                    .expect("sift terminates");
+                assert!(checks::at_least_one_survivor(&report), "Claim 3.1 violated");
+                report.survivors().len() as f64
+            });
             let summary = Summary::of(samples);
             table.add_row([
                 n.to_string(),
@@ -159,6 +157,7 @@ fn run_tournament_election(
 /// the paper's election versus the tournament baseline, against `log* k` and
 /// `log k`.
 pub fn e3_election_time(sizes: &[usize], trials: u64) -> Table {
+    let runner = BatchRunner::new();
     let mut table = Table::new([
         "k = n",
         "poisonpill max calls (mean)",
@@ -167,7 +166,7 @@ pub fn e3_election_time(sizes: &[usize], trials: u64) -> Table {
         "log2(k)",
     ]);
     for &n in sizes {
-        let ours = Summary::of((0..trials).map(|seed| {
+        let ours = Summary::of(runner.map_seeds(trials, |seed| {
             let setup = ElectionSetup::all_participate(n).with_seed(seed);
             let report = run_leader_election(&setup, RandomAdversary::with_seed(seed).as_adv())
                 .expect("election terminates");
@@ -175,9 +174,8 @@ pub fn e3_election_time(sizes: &[usize], trials: u64) -> Table {
             assert!(checks::someone_won(&report));
             report.max_communicate_calls() as f64
         }));
-        let baseline = Summary::of((0..trials).map(|seed| {
-            let report =
-                run_tournament_election(n, n, seed, &mut RandomAdversary::with_seed(seed));
+        let baseline = Summary::of(runner.map_seeds(trials, |seed| {
+            let report = run_tournament_election(n, n, seed, &mut RandomAdversary::with_seed(seed));
             assert!(checks::unique_winner(&report));
             report.max_communicate_calls() as f64
         }));
@@ -207,6 +205,7 @@ impl<A: Adversary> AsAdv for A {
 /// participants `k` at fixed `n`, for the paper's election and the tournament
 /// baseline, against the `k·n` curve.
 pub fn e4_message_complexity(n: usize, ks: &[usize], trials: u64) -> Table {
+    let runner = BatchRunner::new();
     let mut table = Table::new([
         "n",
         "k",
@@ -215,15 +214,14 @@ pub fn e4_message_complexity(n: usize, ks: &[usize], trials: u64) -> Table {
         "k*n",
     ]);
     for &k in ks {
-        let ours = Summary::of((0..trials).map(|seed| {
+        let ours = Summary::of(runner.map_seeds(trials, |seed| {
             let setup = ElectionSetup::first_k_participate(n, k).with_seed(seed);
             let report = run_leader_election(&setup, RandomAdversary::with_seed(seed).as_adv())
                 .expect("election terminates");
             report.total_messages() as f64
         }));
-        let baseline = Summary::of((0..trials).map(|seed| {
-            let report =
-                run_tournament_election(n, k, seed, &mut RandomAdversary::with_seed(seed));
+        let baseline = Summary::of(runner.map_seeds(trials, |seed| {
+            let report = run_tournament_election(n, k, seed, &mut RandomAdversary::with_seed(seed));
             report.total_messages() as f64
         }));
         table.add_row([
@@ -250,32 +248,28 @@ pub fn e5_fault_tolerance(sizes: &[usize], trials: u64) -> Table {
         "unique winner",
         "linearizable",
     ]);
+    let runner = BatchRunner::new();
     for &n in sizes {
         let budget = n.div_ceil(2).saturating_sub(1);
-        let mut terminated = 0u64;
-        let mut unique = 0u64;
-        let mut linearizable = 0u64;
-        for seed in 0..trials {
+        let verdicts = runner.map_seeds(trials, |seed| {
             // Crash the top `budget` processors at staggered points.
             let mut plan = CrashPlan::none();
             for (index, victim) in (n - budget..n).enumerate() {
                 plan = plan.and_then((index as u64 + 1) * 50, ProcId(victim));
             }
-            let mut adversary =
-                CrashingAdversary::new(RandomAdversary::with_seed(seed), plan);
+            let mut adversary = CrashingAdversary::new(RandomAdversary::with_seed(seed), plan);
             let setup = ElectionSetup::all_participate(n).with_seed(seed);
             let report = run_leader_election(&setup, &mut adversary).expect("election terminates");
             let participants: Vec<ProcId> = (0..n).map(ProcId).collect();
-            if checks::all_correct_returned(&report, &participants) {
-                terminated += 1;
-            }
-            if checks::unique_winner(&report) {
-                unique += 1;
-            }
-            if checks::linearizable_test_and_set(&report) {
-                linearizable += 1;
-            }
-        }
+            (
+                checks::all_correct_returned(&report, &participants),
+                checks::unique_winner(&report),
+                checks::linearizable_test_and_set(&report),
+            )
+        });
+        let terminated = verdicts.iter().filter(|v| v.0).count() as u64;
+        let unique = verdicts.iter().filter(|v| v.1).count() as u64;
+        let linearizable = verdicts.iter().filter(|v| v.2).count() as u64;
         table.add_row([
             n.to_string(),
             budget.to_string(),
@@ -301,12 +295,9 @@ pub fn e6_renaming(sizes: &[usize], trials: u64) -> Table {
         "log2(n)^2",
         "n^2",
     ]);
+    let runner = BatchRunner::new();
     for &n in sizes {
-        let mut ours_calls = Vec::new();
-        let mut ours_msgs = Vec::new();
-        let mut naive_calls = Vec::new();
-        let mut naive_msgs = Vec::new();
-        for seed in 0..trials {
+        let samples = runner.map_seeds(trials, |seed| {
             // The sequential schedule is where the baselines differ most: a
             // late processor that ignores contention information has to try
             // Ω(n) names, while the paper's algorithm only picks among names
@@ -315,8 +306,10 @@ pub fn e6_renaming(sizes: &[usize], trials: u64) -> Table {
             let report = run_renaming(&setup, SequentialAdversary::new().as_adv())
                 .expect("renaming terminates");
             assert!(checks::valid_tight_renaming(&report, n, n));
-            ours_calls.push(report.max_communicate_calls() as f64);
-            ours_msgs.push(report.total_messages() as f64);
+            let ours = (
+                report.max_communicate_calls() as f64,
+                report.total_messages() as f64,
+            );
 
             let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
             for i in 0..n {
@@ -326,9 +319,18 @@ pub fn e6_renaming(sizes: &[usize], trials: u64) -> Table {
                 .run(&mut SequentialAdversary::new())
                 .expect("naive renaming terminates");
             assert!(checks::valid_tight_renaming(&report, n, n));
-            naive_calls.push(report.max_communicate_calls() as f64);
-            naive_msgs.push(report.total_messages() as f64);
-        }
+            (
+                ours,
+                (
+                    report.max_communicate_calls() as f64,
+                    report.total_messages() as f64,
+                ),
+            )
+        });
+        let ours_calls: Vec<f64> = samples.iter().map(|((calls, _), _)| *calls).collect();
+        let ours_msgs: Vec<f64> = samples.iter().map(|((_, msgs), _)| *msgs).collect();
+        let naive_calls: Vec<f64> = samples.iter().map(|(_, (calls, _))| *calls).collect();
+        let naive_msgs: Vec<f64> = samples.iter().map(|(_, (_, msgs))| *msgs).collect();
         table.add_row([
             n.to_string(),
             fmt2(Summary::of(ours_calls).mean()),
@@ -353,14 +355,15 @@ pub fn e7_lower_bound_check(sizes: &[usize], trials: u64) -> Table {
         "lower bound kn/16",
         "kn",
     ]);
+    let runner = BatchRunner::new();
     for &n in sizes {
-        let election = Summary::of((0..trials).map(|seed| {
+        let election = Summary::of(runner.map_seeds(trials, |seed| {
             let setup = ElectionSetup::all_participate(n).with_seed(seed);
             run_leader_election(&setup, RandomAdversary::with_seed(seed).as_adv())
                 .expect("election terminates")
                 .total_messages() as f64
         }));
-        let renaming = Summary::of((0..trials).map(|seed| {
+        let renaming = Summary::of(runner.map_seeds(trials, |seed| {
             let setup = RenamingSetup::all_participate(n).with_seed(seed);
             run_renaming(&setup, RandomAdversary::with_seed(seed).as_adv())
                 .expect("renaming terminates")
@@ -382,6 +385,7 @@ pub fn e7_lower_bound_check(sizes: &[usize], trials: u64) -> Table {
 /// γ ∈ {0.25, 0.5, 0.75} and for the heterogeneous bias, showing why the
 /// heterogeneous rule is needed.
 pub fn e8_bias_ablation(sizes: &[usize], trials: u64) -> Table {
+    let runner = BatchRunner::new();
     let mut table = Table::new([
         "n",
         "bias",
@@ -397,7 +401,7 @@ pub fn e8_bias_ablation(sizes: &[usize], trials: u64) -> Table {
         ];
         for (label, bias) in biases {
             let survivors_under = |kind: AdversaryKind| {
-                Summary::of((0..trials).map(|seed| {
+                Summary::of(runner.map_seeds(trials, |seed| {
                     let setup = SiftSetup::all_participate(n).with_seed(seed);
                     let report = match bias {
                         Some(p) => run_poison_pill(&setup, p, kind.build(seed).as_mut()),
@@ -461,7 +465,11 @@ pub fn bench_one_sift(n: usize, heterogeneous: bool, seed: u64) -> usize {
     let report = if heterogeneous {
         run_heterogeneous_poison_pill(&setup, &mut RandomAdversary::with_seed(seed))
     } else {
-        run_poison_pill(&setup, 1.0 / (n as f64).sqrt(), &mut RandomAdversary::with_seed(seed))
+        run_poison_pill(
+            &setup,
+            1.0 / (n as f64).sqrt(),
+            &mut RandomAdversary::with_seed(seed),
+        )
     }
     .expect("sift terminates");
     report.survivors().len()

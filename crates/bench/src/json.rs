@@ -1,0 +1,93 @@
+//! Hand-rolled JSON emission for machine-readable experiment outputs.
+//!
+//! The workspace builds without registry access, so instead of `serde_json`
+//! this module writes the small, flat documents the experiments need by
+//! hand: `BENCH_<experiment>.json` files carrying a table (header + rows)
+//! plus free-form metadata. See `EXPERIMENTS.md` for the schema.
+
+use fle_analysis::Table;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Escape a string for inclusion in a JSON document.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(cells: &[String]) -> String {
+    let quoted: Vec<String> = cells.iter().map(|c| format!("\"{}\"", escape(c))).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// Render a table plus metadata as a JSON document.
+pub fn table_document(experiment: &str, title: &str, table: &Table) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"{}\",", escape(experiment));
+    let _ = writeln!(out, "  \"title\": \"{}\",", escape(title));
+    let _ = writeln!(out, "  \"header\": {},", string_array(table.header()));
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in table.rows().iter().enumerate() {
+        let comma = if index + 1 < table.rows().len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    {}{comma}", string_array(row));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_<experiment>.json` into the current directory and return its
+/// path. IO failures are reported to stderr, not propagated — a missing
+/// summary file must not abort a long experiment run.
+pub fn write_table_document(experiment: &str, title: &str, table: &Table) -> PathBuf {
+    let path = PathBuf::from(format!("BENCH_{experiment}.json"));
+    write_or_warn(&path, &table_document(experiment, title, table));
+    path
+}
+
+pub(crate) fn write_or_warn(path: &Path, contents: &str) {
+    if let Err(error) = std::fs::write(path, contents) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_are_wellformed_enough() {
+        let mut table = Table::new(["n", "note"]);
+        table.add_row(["16", "has \"quotes\" and\nnewline"]);
+        let doc = table_document("E1", "survivors", &table);
+        assert!(doc.contains("\"experiment\": \"E1\""));
+        assert!(doc.contains("\\\"quotes\\\""));
+        assert!(doc.contains("\\n"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape("tab\there"), "tab\\there");
+    }
+}

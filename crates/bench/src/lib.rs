@@ -18,8 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod batch;
 pub mod experiments;
+pub mod json;
 
+pub use batch::BatchRunner;
 pub use experiments::{
     e1_poisonpill_survivors, e2_het_survivors, e3_election_time, e4_message_complexity,
     e5_fault_tolerance, e6_renaming, e7_lower_bound_check, e8_bias_ablation, AdversaryKind,

@@ -94,9 +94,7 @@ pub fn valid_partial_renaming(report: &ExecutionReport, namespace: usize) -> boo
 
 /// Every processor in `participants` returned some outcome.
 pub fn all_returned(report: &ExecutionReport, participants: &[ProcId]) -> bool {
-    participants
-        .iter()
-        .all(|p| report.outcome(*p).is_some())
+    participants.iter().all(|p| report.outcome(*p).is_some())
 }
 
 /// Every *correct* (non-crashed) processor in `participants` returned.
@@ -123,7 +121,10 @@ mod tests {
 
     #[test]
     fn unique_winner_detects_double_wins() {
-        assert!(unique_winner(&report_with(&[(0, Outcome::Win), (1, Outcome::Lose)])));
+        assert!(unique_winner(&report_with(&[
+            (0, Outcome::Win),
+            (1, Outcome::Lose)
+        ])));
         assert!(!unique_winner(&report_with(&[
             (0, Outcome::Win),
             (1, Outcome::Win)
@@ -176,6 +177,9 @@ mod tests {
         let participants = [ProcId(0), ProcId(1)];
         assert!(!all_returned(&report, &participants));
         assert!(all_correct_returned(&report, &participants));
-        assert!(at_least_one_survivor(&report_with(&[(0, Outcome::Survive)])));
+        assert!(at_least_one_survivor(&report_with(&[(
+            0,
+            Outcome::Survive
+        )])));
     }
 }

@@ -49,10 +49,9 @@ impl Protocol for Doorway {
             }
             Stage::CollectingDoor => {
                 let views = response.expect_views();
-                let closed = views
-                    .responses()
-                    .iter()
-                    .any(|(_, view)| view.get(&Slot::Global).and_then(Value::as_flag) == Some(true));
+                let closed = views.responses().iter().any(|(_, view)| {
+                    view.get(&Slot::Global).and_then(Value::as_flag) == Some(true)
+                });
                 if closed {
                     // Lines 57-58: the door is already closed, lose.
                     self.stage = Stage::Done;

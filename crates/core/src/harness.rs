@@ -192,7 +192,10 @@ mod tests {
         assert_eq!(some.participants.len(), 3);
         assert_eq!(some.seed, 5);
         // k larger than n is clamped.
-        assert_eq!(ElectionSetup::first_k_participate(4, 9).participants.len(), 4);
+        assert_eq!(
+            ElectionSetup::first_k_participate(4, 9).participants.len(),
+            4
+        );
     }
 
     #[test]

@@ -18,12 +18,12 @@
 //! survivors) and Lemma 3.7 (O(log² k) expected high-flip survivors) together
 //! bound the expected survivor count by O(log² k) under any schedule.
 
+#[cfg(test)]
+use fle_model::Slot;
 use fle_model::{
     Action, CollectedViews, ElectionContext, InstanceId, Key, LocalStateView, Outcome, Priority,
     ProcId, Protocol, Response, Status, Value,
 };
-#[cfg(test)]
-use fle_model::Slot;
 use std::collections::BTreeSet;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,7 +216,10 @@ mod tests {
         let b2 = HeterogeneousPoisonPill::bias_for(2);
         assert!((b2 - 2f64.ln() / 2.0).abs() < 1e-12);
         let b100 = HeterogeneousPoisonPill::bias_for(100);
-        assert!(b100 < b2, "bias decreases with the number of observed participants");
+        assert!(
+            b100 < b2,
+            "bias decreases with the number of observed participants"
+        );
         assert!(b100 > 0.0);
     }
 
@@ -342,7 +345,10 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let action = pp.step(Response::Views(CollectedViews::new(vec![(ProcId(0), view)])));
+        let action = pp.step(Response::Views(CollectedViews::new(vec![(
+            ProcId(0),
+            view,
+        )])));
         match action {
             Action::Flip { prob_one } => {
                 assert!((prob_one - HeterogeneousPoisonPill::bias_for(2)).abs() < 1e-12);

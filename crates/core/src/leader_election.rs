@@ -15,9 +15,7 @@
 use crate::doorway::Doorway;
 use crate::het_poison_pill::HeterogeneousPoisonPill;
 use crate::pre_round::PreRound;
-use fle_model::{
-    Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
-};
+use fle_model::{Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response};
 
 /// Configuration of a leader-election participant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

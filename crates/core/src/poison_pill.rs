@@ -185,9 +185,7 @@ impl Protocol for PoisonPill {
 mod tests {
     use super::*;
     use fle_model::{CollectedViews, View};
-    use fle_sim::{
-        CoinAwareAdversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator,
-    };
+    use fle_sim::{CoinAwareAdversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator};
 
     fn run_phase(
         n: usize,
@@ -197,7 +195,10 @@ mod tests {
     ) -> fle_sim::ExecutionReport {
         let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
         for i in 0..n {
-            sim.add_participant(ProcId(i), Box::new(PoisonPill::with_bias(ProcId(i), prob_high)));
+            sim.add_participant(
+                ProcId(i),
+                Box::new(PoisonPill::with_bias(ProcId(i), prob_high)),
+            );
         }
         sim.run(adversary).expect("phase terminates")
     }
@@ -241,7 +242,11 @@ mod tests {
     #[test]
     fn all_high_flips_means_everyone_survives() {
         let report = run_phase(5, 1.0, 1, &mut RandomAdversary::with_seed(8));
-        assert_eq!(report.survivors().len(), 5, "high-priority processors never die");
+        assert_eq!(
+            report.survivors().len(),
+            5,
+            "high-priority processors never die"
+        );
     }
 
     #[test]

@@ -65,10 +65,7 @@ impl Protocol for PreRound {
                 self.stage = Stage::PropagatingRound;
                 // Lines 45-46: record and propagate the own round.
                 Action::Propagate {
-                    entries: vec![(
-                        Key::proc(self.instance, self.me),
-                        Value::Round(self.round),
-                    )],
+                    entries: vec![(Key::proc(self.instance, self.me), Value::Round(self.round))],
                 }
             }
             Stage::PropagatingRound => {

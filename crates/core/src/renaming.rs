@@ -30,7 +30,10 @@ pub struct RenamingConfig {
 impl RenamingConfig {
     /// Tight renaming into `1..=namespace`.
     pub fn new(namespace: usize) -> Self {
-        assert!(namespace > 0, "the namespace must contain at least one name");
+        assert!(
+            namespace > 0,
+            "the namespace must contain at least one name"
+        );
         RenamingConfig { namespace }
     }
 }
@@ -135,8 +138,8 @@ impl Protocol for Renaming {
                 for (_, view) in views.responses() {
                     for (slot, value) in view.iter() {
                         if let (Slot::Name(name), Some(true)) = (slot, value.as_flag()) {
-                            if *name < self.contended.len() {
-                                self.contended[*name] = true;
+                            if name < self.contended.len() {
+                                self.contended[name] = true;
                             }
                         }
                     }
@@ -208,9 +211,11 @@ impl Protocol for Renaming {
                     let sub = election.adversary_view();
                     ("electing", sub.coin, vec![("spot", *spot as i64)])
                 }
-                Stage::PropagatingOwnContention { spot, .. } => {
-                    ("propagating-own-contention", None, vec![("spot", *spot as i64)])
-                }
+                Stage::PropagatingOwnContention { spot, .. } => (
+                    "propagating-own-contention",
+                    None,
+                    vec![("spot", *spot as i64)],
+                ),
                 Stage::Done(_) => ("done", None, Vec::new()),
             };
         details.push(("iterations", i64::from(self.iterations)));
@@ -253,7 +258,12 @@ mod tests {
         Adversary, CoinAwareAdversary, RandomAdversary, SequentialAdversary, SimConfig, Simulator,
     };
 
-    fn run_renaming(n: usize, k: usize, seed: u64, adversary: &mut dyn Adversary) -> fle_sim::ExecutionReport {
+    fn run_renaming(
+        n: usize,
+        k: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+    ) -> fle_sim::ExecutionReport {
         let config = RenamingConfig::new(n);
         let mut sim = Simulator::new(SimConfig::new(n).with_seed(seed));
         for i in 0..k {

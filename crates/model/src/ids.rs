@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn slots_order_consistently() {
-        let mut slots = vec![Slot::Global, Slot::Proc(ProcId(1)), Slot::Name(0)];
+        let mut slots = [Slot::Global, Slot::Proc(ProcId(1)), Slot::Name(0)];
         slots.sort();
         // Ordering is only required to be total and stable.
         assert_eq!(slots.len(), 3);

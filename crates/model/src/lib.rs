@@ -59,6 +59,7 @@ pub mod action;
 pub mod ids;
 pub mod metrics;
 pub mod protocol;
+pub mod store;
 pub mod value;
 pub mod view;
 pub mod wire;
@@ -67,6 +68,7 @@ pub use action::{Action, Outcome, Response};
 pub use ids::{ElectionContext, InstanceId, ProcId, Slot};
 pub use metrics::{ExecutionMetrics, ProcessMetrics};
 pub use protocol::{LocalStateView, Protocol};
+pub use store::ReplicaStore;
 pub use value::{Key, Priority, Status, Value};
 pub use view::{CollectedViews, View};
 pub use wire::WireMessage;

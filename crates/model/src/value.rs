@@ -127,13 +127,13 @@ impl Value {
     /// the replica store must not panic on malformed input).
     pub fn merge(&mut self, other: &Value) {
         match (self, other) {
-            (Value::Status(a), Value::Status(b)) => {
-                // Commit < Resolved; between two Resolved values (which only a
-                // faulty writer could produce with different contents) prefer
-                // the larger one in the derived order for determinism.
-                if b.rank() > a.rank() || (b.rank() == a.rank() && *b > *a) {
-                    *a = b.clone();
-                }
+            // Commit < Resolved; between two Resolved values (which only a
+            // faulty writer could produce with different contents) prefer
+            // the larger one in the derived order for determinism.
+            (Value::Status(a), Value::Status(b))
+                if b.rank() > a.rank() || (b.rank() == a.rank() && *b > *a) =>
+            {
+                *a = b.clone();
             }
             (Value::Round(a), Value::Round(b)) => *a = (*a).max(*b),
             (Value::Flag(a), Value::Flag(b)) => *a = *a || *b,

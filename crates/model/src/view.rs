@@ -1,17 +1,33 @@
 //! Views returned by `communicate(collect, ·)`.
+//!
+//! A view used to be a `BTreeMap<Slot, Value>`; the simulator's hot loop
+//! merges and clones views constantly, so the representation is now a dense,
+//! index-addressed slot array: slots are small integers keyed by processor
+//! (or by name for the renaming algorithm), which makes `get`/`insert` O(1)
+//! array accesses, `merge` a linear sweep without tree rebalancing, and
+//! `clone` a pair of memcpy-style `Vec` clones.
 
 use crate::ids::{ProcId, Slot};
 use crate::value::{Status, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One responder's view of a register array: a mapping from slot to value.
 ///
 /// Slots the responder has never heard about are simply absent (the paper's
-/// `⊥`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// `⊥`). Internally the view keeps one dense array per slot family
+/// ([`Slot::Proc`], [`Slot::Name`]) plus the single [`Slot::Global`] cell;
+/// iteration order is `Proc(0), Proc(1), …, Name(0), Name(1), …, Global`,
+/// which coincides with the derived order of [`Slot`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct View {
-    entries: BTreeMap<Slot, Value>,
+    /// Values of `Slot::Proc(i)`, indexed by `i`.
+    procs: Vec<Option<Value>>,
+    /// Values of `Slot::Name(u)`, indexed by `u`.
+    names: Vec<Option<Value>>,
+    /// Value of `Slot::Global`.
+    global: Option<Value>,
+    /// Number of non-`⊥` entries across all three families.
+    occupied: usize,
 }
 
 impl View {
@@ -22,39 +38,94 @@ impl View {
 
     /// The value of `slot`, or `None` if the responder's view is `⊥` there.
     pub fn get(&self, slot: &Slot) -> Option<&Value> {
-        self.entries.get(slot)
+        match slot {
+            Slot::Proc(p) => self.procs.get(p.index())?.as_ref(),
+            Slot::Name(u) => self.names.get(*u)?.as_ref(),
+            Slot::Global => self.global.as_ref(),
+        }
+    }
+
+    fn cell_mut(&mut self, slot: Slot) -> &mut Option<Value> {
+        match slot {
+            Slot::Proc(p) => {
+                let index = p.index();
+                if index >= self.procs.len() {
+                    self.procs.resize(index + 1, None);
+                }
+                &mut self.procs[index]
+            }
+            Slot::Name(u) => {
+                if u >= self.names.len() {
+                    self.names.resize(u + 1, None);
+                }
+                &mut self.names[u]
+            }
+            Slot::Global => &mut self.global,
+        }
     }
 
     /// Record (merge) `value` into `slot`.
     pub fn insert(&mut self, slot: Slot, value: Value) {
-        self.entries
-            .entry(slot)
-            .and_modify(|existing| existing.merge(&value))
-            .or_insert(value);
+        let cell = self.cell_mut(slot);
+        let newly_occupied = match cell {
+            Some(existing) => {
+                existing.merge(&value);
+                false
+            }
+            empty => {
+                *empty = Some(value);
+                true
+            }
+        };
+        if newly_occupied {
+            self.occupied += 1;
+        }
     }
 
     /// Merge another view into this one slot-by-slot.
     pub fn merge(&mut self, other: &View) {
-        for (slot, value) in &other.entries {
-            self.insert(*slot, value.clone());
+        for (slot, value) in other.iter() {
+            self.insert(slot, value.clone());
         }
     }
 
-    /// Iterate over the non-`⊥` entries.
-    pub fn iter(&self) -> impl Iterator<Item = (&Slot, &Value)> {
-        self.entries.iter()
+    /// Iterate over the non-`⊥` entries in slot order
+    /// (`Proc(0) < … < Name(0) < … < Global`).
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &Value)> {
+        let procs = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| Some((Slot::Proc(ProcId(i)), v.as_ref()?)));
+        let names = self
+            .names
+            .iter()
+            .enumerate()
+            .filter_map(|(u, v)| Some((Slot::Name(u), v.as_ref()?)));
+        let global = self.global.iter().map(|v| (Slot::Global, v));
+        procs.chain(names).chain(global)
     }
 
     /// Number of non-`⊥` entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.occupied
     }
 
     /// Whether every slot of the view is `⊥`.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.occupied == 0
     }
 }
+
+impl PartialEq for View {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing `None` padding differs between views built in different
+        // orders, so compare contents, not representation.
+        self.occupied == other.occupied && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for View {}
 
 impl FromIterator<(Slot, Value)> for View {
     fn from_iter<T: IntoIterator<Item = (Slot, Value)>>(iter: T) -> Self {
@@ -99,7 +170,7 @@ impl CollectedViews {
         let mut slots: Vec<Slot> = self
             .responses
             .iter()
-            .flat_map(|(_, view)| view.iter().map(|(slot, _)| *slot))
+            .flat_map(|(_, view)| view.iter().map(|(slot, _)| slot))
             .collect();
         slots.sort();
         slots.dedup();
@@ -124,7 +195,9 @@ impl CollectedViews {
 
     /// Does any responder report a non-`⊥` value for `slot`?
     pub fn any_view_has(&self, slot: &Slot) -> bool {
-        self.responses.iter().any(|(_, view)| view.get(slot).is_some())
+        self.responses
+            .iter()
+            .any(|(_, view)| view.get(slot).is_some())
     }
 
     /// Does some responder report a value at `slot` satisfying `pred`, while
@@ -168,7 +241,7 @@ impl CollectedViews {
         self.responses
             .iter()
             .flat_map(|(_, view)| view.iter())
-            .filter(|(slot, _)| **slot != Slot::Proc(exclude))
+            .filter(|(slot, _)| *slot != Slot::Proc(exclude))
             .filter_map(|(_, value)| value.as_round())
             .max()
             .unwrap_or(0)
@@ -201,6 +274,43 @@ mod tests {
         view.insert(Slot::Global, Value::Flag(false));
         assert_eq!(view.get(&Slot::Global).unwrap().as_flag(), Some(true));
         assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn view_equality_ignores_capacity_padding() {
+        // Insert a high slot then a low slot; the padded Nones must not make
+        // structurally identical views compare unequal.
+        let mut a = View::new();
+        a.insert(Slot::Proc(ProcId(5)), Value::Flag(true));
+        let mut b = View::new();
+        b.insert(Slot::Proc(ProcId(0)), Value::Flag(true));
+        b.insert(Slot::Proc(ProcId(5)), Value::Flag(true));
+        assert_ne!(a, b);
+        a.insert(Slot::Proc(ProcId(0)), Value::Flag(true));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn view_iteration_is_in_slot_order() {
+        let view: View = [
+            (Slot::Global, Value::Flag(true)),
+            (Slot::Name(2), Value::Flag(true)),
+            (Slot::Proc(ProcId(1)), Value::Round(4)),
+            (Slot::Name(0), Value::Flag(false)),
+        ]
+        .into_iter()
+        .collect();
+        let slots: Vec<Slot> = view.iter().map(|(slot, _)| slot).collect();
+        assert_eq!(
+            slots,
+            vec![
+                Slot::Proc(ProcId(1)),
+                Slot::Name(0),
+                Slot::Name(2),
+                Slot::Global
+            ]
+        );
+        assert_eq!(view.len(), 4);
     }
 
     #[test]

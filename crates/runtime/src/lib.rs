@@ -182,8 +182,7 @@ impl ThreadedRuntime {
             });
         }
 
-        let mut protocols: Vec<Option<Box<dyn Protocol + Send>>> =
-            (0..n).map(|_| None).collect();
+        let mut protocols: Vec<Option<Box<dyn Protocol + Send>>> = (0..n).map(|_| None).collect();
         let mut participant_ids = Vec::new();
         for (proc, protocol) in participants {
             if proc.index() >= n {
@@ -263,10 +262,7 @@ impl ThreadedRuntime {
 ///
 /// # Errors
 /// Propagates [`RuntimeError`] from [`ThreadedRuntime::run`].
-pub fn run_threaded_leader_election(
-    n: usize,
-    seed: u64,
-) -> Result<RuntimeReport, RuntimeError> {
+pub fn run_threaded_leader_election(n: usize, seed: u64) -> Result<RuntimeReport, RuntimeError> {
     let config = RuntimeConfig::new(n).with_seed(seed);
     let participants = (0..n)
         .map(|i| {

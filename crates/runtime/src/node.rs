@@ -4,12 +4,11 @@ use crate::RuntimeConfig;
 use crossbeam_channel::{Receiver, Sender};
 use fle_model::wire::CallSeq;
 use fle_model::{
-    Action, CollectedViews, InstanceId, Key, Outcome, ProcessMetrics, ProcId, Protocol, Response,
-    Value, View, WireMessage,
+    Action, CollectedViews, InstanceId, Key, Outcome, ProcId, ProcessMetrics, Protocol,
+    ReplicaStore, Response, Value, View, WireMessage,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// A message travelling between node threads.
@@ -57,7 +56,7 @@ pub struct NodeRunner {
     inbox: Receiver<Envelope>,
     protocol: Option<Box<dyn Protocol + Send>>,
     done_tx: Sender<ProcId>,
-    replica: BTreeMap<Key, Value>,
+    replica: ReplicaStore,
     rng: ChaCha8Rng,
     metrics: ProcessMetrics,
     next_seq: CallSeq,
@@ -85,7 +84,7 @@ impl NodeRunner {
             inbox,
             protocol,
             done_tx,
-            replica: BTreeMap::new(),
+            replica: ReplicaStore::new(),
             rng,
             metrics: ProcessMetrics::default(),
             next_seq: 0,
@@ -211,7 +210,11 @@ impl NodeRunner {
                 }
             }
             WireMessage::Ack { seq } => {
-                if let Outstanding::Acks { seq: want, received } = &mut self.outstanding {
+                if let Outstanding::Acks {
+                    seq: want,
+                    received,
+                } = &mut self.outstanding
+                {
                     if *want == seq {
                         *received += 1;
                     }
@@ -254,18 +257,11 @@ impl NodeRunner {
     }
 
     fn apply_write(&mut self, key: Key, value: &Value) {
-        self.replica
-            .entry(key)
-            .and_modify(|existing| existing.merge(value))
-            .or_insert_with(|| value.clone());
+        self.replica.apply(key, value);
     }
 
     fn view_of(&self, instance: InstanceId) -> View {
-        self.replica
-            .iter()
-            .filter(|(key, _)| key.instance == instance)
-            .map(|(key, value)| (key.slot, value.clone()))
-            .collect()
+        self.replica.view_of(instance)
     }
 
     fn broadcast(&mut self, message: WireMessage) {

@@ -22,15 +22,22 @@
 //! * [`CrashingAdversary`] — wraps any adversary with a [`CrashPlan`] that
 //!   crashes chosen processors at chosen points of the execution.
 
-use crate::observation::{Decision, EnabledEvent, ProcessPhase, SystemObservation};
+use crate::observation::{Decision, EnabledEvent, EnabledEvents, ProcessPhase, SystemObservation};
 use fle_model::ProcId;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// A scheduling strategy for the strong adaptive adversary.
+///
+/// `enabled` is an indexed view over the engine's incrementally maintained
+/// event set (never empty). Index-picking adversaries should use
+/// [`EnabledEvents::len`] and return `Decision::Schedule(index)` without
+/// iterating; state-inspecting adversaries iterate with
+/// [`EnabledEvents::iter`], which costs time linear in the number of enabled
+/// events.
 pub trait Adversary {
     /// Choose the next event (or a crash). `enabled` is never empty.
-    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision;
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision;
 
     /// Human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
@@ -52,7 +59,11 @@ impl RandomAdversary {
 }
 
 impl Adversary for RandomAdversary {
-    fn decide(&mut self, _observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+    fn decide(
+        &mut self,
+        _observation: &SystemObservation,
+        enabled: &EnabledEvents<'_>,
+    ) -> Decision {
         Decision::Schedule(self.rng.gen_range(0..enabled.len()))
     }
 
@@ -77,7 +88,7 @@ impl ObliviousAdversary {
 }
 
 impl Adversary for ObliviousAdversary {
-    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
         // splitmix64 of (seed, event index): depends only on predetermined data.
         let mut x = self
             .seed
@@ -109,7 +120,7 @@ impl SequentialAdversary {
 }
 
 impl Adversary for SequentialAdversary {
-    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
         // The participant currently being "run to completion": the live
         // participant with the smallest id that still has an enabled event.
         let mut preferred: Option<(usize, usize)> = None; // (proc index, event index)
@@ -163,7 +174,10 @@ impl CoinAwareAdversary {
     fn priority(observation: &SystemObservation, event: &EnabledEvent) -> u8 {
         let advances = event.advances();
         let phase = observation.process(advances).phase;
-        if matches!(phase, ProcessPhase::Finished | ProcessPhase::Crashed | ProcessPhase::Idle) {
+        if matches!(
+            phase,
+            ProcessPhase::Finished | ProcessPhase::Crashed | ProcessPhase::Idle
+        ) {
             return 3;
         }
         match observation.coin_of(advances) {
@@ -179,10 +193,10 @@ impl CoinAwareAdversary {
 }
 
 impl Adversary for CoinAwareAdversary {
-    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
         let best = enabled
             .iter()
-            .map(|event| Self::priority(observation, event))
+            .map(|event| Self::priority(observation, &event))
             .min()
             .unwrap_or(3);
         let candidates: Vec<usize> = enabled
@@ -251,7 +265,7 @@ impl<A: Adversary> CrashingAdversary<A> {
 }
 
 impl<A: Adversary> Adversary for CrashingAdversary<A> {
-    fn decide(&mut self, observation: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
         if self.next < self.plan.scheduled.len() {
             let (after, victim) = self.plan.scheduled[self.next];
             let already_crashed =
@@ -303,12 +317,12 @@ mod tests {
             (ProcessPhase::StepReady, None),
             (ProcessPhase::StepReady, None),
         ]);
-        let enabled = vec![
-            EnabledEvent::Step(ProcId(2)),
-            EnabledEvent::Step(ProcId(1)),
-        ];
+        let enabled = vec![EnabledEvent::Step(ProcId(2)), EnabledEvent::Step(ProcId(1))];
         let mut adversary = SequentialAdversary::new();
-        assert_eq!(adversary.decide(&obs, &enabled), Decision::Schedule(1));
+        assert_eq!(
+            adversary.decide(&obs, &EnabledEvents::from_slice(&enabled)),
+            Decision::Schedule(1)
+        );
         assert_eq!(adversary.name(), "sequential");
     }
 
@@ -326,7 +340,7 @@ mod tests {
         ];
         let mut adversary = CoinAwareAdversary::with_seed(0);
         assert_eq!(
-            adversary.decide(&obs, &enabled),
+            adversary.decide(&obs, &EnabledEvents::from_slice(&enabled)),
             Decision::Schedule(1),
             "the 0-flipper must be scheduled before the 1-flipper and the undecided"
         );
@@ -354,7 +368,10 @@ mod tests {
             },
         ];
         let mut adversary = CoinAwareAdversary::with_seed(1);
-        assert_eq!(adversary.decide(&obs, &enabled), Decision::Schedule(1));
+        assert_eq!(
+            adversary.decide(&obs, &EnabledEvents::from_slice(&enabled)),
+            Decision::Schedule(1)
+        );
     }
 
     #[test]
@@ -367,10 +384,13 @@ mod tests {
             EnabledEvent::Step(ProcId(0)),
         ];
         let mut adversary = ObliviousAdversary::with_seed(9);
-        let a = adversary.decide(&obs_a, &enabled);
+        let a = adversary.decide(&obs_a, &EnabledEvents::from_slice(&enabled));
         let mut adversary = ObliviousAdversary::with_seed(9);
-        let b = adversary.decide(&obs_b, &enabled);
-        assert_eq!(a, b, "the weak adversary's schedule does not depend on coins");
+        let b = adversary.decide(&obs_b, &EnabledEvents::from_slice(&enabled));
+        assert_eq!(
+            a, b,
+            "the weak adversary's schedule does not depend on coins"
+        );
     }
 
     #[test]
@@ -383,10 +403,13 @@ mod tests {
         let enabled = vec![EnabledEvent::Step(ProcId(0))];
         let plan = CrashPlan::immediately([ProcId(2)]);
         let mut adversary = CrashingAdversary::new(RandomAdversary::with_seed(1), plan);
-        assert_eq!(adversary.decide(&obs, &enabled), Decision::Crash(ProcId(2)));
+        assert_eq!(
+            adversary.decide(&obs, &EnabledEvents::from_slice(&enabled)),
+            Decision::Crash(ProcId(2))
+        );
         // Plan exhausted: delegate to the inner adversary.
         assert!(matches!(
-            adversary.decide(&obs, &enabled),
+            adversary.decide(&obs, &EnabledEvents::from_slice(&enabled)),
             Decision::Schedule(_)
         ));
     }
@@ -397,7 +420,7 @@ mod tests {
         let enabled = vec![EnabledEvent::Step(ProcId(0)); 5];
         let mut adversary = RandomAdversary::with_seed(3);
         for _ in 0..100 {
-            match adversary.decide(&obs, &enabled) {
+            match adversary.decide(&obs, &EnabledEvents::from_slice(&enabled)) {
                 Decision::Schedule(i) => assert!(i < enabled.len()),
                 Decision::Crash(_) => panic!("random adversary never crashes"),
             }

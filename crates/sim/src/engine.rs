@@ -1,11 +1,30 @@
 //! The simulation engine: event loop, network, quorum engine and adversary
 //! interface.
+//!
+//! # Per-event cost
+//!
+//! The scheduling hot path is incremental: the engine maintains the set of
+//! enabled events (step-ready processors in an [`IndexedBitSet`], deliverable
+//! messages in an [`OrderedMsgSet`] over a [`MessageSlab`]) as state changes,
+//! so offering the adversary its choices costs O(1) per event plus O(log)
+//! index maintenance — not a scan over all `n` processes and every in-flight
+//! message as in the original implementation. Two reference modes exist for
+//! testing and benchmarking:
+//!
+//! * [`SimConfig::with_naive_event_set`] rebuilds the enabled-event vector
+//!   from scratch before every decision (the historical O(n + messages)
+//!   behaviour). Executions are **byte-identical** to the incremental mode —
+//!   the differential tests and the `BENCH_baseline` speedup measurement rely
+//!   on this.
+//! * [`SimConfig::with_event_set_validation`] asserts before every decision
+//!   that the incremental indexes agree with a brute-force recomputation.
 
 use crate::adversary::Adversary;
 use crate::error::SimError;
-use crate::message::{InFlightMessage, MessageId};
+use crate::event_set::{IndexedBitSet, OrderedMsgSet};
+use crate::message::{InFlightMessage, MessageId, MessageSlab};
 use crate::observation::{
-    Decision, EnabledEvent, ProcessObservation, ProcessPhase, SystemObservation,
+    Decision, EnabledEvent, EnabledEvents, ProcessObservation, ProcessPhase, SystemObservation,
 };
 use crate::process::{PendingWork, SimProcess};
 use crate::report::ExecutionReport;
@@ -30,6 +49,15 @@ pub struct SimConfig {
     pub max_events: u64,
     /// Whether to record the full execution trace.
     pub record_trace: bool,
+    /// Rebuild the enabled-event list from scratch before every decision
+    /// instead of serving it from the incremental indexes. Semantically
+    /// identical (same schedules, same reports); kept as the performance
+    /// baseline and as the reference half of the differential tests.
+    pub naive_event_set: bool,
+    /// Assert before every decision that the incremental enabled-event
+    /// indexes exactly match a brute-force recomputation. For tests; costs
+    /// O(n + messages) per event.
+    pub validate_event_set: bool,
 }
 
 impl SimConfig {
@@ -46,6 +74,8 @@ impl SimConfig {
             seed: 0,
             max_events: default_event_budget(n),
             record_trace: false,
+            naive_event_set: false,
+            validate_event_set: false,
         }
     }
 
@@ -77,6 +107,21 @@ impl SimConfig {
         self
     }
 
+    /// Use the naive rebuild-per-event scheduler (performance baseline).
+    #[must_use]
+    pub fn with_naive_event_set(mut self) -> Self {
+        self.naive_event_set = true;
+        self
+    }
+
+    /// Cross-check the incremental event indexes against brute force before
+    /// every decision.
+    #[must_use]
+    pub fn with_event_set_validation(mut self) -> Self {
+        self.validate_event_set = true;
+        self
+    }
+
     /// Quorum size: `⌊n/2⌋ + 1`.
     pub fn quorum(&self) -> usize {
         self.n / 2 + 1
@@ -100,7 +145,18 @@ fn default_event_budget(n: usize) -> u64 {
 pub struct Simulator {
     config: SimConfig,
     processes: Vec<SimProcess>,
-    in_flight: BTreeMap<MessageId, InFlightMessage>,
+    /// In-flight messages, slot-addressed with a free-list.
+    in_flight: MessageSlab,
+    /// Step-enabled processors, ascending by processor id.
+    enabled_steps: IndexedBitSet,
+    /// Deliverable messages (recipient not crashed), ascending by message id.
+    enabled_msgs: OrderedMsgSet,
+    /// Mirror of the slab keyed by message id; maintained only in naive mode,
+    /// where the per-event rebuild iterates it exactly like the historical
+    /// `BTreeMap<MessageId, InFlightMessage>` scan.
+    naive_index: Option<BTreeMap<MessageId, u32>>,
+    /// Live (registered, not crashed, not returned) participants.
+    live_participants: usize,
     next_message_id: u64,
     events_executed: u64,
     crashes: Vec<ProcId>,
@@ -136,10 +192,15 @@ impl Simulator {
                 })
                 .collect(),
         };
+        let naive_index = config.naive_event_set.then(BTreeMap::new);
         Simulator {
+            enabled_steps: IndexedBitSet::new(config.n),
+            enabled_msgs: OrderedMsgSet::new(),
+            naive_index,
+            live_participants: 0,
             config,
             processes,
-            in_flight: BTreeMap::new(),
+            in_flight: MessageSlab::new(),
             next_message_id: 0,
             events_executed: 0,
             crashes: Vec::new(),
@@ -175,6 +236,7 @@ impl Simulator {
             });
         }
         self.processes[proc.index()].participate(protocol);
+        self.live_participants += 1;
         self.refresh_process_observation(proc);
         Ok(())
     }
@@ -207,51 +269,79 @@ impl Simulator {
     /// * [`SimError::InvalidDecision`] if the adversary returns a decision
     ///   that does not refer to an enabled event.
     pub fn run(&mut self, adversary: &mut dyn Adversary) -> Result<ExecutionReport, SimError> {
-        while self.live_participants_remaining() {
+        while self.live_participants > 0 {
             if self.events_executed >= self.config.max_events {
-                return Err(SimError::EventBudgetExhausted {
-                    budget: self.config.max_events,
-                    unfinished: self
-                        .processes
-                        .iter()
-                        .filter(|p| p.is_live_participant())
-                        .map(|p| p.id)
-                        .collect(),
-                });
+                return Err(self.budget_exhausted());
             }
 
-            let enabled = self.enabled_events();
-            if enabled.is_empty() {
+            // In naive mode the event list is rebuilt from scratch for every
+            // decision — the historical cost profile the benchmarks compare
+            // against. The rebuilt list is identical, element for element, to
+            // the incremental view, so schedules and reports do not change.
+            let snapshot: Option<Vec<EnabledEvent>> =
+                self.config.naive_event_set.then(|| self.naive_snapshot());
+            let enabled_len = match &snapshot {
+                Some(events) => events.len(),
+                None => self.enabled_steps.len() + self.enabled_msgs.len(),
+            };
+
+            if enabled_len == 0 {
                 // Every live participant is blocked on a quorum that can never
                 // form (too many crashes for the remaining replicas). The
                 // model guarantees termination only for t < n/2, so this can
                 // only be reached by misconfiguration; treat it as budget
                 // exhaustion for reporting purposes.
-                return Err(SimError::EventBudgetExhausted {
-                    budget: self.config.max_events,
-                    unfinished: self
-                        .processes
-                        .iter()
-                        .filter(|p| p.is_live_participant())
-                        .map(|p| p.id)
-                        .collect(),
-                });
+                return Err(self.budget_exhausted());
             }
 
             self.refresh_observation_header();
-            let decision = adversary.decide(&self.observation, &enabled);
+
+            if self.config.validate_event_set {
+                self.assert_event_set_matches_brute_force();
+            }
+
+            let decision = {
+                let enabled = match &snapshot {
+                    Some(events) => EnabledEvents::from_slice(events),
+                    None => EnabledEvents::live(
+                        &self.enabled_steps,
+                        &self.enabled_msgs,
+                        &self.in_flight,
+                    ),
+                };
+                adversary.decide(&self.observation, &enabled)
+            };
+
             match decision {
                 Decision::Crash(victim) => {
                     self.crash(victim)?;
                 }
                 Decision::Schedule(index) => {
-                    let event = *enabled.get(index).ok_or_else(|| SimError::InvalidDecision {
-                        reason: format!(
-                            "index {index} out of bounds for {} enabled events",
-                            enabled.len()
-                        ),
-                    })?;
-                    self.execute(event);
+                    let resolved = match &snapshot {
+                        Some(events) => events.get(index).copied().map(|event| {
+                            let slot = match event {
+                                EnabledEvent::Deliver { id, .. } => Some(
+                                    *self
+                                        .naive_index
+                                        .as_ref()
+                                        .expect("naive index exists in naive mode")
+                                        .get(&id)
+                                        .expect("enabled message is in the naive index"),
+                                ),
+                                EnabledEvent::Step(_) => None,
+                            };
+                            (event, slot)
+                        }),
+                        None => self.resolve_live(index),
+                    };
+                    let Some((event, slot)) = resolved else {
+                        return Err(SimError::InvalidDecision {
+                            reason: format!(
+                                "index {index} out of bounds for {enabled_len} enabled events"
+                            ),
+                        });
+                    };
+                    self.execute(event, slot);
                 }
             }
         }
@@ -269,31 +359,112 @@ impl Simulator {
         self.run(adversary).expect("simulation failed")
     }
 
-    fn live_participants_remaining(&self) -> bool {
-        self.processes.iter().any(SimProcess::is_live_participant)
+    /// Whether the incremental enabled-event indexes are maintained: always,
+    /// except in pure naive mode, which keeps only its own id-ordered map so
+    /// the recorded naive-vs-incremental speedup measures the historical cost
+    /// profile without paying for both bookkeeping schemes. Validation mode
+    /// needs the incremental indexes even when naive mode is on.
+    fn maintains_incremental(&self) -> bool {
+        !self.config.naive_event_set || self.config.validate_event_set
     }
 
-    fn enabled_events(&self) -> Vec<EnabledEvent> {
+    fn budget_exhausted(&self) -> SimError {
+        SimError::EventBudgetExhausted {
+            budget: self.config.max_events,
+            unfinished: self
+                .processes
+                .iter()
+                .filter(|p| p.is_live_participant())
+                .map(|p| p.id)
+                .collect(),
+        }
+    }
+
+    /// Resolve an index into the live view: steps (ascending processor id)
+    /// first, then deliveries (ascending message id) with their slab slot.
+    fn resolve_live(&self, index: usize) -> Option<(EnabledEvent, Option<u32>)> {
+        if index < self.enabled_steps.len() {
+            let proc = ProcId(self.enabled_steps.select(index)?);
+            return Some((EnabledEvent::Step(proc), None));
+        }
+        let (_, slot) = self.enabled_msgs.select(index - self.enabled_steps.len())?;
+        let message = self
+            .in_flight
+            .get(slot)
+            .expect("enabled message indexes a live slab slot");
+        Some((message.to_event(), Some(slot)))
+    }
+
+    /// The historical per-event rebuild: scan every processor, then walk the
+    /// id-ordered message index, skipping messages to crashed recipients.
+    fn naive_snapshot(&self) -> Vec<EnabledEvent> {
         let mut events = Vec::new();
         for process in &self.processes {
             if process.step_enabled() {
                 events.push(EnabledEvent::Step(process.id));
             }
         }
-        for message in self.in_flight.values() {
+        let index = self
+            .naive_index
+            .as_ref()
+            .expect("naive index exists in naive mode");
+        for (&id, &slot) in index {
+            let message = self
+                .in_flight
+                .get(slot)
+                .expect("naive index mirrors the slab");
+            debug_assert_eq!(message.id, id);
             // Messages to crashed processors remain deliverable (they are
             // simply ignored on arrival), but there is no point offering them
             // to the adversary: delivering them can never unblock anyone.
             if !self.processes[message.to.index()].crashed {
-                events.push(EnabledEvent::Deliver {
-                    id: message.id,
-                    from: message.from,
-                    to: message.to,
-                    is_request: message.is_request(),
-                });
+                events.push(message.to_event());
             }
         }
         events
+    }
+
+    /// The enabled events as the adversary would see them, materialized.
+    /// In pure naive mode the incremental indexes are not maintained, so the
+    /// list is served from the naive rebuild instead (same contents, same
+    /// order).
+    pub fn enabled_events_vec(&self) -> Vec<EnabledEvent> {
+        if self.maintains_incremental() {
+            EnabledEvents::live(&self.enabled_steps, &self.enabled_msgs, &self.in_flight).to_vec()
+        } else {
+            self.naive_snapshot()
+        }
+    }
+
+    /// The enabled events recomputed from first principles: a full scan of
+    /// all processors and all in-flight messages, ignoring the incremental
+    /// indexes. Reference implementation for the differential tests.
+    pub fn enabled_events_brute_force(&self) -> Vec<EnabledEvent> {
+        let mut events: Vec<EnabledEvent> = self
+            .processes
+            .iter()
+            .filter(|p| p.step_enabled())
+            .map(|p| EnabledEvent::Step(p.id))
+            .collect();
+        let mut deliveries: Vec<&InFlightMessage> = self
+            .in_flight
+            .iter()
+            .map(|(_, message)| message)
+            .filter(|message| !self.processes[message.to.index()].crashed)
+            .collect();
+        deliveries.sort_by_key(|message| message.id);
+        events.extend(deliveries.into_iter().map(InFlightMessage::to_event));
+        events
+    }
+
+    fn assert_event_set_matches_brute_force(&self) {
+        let incremental = self.enabled_events_vec();
+        let brute_force = self.enabled_events_brute_force();
+        assert_eq!(
+            incremental, brute_force,
+            "incremental enabled-event set diverged from brute force after {} events",
+            self.events_executed
+        );
     }
 
     /// Update the scalar fields of the persistent observation. The
@@ -306,10 +477,15 @@ impl Simulator {
             self.config.crash_budget.saturating_sub(self.crashes.len());
     }
 
-    /// Rebuild the observation entry for processor `p`. Called whenever the
-    /// processor steps, receives a delivery, crashes or is registered.
+    /// Rebuild the observation entry for processor `p` and re-sync its
+    /// membership in the step-enabled index. Called whenever the processor
+    /// steps, receives a delivery, crashes or is registered.
     fn refresh_process_observation(&mut self, p: ProcId) {
         let process = &self.processes[p.index()];
+        let step_enabled = process.step_enabled();
+        if self.maintains_incremental() {
+            self.enabled_steps.set(p.index(), step_enabled);
+        }
         let phase = if process.crashed {
             ProcessPhase::Crashed
         } else if !process.participates() {
@@ -348,28 +524,51 @@ impl Simulator {
                 reason: format!("cannot crash non-existent processor {victim}"),
             });
         }
-        let process = &mut self.processes[victim.index()];
-        if process.crashed {
+        if self.processes[victim.index()].crashed {
             return Err(SimError::InvalidDecision {
                 reason: format!("{victim} is already crashed"),
             });
         }
-        process.crashed = true;
+        if self.processes[victim.index()].is_live_participant() {
+            self.live_participants -= 1;
+        }
+        self.processes[victim.index()].crashed = true;
         self.crashes.push(victim);
+        // Deliveries to the victim can never unblock anyone now; retire them
+        // from the enabled set (the messages stay in flight, matching the
+        // historical semantics of filtering them out of every rebuild).
+        if self.maintains_incremental() {
+            let doomed: Vec<u32> = self
+                .enabled_msgs
+                .iter()
+                .filter(|&(_, slot)| {
+                    self.in_flight
+                        .get(slot)
+                        .expect("enabled message indexes a live slab slot")
+                        .to
+                        == victim
+                })
+                .map(|(_, slot)| slot)
+                .collect();
+            for slot in doomed {
+                self.enabled_msgs.remove_slot(slot);
+            }
+        }
         self.report.trace.push(TraceEvent::Crash { proc: victim });
         self.refresh_process_observation(victim);
         Ok(())
     }
 
-    fn execute(&mut self, event: EnabledEvent) {
+    fn execute(&mut self, event: EnabledEvent, slot: Option<u32>) {
         self.events_executed += 1;
         match event {
             EnabledEvent::Step(proc) => {
                 self.execute_step(proc);
                 self.refresh_process_observation(proc);
             }
-            EnabledEvent::Deliver { id, to, .. } => {
-                self.execute_delivery(id);
+            EnabledEvent::Deliver { to, .. } => {
+                let slot = slot.expect("delivery events carry their slab slot");
+                self.execute_delivery(slot);
                 self.refresh_process_observation(to);
             }
         }
@@ -425,6 +624,7 @@ impl Simulator {
                 }
                 let mut acked = std::collections::BTreeSet::new();
                 acked.insert(proc);
+                self.processes[index].call_msgs.clear();
                 self.processes[index].pending = PendingWork::AwaitingAcks { seq, acked };
                 for target in 0..n {
                     if target == index {
@@ -448,6 +648,7 @@ impl Simulator {
                     let metrics = self.report.metrics.proc_mut(proc);
                     metrics.communicate_calls += 1;
                 }
+                self.processes[index].call_msgs.clear();
                 self.processes[index].pending = PendingWork::AwaitingViews {
                     seq,
                     views: vec![(proc, own_view)],
@@ -479,6 +680,7 @@ impl Simulator {
             Action::Return(outcome) => {
                 self.processes[index].pending = PendingWork::Finished(outcome);
                 self.processes[index].finished_at = Some(self.events_executed);
+                self.live_participants -= 1;
                 self.report.outcomes.insert(proc, outcome);
                 if let Some(interval) = self.report.intervals.get_mut(&proc) {
                     interval.1 = Some(self.events_executed);
@@ -517,26 +719,34 @@ impl Simulator {
     /// the caller again, and keeping them around only slows the adversary
     /// down. Semantically this is the adversary delaying them forever, which
     /// the asynchronous model allows.
+    ///
+    /// The caller's `call_msgs` list records exactly the slots its current
+    /// call touched (its outgoing requests plus the replies addressed back to
+    /// it), so this costs O(call size) — not a scan of every in-flight
+    /// message. A listed slot may have been delivered and re-used by an
+    /// unrelated message in the meantime; the sequence-number-and-direction
+    /// check below rejects those, because sequence numbers are scoped to
+    /// their caller.
     fn purge_completed_call(&mut self, caller: ProcId, seq: u64) {
-        // Sequence numbers are scoped to their caller, so only the caller's
-        // own outgoing requests and the replies addressed back to the caller
-        // belong to the completed call. Requests *to* the caller and replies
-        // *from* the caller carry other processors' sequence numbers and must
-        // stay in flight.
-        self.in_flight.retain(|_, message| {
+        let candidates = std::mem::take(&mut self.processes[caller.index()].call_msgs);
+        for slot in candidates {
+            let Some(message) = self.in_flight.get(slot) else {
+                continue;
+            };
             let belongs_to_call = message.payload.seq() == seq
                 && ((message.from == caller && message.is_request())
                     || (message.to == caller && message.is_reply()));
-            !belongs_to_call
-        });
+            if belongs_to_call {
+                self.remove_message(slot);
+            }
+        }
     }
 
     /// Whether `caller` still has the communicate call `seq` outstanding.
     fn call_outstanding(&self, caller: ProcId, seq: u64) -> bool {
         match &self.processes[caller.index()].pending {
-            PendingWork::AwaitingAcks { seq: s, .. } | PendingWork::AwaitingViews { seq: s, .. } => {
-                *s == seq
-            }
+            PendingWork::AwaitingAcks { seq: s, .. }
+            | PendingWork::AwaitingViews { seq: s, .. } => *s == seq,
             _ => false,
         }
     }
@@ -545,24 +755,44 @@ impl Simulator {
         let id = MessageId(self.next_message_id);
         self.next_message_id += 1;
         self.report.metrics.proc_mut(from).messages_sent += 1;
-        self.in_flight.insert(
+        let is_request = payload.is_request();
+        let slot = self.in_flight.insert(InFlightMessage {
             id,
-            InFlightMessage {
-                id,
-                from,
-                to,
-                payload,
-                sent_at: self.events_executed,
-            },
-        );
+            from,
+            to,
+            payload,
+            sent_at: self.events_executed,
+        });
+        // Track the slot under the communicate call it belongs to: requests
+        // under their sender, replies under the caller awaiting them.
+        let call_owner = if is_request { from } else { to };
+        self.processes[call_owner.index()].call_msgs.push(slot);
+        if self.maintains_incremental() && !self.processes[to.index()].crashed {
+            self.enabled_msgs.insert(id, slot);
+        }
+        if let Some(index) = self.naive_index.as_mut() {
+            index.insert(id, slot);
+        }
     }
 
-    fn execute_delivery(&mut self, id: MessageId) {
-        let Some(message) = self.in_flight.remove(&id) else {
+    /// Remove a message from the slab and every index that may reference it.
+    fn remove_message(&mut self, slot: u32) -> Option<InFlightMessage> {
+        let message = self.in_flight.remove(slot)?;
+        if self.maintains_incremental() {
+            self.enabled_msgs.remove_slot(slot);
+        }
+        if let Some(index) = self.naive_index.as_mut() {
+            index.remove(&message.id);
+        }
+        Some(message)
+    }
+
+    fn execute_delivery(&mut self, slot: u32) {
+        let Some(message) = self.remove_message(slot) else {
             return;
         };
         self.report.trace.push(TraceEvent::Deliver {
-            id,
+            id: message.id,
             from: message.from,
             to: message.to,
         });
@@ -713,7 +943,10 @@ mod tests {
         // Two communicate calls: each sends n-1 requests; replicas send back
         // up to n-1 replies each. Self-delivery is free.
         let sent = report.total_messages();
-        assert!(sent >= 2 * (n as u64 - 1), "requests must be counted: {sent}");
+        assert!(
+            sent >= 2 * (n as u64 - 1),
+            "requests must be counted: {sent}"
+        );
         assert!(
             sent <= 4 * (n as u64 - 1),
             "no more than requests + replies may be counted: {sent}"
@@ -728,7 +961,11 @@ mod tests {
 
         struct CrashHappy;
         impl Adversary for CrashHappy {
-            fn decide(&mut self, obs: &SystemObservation, _enabled: &[EnabledEvent]) -> Decision {
+            fn decide(
+                &mut self,
+                obs: &SystemObservation,
+                _enabled: &EnabledEvents<'_>,
+            ) -> Decision {
                 // Keep crashing replicas (never the participant p0) until the
                 // budget runs out.
                 let victim = obs
@@ -777,6 +1014,31 @@ mod tests {
     }
 
     #[test]
+    fn naive_and_incremental_event_sets_agree() {
+        let run = |naive: bool, validate: bool| {
+            let mut config = SimConfig::new(7).with_seed(5).with_trace();
+            if naive {
+                config = config.with_naive_event_set();
+            }
+            if validate {
+                config = config.with_event_set_validation();
+            }
+            let mut sim = Simulator::new(config);
+            for i in 0..7 {
+                sim.add_participant(ProcId(i), Box::new(PropagateCollect::new(ProcId(i))));
+            }
+            sim.run(&mut RandomAdversary::with_seed(23)).unwrap()
+        };
+        let incremental = run(false, true);
+        let naive = run(true, false);
+        assert_eq!(incremental.trace.digest(), naive.trace.digest());
+        assert_eq!(incremental.trace.len(), naive.trace.len());
+        assert_eq!(incremental.total_messages(), naive.total_messages());
+        assert_eq!(incremental.outcomes, naive.outcomes);
+        assert_eq!(incremental.events_executed, naive.events_executed);
+    }
+
+    #[test]
     fn duplicate_registration_is_rejected() {
         let mut sim = Simulator::new(SimConfig::new(2));
         sim.add_participant(ProcId(0), Box::new(PropagateCollect::new(ProcId(0))));
@@ -804,7 +1066,7 @@ mod tests {
             crashed: usize,
         }
         impl Adversary for CrashTwoThenFair {
-            fn decide(&mut self, obs: &SystemObservation, enabled: &[EnabledEvent]) -> Decision {
+            fn decide(&mut self, obs: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
                 if self.crashed < 2 && obs.crash_budget_left > 0 {
                     let victim = ProcId(3 + self.crashed);
                     self.crashed += 1;

@@ -1,0 +1,420 @@
+//! Incrementally maintained enabled-event indexes.
+//!
+//! The engine used to rebuild a `Vec<EnabledEvent>` before every event by
+//! scanning all `n` processes plus every in-flight message — O(events × (n +
+//! messages)) over a run. These two structures maintain the same information
+//! incrementally so each event costs O(log) index maintenance instead:
+//!
+//! * [`IndexedBitSet`] — the step-enabled processors, an order-statistics
+//!   bitset (Fenwick tree) over the fixed universe `0..n`: insert, remove and
+//!   select-the-k-th-smallest are all O(log n).
+//! * [`OrderedMsgSet`] — the deliverable messages ordered by [`MessageId`].
+//!   Message ids are allocated monotonically, so the set is an append-only
+//!   sorted vector with tombstoned removals, a Fenwick tree over positions
+//!   for O(log) rank/select, and amortized O(1) compaction that keeps
+//!   iteration linear in the number of live entries.
+//!
+//! Both expose the *stable order* the adversary API relies on (processors
+//! ascending, then message ids ascending), so `Decision::Schedule(index)`
+//! retains its exact seed semantics.
+
+use crate::message::MessageId;
+
+/// An order-statistics set over the fixed universe `0..n`.
+#[derive(Debug, Clone)]
+pub struct IndexedBitSet {
+    bits: Vec<bool>,
+    /// 1-based Fenwick tree of membership counts.
+    tree: Vec<u32>,
+    len: usize,
+}
+
+impl IndexedBitSet {
+    /// An empty set over `0..n`.
+    pub fn new(n: usize) -> Self {
+        IndexedBitSet {
+            bits: vec![false; n],
+            tree: vec![0; n + 1],
+            len: 0,
+        }
+    }
+
+    /// The universe size the set was built over.
+    pub fn universe(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `index` is a member.
+    pub fn contains(&self, index: usize) -> bool {
+        self.bits.get(index).copied().unwrap_or(false)
+    }
+
+    fn tree_add(&mut self, index: usize, delta: i64) {
+        let mut position = index + 1;
+        while position < self.tree.len() {
+            self.tree[position] = (i64::from(self.tree[position]) + delta) as u32;
+            position += position & position.wrapping_neg();
+        }
+    }
+
+    /// Insert `index`; returns whether it was newly added.
+    pub fn insert(&mut self, index: usize) -> bool {
+        if self.bits[index] {
+            return false;
+        }
+        self.bits[index] = true;
+        self.len += 1;
+        self.tree_add(index, 1);
+        true
+    }
+
+    /// Remove `index`; returns whether it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        if !self.bits[index] {
+            return false;
+        }
+        self.bits[index] = false;
+        self.len -= 1;
+        self.tree_add(index, -1);
+        true
+    }
+
+    /// Set membership of `index` to `member`.
+    pub fn set(&mut self, index: usize, member: bool) {
+        if member {
+            self.insert(index);
+        } else {
+            self.remove(index);
+        }
+    }
+
+    /// The k-th smallest member (0-based), in O(log n).
+    pub fn select(&self, k: usize) -> Option<usize> {
+        if k >= self.len {
+            return None;
+        }
+        let n = self.bits.len();
+        let mut remaining = (k + 1) as u32;
+        let mut position = 0usize;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = position + step;
+            if next <= n && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                position = next;
+            }
+            step >>= 1;
+        }
+        Some(position)
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(index, &bit)| bit.then_some(index))
+    }
+}
+
+/// Sentinel for "slot not present" in [`OrderedMsgSet::entry_of_slot`].
+const ABSENT: u32 = u32::MAX;
+
+/// The deliverable in-flight messages, ordered by ascending [`MessageId`].
+///
+/// Maps each member to its slab slot so the engine can resolve an adversary's
+/// `Schedule(index)` decision into a slab access without any id lookup.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedMsgSet {
+    /// `(message id, slab slot)`, sorted by id. Appends are monotone in id;
+    /// removals tombstone via `alive`.
+    entries: Vec<(u64, u32)>,
+    alive: Vec<bool>,
+    /// 1-based Fenwick tree over `entries` positions counting live entries.
+    tree: Vec<u32>,
+    /// Slab slot → position in `entries` (`ABSENT` when not a member).
+    entry_of_slot: Vec<u32>,
+    live: usize,
+}
+
+impl OrderedMsgSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        OrderedMsgSet::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether slab slot `slot` is a member.
+    pub fn contains_slot(&self, slot: u32) -> bool {
+        self.entry_of_slot
+            .get(slot as usize)
+            .is_some_and(|&position| position != ABSENT)
+    }
+
+    fn tree_add(&mut self, position: usize, delta: i64) {
+        let mut index = position + 1;
+        while index < self.tree.len() {
+            self.tree[index] = (i64::from(self.tree[index]) + delta) as u32;
+            index += index & index.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, count: usize) -> u32 {
+        let mut index = count;
+        let mut sum = 0;
+        while index > 0 {
+            sum += self.tree[index];
+            index -= index & index.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Insert a message; `id` must exceed every id ever inserted.
+    pub fn insert(&mut self, id: MessageId, slot: u32) {
+        debug_assert!(
+            self.entries.last().is_none_or(|&(last, _)| last < id.0),
+            "message ids must be inserted in increasing order"
+        );
+        if self.tree.is_empty() {
+            // 1-based Fenwick tree: index 0 is an unused placeholder.
+            self.tree.push(0);
+        }
+        let position = self.entries.len();
+        self.entries.push((id.0, slot));
+        self.alive.push(true);
+        // Extend the Fenwick tree by one position: the new node covers
+        // (position + 1 - lowbit, position + 1], whose live count is
+        // prefix(position) - prefix(position + 1 - lowbit) plus this entry.
+        let index = position + 1;
+        let lowbit = index & index.wrapping_neg();
+        let covered = self.prefix(position) - self.prefix(index - lowbit);
+        self.tree.push(covered + 1);
+        let slot = slot as usize;
+        if slot >= self.entry_of_slot.len() {
+            self.entry_of_slot.resize(slot + 1, ABSENT);
+        }
+        debug_assert_eq!(self.entry_of_slot[slot], ABSENT, "slot already enabled");
+        self.entry_of_slot[slot] = position as u32;
+        self.live += 1;
+    }
+
+    /// Remove the message occupying slab slot `slot`; returns whether it was
+    /// a member.
+    pub fn remove_slot(&mut self, slot: u32) -> bool {
+        let Some(&position) = self.entry_of_slot.get(slot as usize) else {
+            return false;
+        };
+        if position == ABSENT {
+            return false;
+        }
+        self.entry_of_slot[slot as usize] = ABSENT;
+        self.alive[position as usize] = false;
+        self.tree_add(position as usize, -1);
+        self.live -= 1;
+        self.maybe_compact();
+        true
+    }
+
+    /// The k-th smallest member by id (0-based), in O(log len).
+    pub fn select(&self, k: usize) -> Option<(MessageId, u32)> {
+        if k >= self.live {
+            return None;
+        }
+        let n = self.entries.len();
+        let mut remaining = (k + 1) as u32;
+        let mut position = 0usize;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = position + step;
+            if next <= n && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                position = next;
+            }
+            step >>= 1;
+        }
+        let (id, slot) = self.entries[position];
+        Some((MessageId(id), slot))
+    }
+
+    /// Iterate over members in ascending id order. Linear in the number of
+    /// live entries (amortized, thanks to compaction).
+    pub fn iter(&self) -> impl Iterator<Item = (MessageId, u32)> + '_ {
+        self.entries
+            .iter()
+            .zip(self.alive.iter())
+            .filter_map(|(&(id, slot), &alive)| alive.then_some((MessageId(id), slot)))
+    }
+
+    /// Drop tombstones once they outnumber live entries, keeping iteration
+    /// and memory linear in the live count. Amortized O(1) per removal.
+    fn maybe_compact(&mut self) {
+        if self.entries.len() < 64 || self.live * 2 >= self.entries.len() {
+            return;
+        }
+        let mut write = 0usize;
+        for read in 0..self.entries.len() {
+            if self.alive[read] {
+                self.entries[write] = self.entries[read];
+                self.entry_of_slot[self.entries[write].1 as usize] = write as u32;
+                write += 1;
+            }
+        }
+        self.entries.truncate(write);
+        self.alive.clear();
+        self.alive.resize(write, true);
+        // Rebuild the Fenwick tree over the compacted, all-live entries.
+        self.tree.clear();
+        self.tree.resize(write + 1, 0);
+        for position in 0..write {
+            let mut index = position + 1;
+            while index <= write {
+                self.tree[index] += 1;
+                index += index & index.wrapping_neg();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_select_matches_sorted_members() {
+        let mut set = IndexedBitSet::new(40);
+        for index in [3usize, 7, 8, 21, 39, 0] {
+            assert!(set.insert(index));
+        }
+        assert!(!set.insert(7), "duplicate insert is a no-op");
+        let members: Vec<usize> = set.iter().collect();
+        assert_eq!(members, vec![0, 3, 7, 8, 21, 39]);
+        for (k, &expected) in members.iter().enumerate() {
+            assert_eq!(set.select(k), Some(expected));
+        }
+        assert_eq!(set.select(members.len()), None);
+
+        assert!(set.remove(8));
+        assert!(!set.remove(8));
+        assert_eq!(set.select(2), Some(7));
+        assert_eq!(set.select(3), Some(21));
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn bitset_set_is_idempotent() {
+        let mut set = IndexedBitSet::new(4);
+        set.set(2, true);
+        set.set(2, true);
+        assert_eq!(set.len(), 1);
+        set.set(2, false);
+        set.set(2, false);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn msgset_select_and_iter_stay_id_ordered() {
+        let mut set = OrderedMsgSet::new();
+        for (id, slot) in [(0u64, 5u32), (1, 3), (2, 9), (5, 0), (9, 1)] {
+            set.insert(MessageId(id), slot);
+        }
+        assert!(set.remove_slot(9));
+        assert!(!set.remove_slot(9));
+        assert!(!set.contains_slot(9));
+        assert!(set.contains_slot(3));
+        let members: Vec<(MessageId, u32)> = set.iter().collect();
+        assert_eq!(
+            members,
+            vec![
+                (MessageId(0), 5),
+                (MessageId(1), 3),
+                (MessageId(5), 0),
+                (MessageId(9), 1)
+            ]
+        );
+        for (k, &expected) in members.iter().enumerate() {
+            assert_eq!(set.select(k), Some(expected));
+        }
+        assert_eq!(set.select(4), None);
+    }
+
+    #[test]
+    fn msgset_compaction_preserves_contents() {
+        let mut set = OrderedMsgSet::new();
+        for id in 0..200u64 {
+            set.insert(MessageId(id), id as u32);
+        }
+        // Remove most entries to trigger compaction, slots reused afterwards.
+        for slot in 0..180u32 {
+            assert!(set.remove_slot(slot));
+        }
+        assert_eq!(set.len(), 20);
+        let members: Vec<(MessageId, u32)> = set.iter().collect();
+        assert_eq!(members.len(), 20);
+        assert_eq!(members[0], (MessageId(180), 180));
+        for (k, &expected) in members.iter().enumerate() {
+            assert_eq!(set.select(k), Some(expected));
+        }
+        // Reuse a freed slot with a fresh (larger) id.
+        set.insert(MessageId(500), 0);
+        assert!(set.contains_slot(0));
+        assert_eq!(set.select(20), Some((MessageId(500), 0)));
+    }
+
+    #[test]
+    fn msgset_random_workout_matches_reference() {
+        // Deterministic pseudo-random interleaving of inserts and removals,
+        // cross-checked against a sorted reference vector.
+        let mut set = OrderedMsgSet::new();
+        let mut reference: Vec<(u64, u32)> = Vec::new();
+        let mut next_id = 0u64;
+        let mut free_slots: Vec<u32> = (0..64).collect();
+        let mut state = 0x1234_5678_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let coin = rng() % 3;
+            if coin < 2 && !free_slots.is_empty() {
+                let slot = free_slots.pop().unwrap();
+                set.insert(MessageId(next_id), slot);
+                reference.push((next_id, slot));
+                next_id += 1;
+            } else if !reference.is_empty() {
+                let victim = (rng() % reference.len() as u64) as usize;
+                let (_, slot) = reference.remove(victim);
+                assert!(set.remove_slot(slot));
+                free_slots.push(slot);
+            }
+            assert_eq!(set.len(), reference.len());
+            if !reference.is_empty() {
+                let k = (rng() % reference.len() as u64) as usize;
+                let (id, slot) = reference[k];
+                assert_eq!(set.select(k), Some((MessageId(id), slot)));
+            }
+        }
+        let collected: Vec<(u64, u32)> = set.iter().map(|(id, slot)| (id.0, slot)).collect();
+        assert_eq!(collected, reference);
+    }
+}

@@ -55,6 +55,7 @@
 pub mod adversary;
 pub mod engine;
 pub mod error;
+pub mod event_set;
 pub mod message;
 pub mod observation;
 pub mod process;
@@ -68,7 +69,10 @@ pub use adversary::{
 };
 pub use engine::{SimConfig, Simulator};
 pub use error::SimError;
-pub use message::{InFlightMessage, MessageId};
-pub use observation::{Decision, EnabledEvent, ProcessPhase, ProcessObservation, SystemObservation};
+pub use event_set::{IndexedBitSet, OrderedMsgSet};
+pub use message::{InFlightMessage, MessageId, MessageSlab};
+pub use observation::{
+    Decision, EnabledEvent, EnabledEvents, ProcessObservation, ProcessPhase, SystemObservation,
+};
 pub use report::ExecutionReport;
 pub use trace::{Trace, TraceEvent};

@@ -45,21 +45,125 @@ impl InFlightMessage {
     pub fn is_reply(&self) -> bool {
         self.payload.is_reply()
     }
+
+    /// The adversary-visible delivery event for this message. Single source
+    /// of truth for which message fields adversaries may see.
+    pub fn to_event(&self) -> crate::observation::EnabledEvent {
+        crate::observation::EnabledEvent::Deliver {
+            id: self.id,
+            from: self.from,
+            to: self.to,
+            is_request: self.is_request(),
+        }
+    }
 }
 
 impl fmt::Display for InFlightMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {}→{} {}",
-            self.id, self.from, self.to, self.payload
-        )
+        write!(f, "{} {}→{} {}", self.id, self.from, self.to, self.payload)
+    }
+}
+
+/// The in-flight message store: a slab with a free-list.
+///
+/// Replaces the engine's former `BTreeMap<MessageId, InFlightMessage>`:
+/// insertion reuses freed slots (so memory stays proportional to the peak
+/// number of concurrently in-flight messages), and every access is a direct
+/// array index instead of a tree walk. Slot indices are engine-internal; the
+/// stable, adversary-visible identifier remains the [`MessageId`].
+#[derive(Debug, Default)]
+pub struct MessageSlab {
+    slots: Vec<Option<InFlightMessage>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl MessageSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        MessageSlab::default()
+    }
+
+    /// Number of stored messages.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the slab stores no messages.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of slots ever allocated (live + free).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store a message, reusing a freed slot when one exists.
+    pub fn insert(&mut self, message: InFlightMessage) -> u32 {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            debug_assert!(self.slots[slot as usize].is_none());
+            self.slots[slot as usize] = Some(message);
+            slot
+        } else {
+            self.slots.push(Some(message));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Remove and return the message in `slot`, freeing the slot.
+    pub fn remove(&mut self, slot: u32) -> Option<InFlightMessage> {
+        let message = self.slots.get_mut(slot as usize)?.take()?;
+        self.free.push(slot);
+        self.live -= 1;
+        Some(message)
+    }
+
+    /// The message in `slot`, if the slot is occupied.
+    pub fn get(&self, slot: u32) -> Option<&InFlightMessage> {
+        self.slots.get(slot as usize)?.as_ref()
+    }
+
+    /// Iterate over `(slot, message)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &InFlightMessage)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, entry)| Some((slot as u32, entry.as_ref()?)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn message(id: u64) -> InFlightMessage {
+        InFlightMessage {
+            id: MessageId(id),
+            from: ProcId(0),
+            to: ProcId(1),
+            payload: WireMessage::Ack { seq: id },
+            sent_at: 0,
+        }
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut slab = MessageSlab::new();
+        let a = slab.insert(message(0));
+        let b = slab.insert(message(1));
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a).unwrap().id, MessageId(0));
+        assert_eq!(slab.remove(a), None, "double remove is a no-op");
+        let c = slab.insert(message(2));
+        assert_eq!(c, a, "the freed slot is reused");
+        assert_eq!(slab.capacity(), 2);
+        assert_eq!(slab.get(b).unwrap().id, MessageId(1));
+        let ids: Vec<u64> = slab.iter().map(|(_, m)| m.id.0).collect();
+        assert_eq!(ids, vec![2, 1], "iteration is in slot order");
+    }
 
     #[test]
     fn classification_follows_payload() {

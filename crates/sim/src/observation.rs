@@ -1,6 +1,7 @@
 //! What adversaries see and what they may decide.
 
-use crate::message::MessageId;
+use crate::event_set::{IndexedBitSet, OrderedMsgSet};
+use crate::message::{MessageId, MessageSlab};
 use fle_model::{LocalStateView, ProcId};
 
 /// The lifecycle phase of a processor as visible to the adversary.
@@ -76,6 +77,124 @@ impl EnabledEvent {
     }
 }
 
+/// The enabled events offered to the adversary, in the stable order
+/// *steps by ascending processor id, then deliveries by ascending message
+/// id*.
+///
+/// This is an indexed **view** over the engine's incrementally maintained
+/// event indexes rather than a freshly allocated `Vec`: [`EnabledEvents::len`]
+/// and [`EnabledEvents::get`] are O(1)/O(log) regardless of system size, so
+/// an adversary that picks by index (like [`crate::RandomAdversary`]) costs
+/// the engine no per-event scan at all. Adversaries that want to inspect
+/// every option iterate with [`EnabledEvents::iter`], which is linear in the
+/// number of *enabled* events only.
+#[derive(Debug)]
+pub struct EnabledEvents<'a> {
+    inner: EnabledInner<'a>,
+}
+
+#[derive(Debug)]
+enum EnabledInner<'a> {
+    /// A plain slice: used by unit tests and by the engine's naive
+    /// (rebuild-per-event) reference mode.
+    Slice(&'a [EnabledEvent]),
+    /// Zero-copy view over the engine's live indexes.
+    Live {
+        steps: &'a IndexedBitSet,
+        messages: &'a OrderedMsgSet,
+        slab: &'a MessageSlab,
+    },
+}
+
+impl<'a> EnabledEvents<'a> {
+    /// Wrap an explicit event list (tests, reference mode).
+    pub fn from_slice(events: &'a [EnabledEvent]) -> Self {
+        EnabledEvents {
+            inner: EnabledInner::Slice(events),
+        }
+    }
+
+    /// Wrap the engine's live indexes.
+    pub(crate) fn live(
+        steps: &'a IndexedBitSet,
+        messages: &'a OrderedMsgSet,
+        slab: &'a MessageSlab,
+    ) -> Self {
+        EnabledEvents {
+            inner: EnabledInner::Live {
+                steps,
+                messages,
+                slab,
+            },
+        }
+    }
+
+    /// Number of enabled events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            EnabledInner::Slice(events) => events.len(),
+            EnabledInner::Live {
+                steps, messages, ..
+            } => steps.len() + messages.len(),
+        }
+    }
+
+    /// Whether no event is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The event at `index` in the stable order, if in bounds.
+    pub fn get(&self, index: usize) -> Option<EnabledEvent> {
+        match &self.inner {
+            EnabledInner::Slice(events) => events.get(index).copied(),
+            EnabledInner::Live {
+                steps,
+                messages,
+                slab,
+            } => {
+                if index < steps.len() {
+                    return Some(EnabledEvent::Step(ProcId(steps.select(index)?)));
+                }
+                let (_, slot) = messages.select(index - steps.len())?;
+                let message = slab
+                    .get(slot)
+                    .expect("enabled message indexes a live slab slot");
+                Some(message.to_event())
+            }
+        }
+    }
+
+    /// Iterate over the enabled events in the stable order.
+    pub fn iter(&self) -> impl Iterator<Item = EnabledEvent> + '_ {
+        let (slice, live) = match &self.inner {
+            EnabledInner::Slice(events) => (Some(events.iter().copied()), None),
+            EnabledInner::Live {
+                steps,
+                messages,
+                slab,
+            } => {
+                let step_events = steps.iter().map(|index| EnabledEvent::Step(ProcId(index)));
+                let deliveries = messages.iter().map(move |(_, slot)| {
+                    slab.get(slot)
+                        .expect("enabled message indexes a live slab slot")
+                        .to_event()
+                });
+                (None, Some(step_events.chain(deliveries)))
+            }
+        };
+        slice
+            .into_iter()
+            .flatten()
+            .chain(live.into_iter().flatten())
+    }
+
+    /// Materialize the view (diagnostics and differential tests).
+    pub fn to_vec(&self) -> Vec<EnabledEvent> {
+        self.iter().collect()
+    }
+}
+
 /// Everything the adversary may look at when making a scheduling decision.
 #[derive(Debug, Clone)]
 pub struct SystemObservation {
@@ -108,7 +227,9 @@ impl SystemObservation {
             .filter(|o| {
                 matches!(
                     o.phase,
-                    ProcessPhase::NotStarted | ProcessPhase::StepReady | ProcessPhase::AwaitingQuorum
+                    ProcessPhase::NotStarted
+                        | ProcessPhase::StepReady
+                        | ProcessPhase::AwaitingQuorum
                 )
             })
             .map(|o| o.proc)
@@ -141,7 +262,11 @@ mod tests {
             to: ProcId(2),
             is_request: true,
         };
-        assert_eq!(request.advances(), ProcId(1), "requests advance their sender");
+        assert_eq!(
+            request.advances(),
+            ProcId(1),
+            "requests advance their sender"
+        );
 
         let reply = EnabledEvent::Deliver {
             id: MessageId(1),
@@ -149,7 +274,11 @@ mod tests {
             to: ProcId(1),
             is_request: false,
         };
-        assert_eq!(reply.advances(), ProcId(1), "replies advance their recipient");
+        assert_eq!(
+            reply.advances(),
+            ProcId(1),
+            "replies advance their recipient"
+        );
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct SimProcess {
     pub finished_at: Option<u64>,
     /// Sequence number generator for communicate calls.
     pub next_seq: CallSeq,
+    /// Slab slots of the messages belonging to this processor's *current*
+    /// communicate call: its outgoing requests plus the replies addressed
+    /// back to it. Lets the engine purge a completed call's leftover traffic
+    /// in O(call size) instead of scanning every in-flight message.
+    pub call_msgs: Vec<u32>,
 }
 
 impl std::fmt::Debug for SimProcess {
@@ -81,6 +86,7 @@ impl SimProcess {
             started_at: None,
             finished_at: None,
             next_seq: 0,
+            call_msgs: Vec::new(),
         }
     }
 
@@ -116,9 +122,7 @@ impl SimProcess {
         }
         matches!(
             self.pending,
-            PendingWork::NotStarted
-                | PendingWork::LocalResponse(_)
-                | PendingWork::ResponseReady(_)
+            PendingWork::NotStarted | PendingWork::LocalResponse(_) | PendingWork::ResponseReady(_)
         )
     }
 
@@ -222,7 +226,10 @@ mod tests {
         };
         p.record_view(ProcId(1), 4, View::new(), 3);
         p.record_view(ProcId(1), 4, View::new(), 3);
-        assert!(!p.step_enabled(), "duplicate responder must not fill the quorum");
+        assert!(
+            !p.step_enabled(),
+            "duplicate responder must not fill the quorum"
+        );
         p.record_view(ProcId(2), 4, View::new(), 3);
         assert!(p.step_enabled());
     }

@@ -1,124 +1,8 @@
 //! The per-node replica store backing the `communicate` primitive.
 //!
-//! Every processor — participating or not, returned or not — maintains a view
-//! of every replicated register and answers `propagate` and `collect`
-//! requests for it. Values are merged with the join semantics of
-//! [`fle_model::Value::merge`], so the store is insensitive to message
-//! reordering and duplication.
+//! The store now lives in [`fle_model::store`] so that both execution
+//! backends (this simulator and the threaded runtime) share one dense,
+//! instance-keyed implementation; this module re-exports it under the
+//! historical path.
 
-use fle_model::{InstanceId, Key, Slot, Value, View};
-use std::collections::BTreeMap;
-
-/// A node's local view of all replicated registers.
-#[derive(Debug, Clone, Default)]
-pub struct ReplicaStore {
-    registers: BTreeMap<Key, Value>,
-}
-
-impl ReplicaStore {
-    /// An empty store (every register is `⊥`).
-    pub fn new() -> Self {
-        ReplicaStore::default()
-    }
-
-    /// Merge a propagated write into the store.
-    pub fn apply(&mut self, key: Key, value: &Value) {
-        self.registers
-            .entry(key)
-            .and_modify(|existing| existing.merge(value))
-            .or_insert_with(|| value.clone());
-    }
-
-    /// Merge a batch of propagated writes.
-    pub fn apply_all(&mut self, entries: &[(Key, Value)]) {
-        for (key, value) in entries {
-            self.apply(*key, value);
-        }
-    }
-
-    /// The node's current view of `instance`, as returned in a collect reply.
-    pub fn view_of(&self, instance: InstanceId) -> View {
-        self.registers
-            .range(
-                Key::new(instance, Slot::Proc(fle_model::ProcId(0)))
-                    ..=Key::new(instance, Slot::Global),
-            )
-            .filter(|(key, _)| key.instance == instance)
-            .map(|(key, value)| (key.slot, value.clone()))
-            .collect()
-    }
-
-    /// The value stored for `key`, if any.
-    pub fn get(&self, key: &Key) -> Option<&Value> {
-        self.registers.get(key)
-    }
-
-    /// Number of non-`⊥` registers in the store.
-    pub fn len(&self) -> usize {
-        self.registers.len()
-    }
-
-    /// Whether the store is empty.
-    pub fn is_empty(&self) -> bool {
-        self.registers.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fle_model::{ElectionContext, Priority, ProcId, Status};
-
-    #[test]
-    fn view_of_filters_by_instance() {
-        let mut store = ReplicaStore::new();
-        let status1 = InstanceId::status(ElectionContext::Standalone, 1);
-        let status2 = InstanceId::status(ElectionContext::Standalone, 2);
-        store.apply(
-            Key::proc(status1, ProcId(0)),
-            &Value::Status(Status::Commit),
-        );
-        store.apply(
-            Key::proc(status2, ProcId(1)),
-            &Value::Status(Status::resolved(Priority::High)),
-        );
-        store.apply(Key::global(InstanceId::door(ElectionContext::Standalone)), &Value::Flag(true));
-
-        let view = store.view_of(status1);
-        assert_eq!(view.len(), 1);
-        assert!(view.get(&Slot::Proc(ProcId(0))).is_some());
-        assert!(view.get(&Slot::Proc(ProcId(1))).is_none());
-    }
-
-    #[test]
-    fn apply_merges_rather_than_overwrites() {
-        let mut store = ReplicaStore::new();
-        let door = InstanceId::door(ElectionContext::Standalone);
-        store.apply(Key::global(door), &Value::Flag(true));
-        store.apply(Key::global(door), &Value::Flag(false));
-        assert_eq!(
-            store.get(&Key::global(door)).and_then(Value::as_flag),
-            Some(true),
-            "the sticky doorway bit never reopens"
-        );
-    }
-
-    #[test]
-    fn apply_all_applies_every_entry() {
-        let mut store = ReplicaStore::new();
-        let contended = InstanceId::Contended;
-        let entries: Vec<(Key, Value)> = (0..4)
-            .map(|name| (Key::name(contended, name), Value::Flag(true)))
-            .collect();
-        store.apply_all(&entries);
-        assert_eq!(store.len(), 4);
-        assert_eq!(store.view_of(contended).len(), 4);
-        assert!(!store.is_empty());
-    }
-
-    #[test]
-    fn view_of_unknown_instance_is_empty() {
-        let store = ReplicaStore::new();
-        assert!(store.view_of(InstanceId::Contended).is_empty());
-    }
-}
+pub use fle_model::store::ReplicaStore;

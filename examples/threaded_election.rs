@@ -15,7 +15,10 @@ fn main() {
     let participants = (0..n)
         .map(|i| {
             let p = ProcId(i);
-            (p, Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>)
+            (
+                p,
+                Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>,
+            )
         })
         .collect();
 
@@ -35,11 +38,16 @@ fn main() {
 
     // The fault-tolerance story also holds on threads: with an unresponsive
     // minority the election still terminates.
-    let config = RuntimeConfig::new(5).with_seed(6).with_unresponsive([ProcId(4)]);
+    let config = RuntimeConfig::new(5)
+        .with_seed(6)
+        .with_unresponsive([ProcId(4)]);
     let participants = (0..4)
         .map(|i| {
             let p = ProcId(i);
-            (p, Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>)
+            (
+                p,
+                Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>,
+            )
         })
         .collect();
     let report = ThreadedRuntime::new(config)

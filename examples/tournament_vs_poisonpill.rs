@@ -29,8 +29,12 @@ fn main() {
         "n", "PoisonPill electn", "tournament tree", "log*(n)", "log2(n)"
     );
     for n in [4usize, 8, 16, 32, 64] {
-        let ours: u64 = (0..trials).map(|s| poisonpill_run(n, s).max_communicate_calls()).sum();
-        let tournament: u64 = (0..trials).map(|s| tournament_run(n, s).max_communicate_calls()).sum();
+        let ours: u64 = (0..trials)
+            .map(|s| poisonpill_run(n, s).max_communicate_calls())
+            .sum();
+        let tournament: u64 = (0..trials)
+            .map(|s| tournament_run(n, s).max_communicate_calls())
+            .sum();
         println!(
             "{:>6}  {:>18.1}  {:>18.1}  {:>9}  {:>9.1}",
             n,

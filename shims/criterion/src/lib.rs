@@ -1,0 +1,241 @@
+//! Offline shim for the subset of the `criterion` API this workspace's
+//! benches use: `Criterion::benchmark_group`, `BenchmarkGroup::sample_size` /
+//! `bench_with_input` / `finish`, `BenchmarkId::new`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark is measured with a short calibration phase followed by
+//! `sample_size` timed samples; the median ns/iteration is reported on stdout
+//! and collected so `criterion_main!` can write a machine-readable
+//! `BENCH_criterion_<bench>.json` next to the working directory. This is a
+//! deliberately small stand-in — swap the workspace dependency for the
+//! registry crate to get the full statistical machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function/parameter` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Iterations per second implied by the median.
+    pub iters_per_sec: f64,
+}
+
+/// The benchmark harness root.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Write every recorded measurement as JSON to `path`.
+    pub fn write_json(&self, path: &std::path::Path) {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (index, m) in self.results.iter().enumerate() {
+            let comma = if index + 1 < self.results.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"iters_per_sec\": {:.2}}}{comma}",
+                m.id.replace('"', "'"),
+                m.median_ns,
+                m.iters_per_sec
+            );
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(error) = std::fs::write(path, out) {
+            eprintln!("warning: could not write {}: {error}", path.display());
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function label and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_target: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        let mut per_iter: Vec<f64> = bencher.samples;
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = per_iter
+            .get(per_iter.len() / 2)
+            .copied()
+            .unwrap_or(f64::NAN);
+        let iters_per_sec = if median_ns > 0.0 {
+            1.0e9 / median_ns
+        } else {
+            0.0
+        };
+        println!("bench {full_id:<48} {median_ns:>14.1} ns/iter ({iters_per_sec:>12.1} iter/s)");
+        self.criterion.results.push(Measurement {
+            id: full_id,
+            median_ns,
+            iters_per_sec,
+        });
+        self
+    }
+
+    /// End the group (measurements were already recorded eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_target: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: calibrate a batch size that runs for at least a few
+    /// milliseconds, then record `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: find how many iterations fill ~5 ms.
+        let mut batch: u64 = 1;
+        let batch_budget = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_budget || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Define a function that runs a list of benchmark functions against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a bench binary: run every group, then write the JSON
+/// summary for this bench executable.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            let stem = std::env::current_exe()
+                .ok()
+                .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+                .map(|s| match s.rsplit_once('-') {
+                    // Strip cargo's trailing metadata hash.
+                    Some((base, hash)) if hash.len() == 16
+                        && hash.bytes().all(|b| b.is_ascii_hexdigit()) => base.to_string(),
+                    _ => s,
+                })
+                .unwrap_or_else(|| "bench".to_string());
+            criterion.write_json(std::path::Path::new(&format!("BENCH_criterion_{stem}.json")));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn records_measurements() {
+        let mut c = Criterion::default();
+        trivial(&mut c);
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].id.starts_with("g/f/1"));
+        assert!(c.measurements()[0].median_ns >= 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline shim for the subset of `crossbeam-channel` this workspace uses
+//! (`unbounded`, `Sender::send`, `Receiver::recv`/`try_recv`), implemented
+//! over `std::sync::mpsc`. The runtime crate only ever moves receivers into
+//! their owning node thread, so the std channel's single-consumer restriction
+//! is never observable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// The sending half of an unbounded channel.
+#[derive(Debug)]
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, failing only when every receiver is gone.
+    ///
+    /// # Errors
+    /// Returns [`SendError`] carrying the message back when the channel is
+    /// disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+/// The receiving half of an unbounded channel.
+#[derive(Debug)]
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender is gone.
+    ///
+    /// # Errors
+    /// Returns [`RecvError`] when the channel is disconnected and drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Receive without blocking.
+    ///
+    /// # Errors
+    /// Returns [`TryRecvError`] when the channel is empty or disconnected.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Iterate over messages until the channel disconnects.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.0.iter()
+    }
+}
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

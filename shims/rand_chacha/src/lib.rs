@@ -1,0 +1,156 @@
+//! Offline shim for `rand_chacha`: a real ChaCha8 block cipher in counter
+//! mode behind the [`ChaCha8Rng`] name.
+//!
+//! The workspace only needs a fast, high-quality, *seedable and
+//! deterministic* generator; this implements the genuine ChaCha quarter-round
+//! schedule with 8 double-rounds (the same core as the registry crate,
+//! without claiming bit-compatibility of the seed expansion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS: usize = 16;
+
+/// A ChaCha stream cipher with 8 double-rounds, used as an RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, 256-bit key, 64-bit counter, 64-bit
+    /// stream id.
+    state: [u32; WORDS],
+    /// Current keystream block.
+    block: [u32; WORDS],
+    /// Next unread word of `block`; `WORDS` forces a refill.
+    cursor: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds of column + diagonal quarter-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= WORDS {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let low = u64::from(self.next_word());
+        let high = u64::from(self.next_word());
+        high << 32 | low
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; WORDS];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // counter and stream id start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; WORDS],
+            cursor: WORDS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn stream_is_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64_000 bits total; a fair stream has ~32_000 ones.
+        assert!((30_000..34_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn works_through_the_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let picks: Vec<usize> = (0..64).map(|_| rng.gen_range(0..10usize)).collect();
+        assert!(picks.iter().all(|&p| p < 10));
+        assert!(
+            picks
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 3
+        );
+    }
+}

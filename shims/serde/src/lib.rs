@@ -1,0 +1,17 @@
+//! Offline shim for the subset of `serde` this workspace uses: the
+//! `Serialize` / `Deserialize` *derive positions* on model types. Nothing in
+//! the workspace serializes through serde yet (the bench JSON emitters write
+//! their output by hand), so the traits are markers and the derives are
+//! no-ops. Swapping the workspace dependency back to the registry crate
+//! restores real serialization without source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the derive macros accept the same
+//! positions as the real ones but expand to nothing. The workspace derives
+//! `Serialize`/`Deserialize` on its model types for forward compatibility
+//! (wire formats, snapshots) without currently serializing anything, so
+//! an empty expansion is sufficient and keeps the build registry-free.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

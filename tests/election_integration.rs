@@ -131,8 +131,7 @@ fn simulated_and_threaded_backends_agree_on_correctness() {
     .expect("sim election terminates");
     assert_eq!(sim_report.winners().len(), 1);
 
-    let threaded_report =
-        run_threaded_leader_election(6, 9).expect("threaded election terminates");
+    let threaded_report = run_threaded_leader_election(6, 9).expect("threaded election terminates");
     assert_eq!(threaded_report.winners().len(), 1);
     assert_eq!(threaded_report.outcomes.len(), 6);
 }

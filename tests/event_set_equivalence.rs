@@ -1,0 +1,179 @@
+//! Differential tests for the incremental enabled-event scheduler.
+//!
+//! The simulator maintains its enabled-event set incrementally (see
+//! `fle_sim::event_set`); these tests pin that optimization to the original
+//! semantics in two ways:
+//!
+//! 1. **Per-step differential check** — `with_event_set_validation()` makes
+//!    the engine assert, before *every* adversary decision, that the
+//!    incremental indexes materialize to exactly the same ordered event list
+//!    as a brute-force rescan of all processors and in-flight messages.
+//! 2. **Whole-run equivalence** — the naive rebuild-per-event scheduler
+//!    (`with_naive_event_set()`, the historical implementation's cost
+//!    profile) must produce byte-identical execution reports: same trace
+//!    digest, same outcomes, same metrics, same event counts, for every
+//!    `(seed, adversary)` pair.
+
+use fast_leader_election::prelude::*;
+
+fn adversary_from(kind: u8, seed: u64) -> Box<dyn Adversary> {
+    match kind % 4 {
+        0 => Box::new(RandomAdversary::with_seed(seed)),
+        1 => Box::new(ObliviousAdversary::with_seed(seed)),
+        2 => Box::new(SequentialAdversary::new()),
+        _ => Box::new(CoinAwareAdversary::with_seed(seed)),
+    }
+}
+
+fn run_election(
+    n: usize,
+    seed: u64,
+    kind: u8,
+    configure: impl Fn(SimConfig) -> SimConfig,
+) -> ExecutionReport {
+    let config = configure(SimConfig::new(n).with_seed(seed).with_trace());
+    let mut sim = Simulator::new(config);
+    for i in 0..n {
+        sim.add_participant(ProcId(i), Box::new(LeaderElection::new(ProcId(i))));
+    }
+    let mut adversary = adversary_from(kind, seed ^ 0x5bd1);
+    sim.run(adversary.as_mut()).expect("election terminates")
+}
+
+fn run_renaming_sim(
+    n: usize,
+    seed: u64,
+    kind: u8,
+    configure: impl Fn(SimConfig) -> SimConfig,
+) -> ExecutionReport {
+    let config = configure(SimConfig::new(n).with_seed(seed).with_trace());
+    let mut sim = Simulator::new(config);
+    let renaming_config = RenamingConfig::new(n);
+    for i in 0..n {
+        sim.add_participant(
+            ProcId(i),
+            Box::new(Renaming::new(ProcId(i), renaming_config)),
+        );
+    }
+    let mut adversary = adversary_from(kind, seed ^ 0x5bd1);
+    sim.run(adversary.as_mut()).expect("renaming terminates")
+}
+
+fn run_crashy_election(
+    n: usize,
+    seed: u64,
+    configure: impl Fn(SimConfig) -> SimConfig,
+) -> ExecutionReport {
+    let config = configure(SimConfig::new(n).with_seed(seed).with_trace());
+    let mut sim = Simulator::new(config);
+    for i in 0..n {
+        sim.add_participant(ProcId(i), Box::new(LeaderElection::new(ProcId(i))));
+    }
+    let budget = n.div_ceil(2).saturating_sub(1);
+    let mut plan = CrashPlan::none();
+    for (index, victim) in (n - budget..n).enumerate() {
+        plan = plan.and_then((index as u64 + 1) * 40, ProcId(victim));
+    }
+    let mut adversary = CrashingAdversary::new(RandomAdversary::with_seed(seed), plan);
+    sim.run(&mut adversary).expect("election terminates")
+}
+
+fn assert_reports_identical(a: &ExecutionReport, b: &ExecutionReport, context: &str) {
+    assert_eq!(
+        a.trace.digest(),
+        b.trace.digest(),
+        "trace digest: {context}"
+    );
+    assert_eq!(
+        a.trace.events(),
+        b.trace.events(),
+        "trace events: {context}"
+    );
+    assert_eq!(a.outcomes, b.outcomes, "outcomes: {context}");
+    assert_eq!(a.intervals, b.intervals, "intervals: {context}");
+    assert_eq!(a.metrics, b.metrics, "metrics: {context}");
+    assert_eq!(a.crashed, b.crashed, "crashed list: {context}");
+    assert_eq!(
+        a.events_executed, b.events_executed,
+        "event count: {context}"
+    );
+}
+
+/// The incremental enabled-event set matches a brute-force rebuild at every
+/// single decision point, across system sizes, seeds and all four adversary
+/// families — including executions with crashes.
+#[test]
+fn incremental_event_set_matches_brute_force_at_every_step() {
+    for n in [1usize, 2, 3, 5, 9, 16] {
+        for seed in 0..3u64 {
+            for kind in 0..4u8 {
+                let report = run_election(n, seed, kind, |c| c.with_event_set_validation());
+                assert!(!report.winners().is_empty() || n == 0);
+            }
+        }
+    }
+    for n in [2usize, 4, 6] {
+        for seed in 0..2u64 {
+            run_renaming_sim(n, seed, seed as u8, |c| c.with_event_set_validation());
+        }
+    }
+    for n in [4usize, 7, 10] {
+        for seed in 0..3u64 {
+            run_crashy_election(n, seed, |c| c.with_event_set_validation());
+        }
+    }
+}
+
+/// A fixed `(seed, adversary)` pair yields byte-identical execution reports
+/// under the incremental scheduler and under the naive rebuild-per-event
+/// scheduler (the pre-refactor behaviour).
+#[test]
+fn naive_and_incremental_schedulers_yield_identical_reports() {
+    for n in [1usize, 2, 4, 8, 13] {
+        for seed in 0..3u64 {
+            for kind in 0..4u8 {
+                let incremental = run_election(n, seed, kind, |c| c);
+                let naive = run_election(n, seed, kind, SimConfig::with_naive_event_set);
+                assert_reports_identical(
+                    &incremental,
+                    &naive,
+                    &format!("election n={n} seed={seed} kind={kind}"),
+                );
+            }
+        }
+    }
+    for n in [3usize, 5] {
+        for seed in 0..2u64 {
+            let incremental = run_renaming_sim(n, seed, 0, |c| c);
+            let naive = run_renaming_sim(n, seed, 0, SimConfig::with_naive_event_set);
+            assert_reports_identical(&incremental, &naive, &format!("renaming n={n} seed={seed}"));
+        }
+    }
+    for n in [5usize, 9] {
+        for seed in 0..3u64 {
+            let incremental = run_crashy_election(n, seed, |c| c);
+            let naive = run_crashy_election(n, seed, SimConfig::with_naive_event_set);
+            assert_reports_identical(
+                &incremental,
+                &naive,
+                &format!("crashy election n={n} seed={seed}"),
+            );
+        }
+    }
+}
+
+/// Determinism: running the same configuration twice yields byte-identical
+/// reports (a regression gate for the incremental bookkeeping, whose order
+/// must depend only on the decision sequence).
+#[test]
+fn repeated_runs_are_byte_identical() {
+    for n in [2usize, 6, 11] {
+        for seed in 0..3u64 {
+            for kind in 0..4u8 {
+                let a = run_election(n, seed, kind, |c| c);
+                let b = run_election(n, seed, kind, |c| c);
+                assert_reports_identical(&a, &b, &format!("repeat n={n} seed={seed} kind={kind}"));
+            }
+        }
+    }
+}

@@ -14,8 +14,7 @@ fn renaming_assigns_a_permutation_under_every_adversary() {
             ];
             for mut adversary in adversaries {
                 let setup = RenamingSetup::all_participate(n).with_seed(seed);
-                let report =
-                    run_renaming(&setup, adversary.as_mut()).expect("renaming terminates");
+                let report = run_renaming(&setup, adversary.as_mut()).expect("renaming terminates");
                 assert!(
                     checks::valid_tight_renaming(&report, n, n),
                     "n={n} seed={seed} adversary={} names={:?}",
@@ -37,8 +36,8 @@ fn partial_participation_still_yields_distinct_names() {
         participants: (0..k).map(ProcId).collect(),
         seed: 7,
     };
-    let report = run_renaming(&setup, &mut RandomAdversary::with_seed(7))
-        .expect("renaming terminates");
+    let report =
+        run_renaming(&setup, &mut RandomAdversary::with_seed(7)).expect("renaming terminates");
     assert_eq!(report.names().len(), k);
     assert!(checks::valid_partial_renaming(&report, n));
 }
