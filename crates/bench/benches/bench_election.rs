@@ -51,11 +51,12 @@ fn scheduler_baseline(_c: &mut Criterion) {
     let points = fle_bench::baseline::record_default();
     for p in &points {
         println!(
-            "baseline n={:<4} incremental {:>12.0} ev/s   naive {:>12.0} ev/s   speedup {:.2}x",
+            "baseline n={:<4} production {:>12.0} ev/s   clone payloads {:>12.0} ev/s   naive {:>12} ev/s",
             p.n,
             p.incremental_events_per_sec,
-            p.naive_events_per_sec,
-            p.speedup()
+            p.clone_payload_events_per_sec,
+            p.naive_events_per_sec
+                .map_or("-".to_string(), |v| format!("{v:.0}")),
         );
     }
 }

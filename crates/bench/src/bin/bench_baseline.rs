@@ -1,24 +1,56 @@
 //! Record the simulator-throughput baseline: full leader elections at
-//! n ∈ {16, 64, 256} in events/sec, incremental scheduler vs the naive
-//! rebuild-per-event scheduler, written to `BENCH_baseline.json`.
+//! n ∈ {16, 64, 256, 1024} in events/sec — production engine vs the retained
+//! clone-payload and naive-scheduler reference modes — written to
+//! `BENCH_baseline.json`.
 //!
 //! Run with `cargo run --release -p fle-bench --bin bench_baseline`.
+//!
+//! `--smoke` instead re-measures n = 64 with a single trial and exits
+//! non-zero if events/s regressed more than 3x below the recorded baseline
+//! *and* the same-run production-vs-naive ratio confirms it is a code
+//! regression rather than a slower machine (the CI smoke-perf gate;
+//! generous thresholds, loud not flaky).
 
 fn main() {
-    println!("election throughput baseline (identical schedules in both modes)\n");
+    if std::env::args().any(|arg| arg == "--smoke") {
+        match fle_bench::baseline::smoke_check() {
+            Ok((measured, recorded)) => {
+                println!(
+                    "smoke-perf OK: n=64 measured {measured:.0} events/s \
+                     (recorded baseline {recorded:.0})"
+                );
+            }
+            Err(message) => {
+                eprintln!("smoke-perf FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("election throughput baseline (identical schedules in every mode)\n");
     let points = fle_bench::baseline::record_default();
     println!(
-        "{:>6}  {:>10}  {:>22}  {:>22}  {:>8}",
-        "n", "events", "incremental (ev/s)", "naive rebuild (ev/s)", "speedup"
+        "{:>6} {:>9} {:>18} {:>22} {:>14} {:>9} {:>9}",
+        "n",
+        "events",
+        "production (ev/s)",
+        "clone payloads (ev/s)",
+        "naive (ev/s)",
+        "payload",
+        "total"
     );
     for p in &points {
         println!(
-            "{:>6}  {:>10}  {:>22.0}  {:>22.0}  {:>7.2}x",
+            "{:>6} {:>9} {:>18.0} {:>22.0} {:>14} {:>8.2}x {:>9}",
             p.n,
             p.events,
             p.incremental_events_per_sec,
-            p.naive_events_per_sec,
-            p.speedup()
+            p.clone_payload_events_per_sec,
+            p.naive_events_per_sec
+                .map_or("-".to_string(), |v| format!("{v:.0}")),
+            p.payload_speedup(),
+            p.speedup().map_or("-".to_string(), |v| format!("{v:.2}x")),
         );
     }
 }

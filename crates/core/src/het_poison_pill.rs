@@ -24,7 +24,6 @@ use fle_model::{
     Action, CollectedViews, ElectionContext, InstanceId, Key, LocalStateView, Outcome, Priority,
     ProcId, Protocol, Response, Status, Value,
 };
-use std::collections::BTreeSet;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Stage {
@@ -85,22 +84,37 @@ impl HeterogeneousPoisonPill {
     /// The death rule of Figure 2, lines 26–29: build `L` as the union of all
     /// observed `ℓ` lists and all directly observed participants, and die if
     /// some member of `L` is never reported with low priority.
+    ///
+    /// One pass over every view entry, accumulating `L` and the "reported
+    /// low" set as bitmaps. The heterogeneous lists can carry up to `k`
+    /// processors each, so the historical per-element `BTreeSet` insertion
+    /// (O(quorum × slots × |ℓ| · log)) dominated the sifting step at large
+    /// `n`; the bitmap union is a constant-time mark per element.
     fn should_die(views: &CollectedViews) -> bool {
-        let mut l_set: BTreeSet<ProcId> = views.observed_procs().into_iter().collect();
+        let mut l_set = fle_model::BitRow::new();
+        let mut low = fle_model::BitRow::new();
         for (_, view) in views.responses() {
-            for (_, value) in view.iter() {
-                if let Some(status) = value.as_status() {
-                    l_set.extend(status.list().iter().copied());
+            view.for_each(|slot, value| {
+                if let fle_model::Slot::Proc(j) = slot {
+                    l_set.set(j.index());
+                    if value
+                        .as_status()
+                        .is_some_and(|s| s.priority() == Some(Priority::Low))
+                    {
+                        low.set(j.index());
+                    }
                 }
-            }
+                if let Some(status) = value.as_status() {
+                    for member in status.list() {
+                        l_set.set(member.index());
+                    }
+                }
+            });
         }
-        l_set.into_iter().any(|j| {
-            let reported_low = views
-                .statuses_of(j)
-                .iter()
-                .any(|status| status.priority() == Some(Priority::Low));
-            !reported_low
-        })
+        // Bound to a local because the iterator temporary in tail position
+        // would otherwise outlive the bitmaps it borrows (E0597).
+        let dies = l_set.iter().any(|j| !low.contains(j));
+        dies
     }
 }
 

@@ -94,21 +94,33 @@ impl PoisonPill {
 
     /// The death rule of Figure 1, line 10: some processor `j` is seen as
     /// `Commit` or `High-Pri` in some view and as `Low-Pri` in none.
+    ///
+    /// One pass over every view entry, accumulating per-processor "seen
+    /// committed-or-high" and "seen low" bitmaps — equivalent to probing
+    /// `exists_without` for every observed processor, but O(quorum × entries)
+    /// instead of O(observed × quorum) slot probes.
     fn should_die(views: &fle_model::CollectedViews) -> bool {
-        views.observed_procs().into_iter().any(|j| {
-            views.exists_without(
-                &Slot::Proc(j),
-                |v| {
-                    v.as_status().is_some_and(|s| {
-                        matches!(s, Status::Commit) || s.priority() == Some(Priority::High)
-                    })
-                },
-                |v| {
-                    v.as_status()
-                        .is_some_and(|s| s.priority() == Some(Priority::Low))
-                },
-            )
-        })
+        let mut committed_or_high = fle_model::BitRow::new();
+        let mut low = fle_model::BitRow::new();
+        for (_, view) in views.responses() {
+            view.for_each(|slot, value| {
+                let (Slot::Proc(j), Some(status)) = (slot, value.as_status()) else {
+                    return;
+                };
+                match status.priority() {
+                    None | Some(Priority::High) => {
+                        committed_or_high.set(j.index());
+                    }
+                    Some(Priority::Low) => {
+                        low.set(j.index());
+                    }
+                }
+            });
+        }
+        // Bound to a local because the iterator temporary in tail position
+        // would otherwise outlive the bitmaps it borrows (E0597).
+        let dies = committed_or_high.iter().any(|j| !low.contains(j));
+        dies
     }
 }
 

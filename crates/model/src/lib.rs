@@ -68,7 +68,7 @@ pub use action::{Action, Outcome, Response};
 pub use ids::{ElectionContext, InstanceId, ProcId, Slot};
 pub use metrics::{ExecutionMetrics, ProcessMetrics};
 pub use protocol::{LocalStateView, Protocol};
-pub use store::ReplicaStore;
-pub use value::{Key, Priority, Status, Value};
-pub use view::{CollectedViews, View};
-pub use wire::WireMessage;
+pub use store::{CollectCache, ReplicaStore};
+pub use value::{Key, Priority, ProcSet, Status, Value};
+pub use view::{BitRow, CollectedViews, View};
+pub use wire::{ViewTransfer, WireMessage};

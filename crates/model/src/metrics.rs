@@ -12,7 +12,6 @@
 
 use crate::ids::ProcId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Complexity counters for one processor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,12 +34,23 @@ impl ProcessMetrics {
         self.communicate_calls += other.communicate_calls;
         self.coin_flips += other.coin_flips;
     }
+
+    /// Whether any counter has been touched.
+    fn is_active(&self) -> bool {
+        *self != ProcessMetrics::default()
+    }
 }
 
 /// Complexity counters for one execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Stored as a dense vector indexed by processor — the counters are bumped on
+/// every single message send and delivery, so access must be an array index,
+/// not a tree walk. Processors that never recorded any activity are invisible
+/// to the accessors (and to equality), exactly as when the storage was a map
+/// keyed by active processors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ExecutionMetrics {
-    per_process: BTreeMap<ProcId, ProcessMetrics>,
+    per_process: Vec<ProcessMetrics>,
 }
 
 impl ExecutionMetrics {
@@ -51,29 +61,33 @@ impl ExecutionMetrics {
 
     /// Mutable access to the counters of `p`, creating them if absent.
     pub fn proc_mut(&mut self, p: ProcId) -> &mut ProcessMetrics {
-        self.per_process.entry(p).or_default()
+        if p.index() >= self.per_process.len() {
+            self.per_process
+                .resize(p.index() + 1, ProcessMetrics::default());
+        }
+        &mut self.per_process[p.index()]
     }
 
     /// The counters of `p`, if any activity was recorded for it.
     pub fn proc(&self, p: ProcId) -> Option<&ProcessMetrics> {
-        self.per_process.get(&p)
+        self.per_process.get(p.index()).filter(|m| m.is_active())
     }
 
     /// Total messages sent by all processors (the paper's message complexity).
     pub fn total_messages(&self) -> u64 {
-        self.per_process.values().map(|m| m.messages_sent).sum()
+        self.per_process.iter().map(|m| m.messages_sent).sum()
     }
 
     /// Total `communicate` calls across all processors.
     pub fn total_communicate_calls(&self) -> u64 {
-        self.per_process.values().map(|m| m.communicate_calls).sum()
+        self.per_process.iter().map(|m| m.communicate_calls).sum()
     }
 
     /// Maximum `communicate` calls by any single processor — the paper's time
     /// complexity measure (Claim 2.1).
     pub fn max_communicate_calls(&self) -> u64 {
         self.per_process
-            .values()
+            .iter()
             .map(|m| m.communicate_calls)
             .max()
             .unwrap_or(0)
@@ -81,26 +95,40 @@ impl ExecutionMetrics {
 
     /// Total coin flips across all processors.
     pub fn total_coin_flips(&self) -> u64 {
-        self.per_process.values().map(|m| m.coin_flips).sum()
+        self.per_process.iter().map(|m| m.coin_flips).sum()
     }
 
     /// Number of processors with recorded activity.
     pub fn active_processes(&self) -> usize {
-        self.per_process.len()
+        self.per_process.iter().filter(|m| m.is_active()).count()
     }
 
-    /// Iterate over per-processor metrics.
-    pub fn iter(&self) -> impl Iterator<Item = (&ProcId, &ProcessMetrics)> {
-        self.per_process.iter()
+    /// Iterate over the metrics of processors with recorded activity, in
+    /// ascending processor order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, &ProcessMetrics)> {
+        self.per_process
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_active())
+            .map(|(index, m)| (ProcId(index), m))
     }
 
     /// Merge another execution's metrics into this one.
     pub fn absorb(&mut self, other: &ExecutionMetrics) {
         for (p, m) in other.iter() {
-            self.proc_mut(*p).absorb(m);
+            self.proc_mut(p).absorb(m);
         }
     }
 }
+
+impl PartialEq for ExecutionMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing untouched entries are representation, not content.
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for ExecutionMetrics {}
 
 #[cfg(test)]
 mod tests {

@@ -7,10 +7,26 @@
 //! that is commutative, associative and idempotent, so a replica's view does
 //! not depend on delivery order. For the single-writer registers used by the
 //! algorithms the natural "newer value wins" order coincides with the join.
+//!
+//! # Cost model
+//!
+//! Values are cloned on every propagate delivery and inside every view
+//! transfer, so cloning must not scale with the value's logical size:
+//!
+//! * [`ProcSet`] keeps up to [`ProcSet::INLINE_CAPACITY`] processors inline
+//!   (no heap allocation at all) and spills larger sets into an
+//!   `Arc<[ProcId]>`, making `clone` a refcount bump instead of an O(set)
+//!   copy. The participant lists `ℓ` carried by heterogeneous PoisonPill
+//!   statuses — the largest values in the system, up to `k` entries — are
+//!   stored this way.
+//! * [`Value::merge`] reports whether the merge actually changed the value,
+//!   which the versioned [`crate::View`] uses to stamp modified slots for
+//!   delta collect replies.
 
 use crate::ids::{InstanceId, ProcId, Slot};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The priority a processor adopts after its coin flip in a PoisonPill phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -30,6 +46,194 @@ impl fmt::Display for Priority {
     }
 }
 
+/// Number of processors a [`ProcSet`] stores without touching the heap.
+/// Deliberately small: it bounds `size_of::<Value>()` — and with it the cost
+/// of every view-cell copy — while still keeping the empty and singleton
+/// sets (the overwhelmingly common cases) allocation-free.
+const PROC_SET_INLINE: usize = 2;
+
+/// A sorted, deduplicated set of processors with small-set inline storage.
+///
+/// Sets of up to [`ProcSet::INLINE_CAPACITY`] processors live entirely inside
+/// the value (cloning is a memcpy); larger sets are stored behind an
+/// `Arc<[ProcId]>` so cloning is a refcount bump either way. The contents are
+/// always sorted ascending and free of duplicates, and the comparison order
+/// is the lexicographic slice order (identical to the `Vec<ProcId>` order the
+/// merge tie-break historically used).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct ProcSet(Repr);
+
+#[derive(Clone, Serialize, Deserialize)]
+enum Repr {
+    /// `items[..len]` holds the sorted members.
+    Inline {
+        /// Number of live entries in `items`.
+        len: u8,
+        /// Inline storage; entries at `len..` are padding.
+        items: [ProcId; PROC_SET_INLINE],
+    },
+    /// Sorted members shared behind a refcount (always `> INLINE_CAPACITY`
+    /// when built through the public constructors).
+    Shared(Arc<[ProcId]>),
+}
+
+impl ProcSet {
+    /// Number of processors stored without any heap allocation.
+    pub const INLINE_CAPACITY: usize = PROC_SET_INLINE;
+
+    /// The empty set.
+    pub fn new() -> Self {
+        ProcSet(Repr::Inline {
+            len: 0,
+            items: [ProcId(0); PROC_SET_INLINE],
+        })
+    }
+
+    /// Build a set from arbitrary members (sorted and deduplicated here).
+    pub fn from_vec(mut members: Vec<ProcId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Self::from_sorted_vec(members)
+    }
+
+    /// `members` must already be sorted ascending with no duplicates.
+    fn from_sorted_vec(members: Vec<ProcId>) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        if members.len() <= PROC_SET_INLINE {
+            let mut items = [ProcId(0); PROC_SET_INLINE];
+            items[..members.len()].copy_from_slice(&members);
+            ProcSet(Repr::Inline {
+                len: members.len() as u8,
+                items,
+            })
+        } else {
+            ProcSet(Repr::Shared(members.into()))
+        }
+    }
+
+    /// The members, sorted ascending.
+    pub fn as_slice(&self) -> &[ProcId] {
+        match &self.0 {
+            Repr::Inline { len, items } => &items[..*len as usize],
+            Repr::Shared(items) => items,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `p` is a member (binary search).
+    pub fn contains(&self, p: ProcId) -> bool {
+        self.as_slice().binary_search(&p).is_ok()
+    }
+
+    /// Iterate over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// Whether the set has spilled out of the inline storage.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.0, Repr::Shared(_))
+    }
+
+    /// Union `other` into `self`; returns whether `self` changed.
+    ///
+    /// Unchanged unions (in particular the idempotent `a ∪ a`) are detected
+    /// without allocating; a changed union builds the merged set once.
+    pub fn union_with(&mut self, other: &ProcSet) -> bool {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        if b.iter().all(|p| a.binary_search(p).is_ok()) {
+            return false;
+        }
+        if a.is_empty() {
+            *self = other.clone();
+            return true;
+        }
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        *self = Self::from_sorted_vec(merged);
+        true
+    }
+}
+
+impl Default for ProcSet {
+    fn default() -> Self {
+        ProcSet::new()
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for ProcSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ProcSet {}
+
+impl PartialOrd for ProcSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProcSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for ProcSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl From<Vec<ProcId>> for ProcSet {
+    fn from(members: Vec<ProcId>) -> Self {
+        ProcSet::from_vec(members)
+    }
+}
+
+impl FromIterator<ProcId> for ProcSet {
+    fn from_iter<T: IntoIterator<Item = ProcId>>(iter: T) -> Self {
+        ProcSet::from_vec(iter.into_iter().collect())
+    }
+}
+
 /// The status of a processor within one (heterogeneous) PoisonPill phase.
 ///
 /// This is the value stored in the `Status[n]` array of Figures 1 and 2 of the
@@ -46,8 +250,10 @@ pub enum Status {
         /// The priority adopted after the coin flip.
         priority: Priority,
         /// The participant list `ℓ` recorded before the flip (Figure 2,
-        /// line 17). Sorted and deduplicated.
-        list: Vec<ProcId>,
+        /// line 17). Sorted and deduplicated; cloning is O(1) for spilled
+        /// lists, so propagating a status to `n − 1` recipients never copies
+        /// `ℓ` more than once.
+        list: ProcSet,
     },
 }
 
@@ -56,15 +262,16 @@ impl Status {
     pub fn resolved(priority: Priority) -> Self {
         Status::Resolved {
             priority,
-            list: Vec::new(),
+            list: ProcSet::new(),
         }
     }
 
     /// A resolved status carrying the observed participant list `ℓ`.
-    pub fn resolved_with_list(priority: Priority, mut list: Vec<ProcId>) -> Self {
-        list.sort_unstable();
-        list.dedup();
-        Status::Resolved { priority, list }
+    pub fn resolved_with_list(priority: Priority, list: Vec<ProcId>) -> Self {
+        Status::Resolved {
+            priority,
+            list: ProcSet::from_vec(list),
+        }
     }
 
     /// The priority, if the status is resolved.
@@ -79,7 +286,7 @@ impl Status {
     pub fn list(&self) -> &[ProcId] {
         match self {
             Status::Commit => &[],
-            Status::Resolved { list, .. } => list,
+            Status::Resolved { list, .. } => list.as_slice(),
         }
     }
 
@@ -116,16 +323,24 @@ pub enum Value {
     /// the maximum, which is what the monotone protocols there need).
     Int(i64),
     /// A set of processors (merge takes the union).
-    ProcSet(Vec<ProcId>),
+    ProcSet(ProcSet),
 }
 
 impl Value {
-    /// Merge `other` into `self`.
+    /// A processor-set value from arbitrary members.
+    pub fn proc_set(members: impl Into<ProcSet>) -> Self {
+        Value::ProcSet(members.into())
+    }
+
+    /// Merge `other` into `self`; returns whether `self` changed.
     ///
     /// The merge is a join: commutative, associative, idempotent. Mixed-type
     /// merges keep `self` unchanged (they cannot arise in the protocols, but
-    /// the replica store must not panic on malformed input).
-    pub fn merge(&mut self, other: &Value) {
+    /// the replica store must not panic on malformed input). The returned
+    /// flag is exact — `true` iff the merged value differs from the previous
+    /// one — because the versioned view relies on it to decide which slots a
+    /// delta collect reply must carry.
+    pub fn merge(&mut self, other: &Value) -> bool {
         match (self, other) {
             // Commit < Resolved; between two Resolved values (which only a
             // faulty writer could produce with different contents) prefer
@@ -134,16 +349,22 @@ impl Value {
                 if b.rank() > a.rank() || (b.rank() == a.rank() && *b > *a) =>
             {
                 *a = b.clone();
+                true
             }
-            (Value::Round(a), Value::Round(b)) => *a = (*a).max(*b),
-            (Value::Flag(a), Value::Flag(b)) => *a = *a || *b,
-            (Value::Int(a), Value::Int(b)) => *a = (*a).max(*b),
-            (Value::ProcSet(a), Value::ProcSet(b)) => {
-                a.extend_from_slice(b);
-                a.sort_unstable();
-                a.dedup();
+            (Value::Round(a), Value::Round(b)) if *b > *a => {
+                *a = *b;
+                true
             }
-            _ => {}
+            (Value::Flag(a), Value::Flag(b)) if *b && !*a => {
+                *a = true;
+                true
+            }
+            (Value::Int(a), Value::Int(b)) if *b > *a => {
+                *a = *b;
+                true
+            }
+            (Value::ProcSet(a), Value::ProcSet(b)) => a.union_with(b),
+            _ => false,
         }
     }
 
@@ -236,44 +457,44 @@ mod tests {
     #[test]
     fn status_merge_is_monotone() {
         let mut v = Value::Status(Status::Commit);
-        v.merge(&Value::Status(Status::resolved(Priority::Low)));
+        assert!(v.merge(&Value::Status(Status::resolved(Priority::Low))));
         assert_eq!(
             v.as_status().unwrap().priority(),
             Some(Priority::Low),
             "commit is superseded by a resolved status"
         );
         // Merging an older Commit back in must not regress the view.
-        v.merge(&Value::Status(Status::Commit));
+        assert!(!v.merge(&Value::Status(Status::Commit)));
         assert_eq!(v.as_status().unwrap().priority(), Some(Priority::Low));
     }
 
     #[test]
     fn flag_merge_is_sticky_or() {
         let mut v = Value::Flag(false);
-        v.merge(&Value::Flag(false));
+        assert!(!v.merge(&Value::Flag(false)));
         assert_eq!(v.as_flag(), Some(false));
-        v.merge(&Value::Flag(true));
+        assert!(v.merge(&Value::Flag(true)));
         assert_eq!(v.as_flag(), Some(true));
-        v.merge(&Value::Flag(false));
+        assert!(!v.merge(&Value::Flag(false)));
         assert_eq!(v.as_flag(), Some(true), "true is sticky");
     }
 
     #[test]
     fn round_merge_takes_max() {
         let mut v = Value::Round(3);
-        v.merge(&Value::Round(1));
+        assert!(!v.merge(&Value::Round(1)));
         assert_eq!(v.as_round(), Some(3));
-        v.merge(&Value::Round(9));
+        assert!(v.merge(&Value::Round(9)));
         assert_eq!(v.as_round(), Some(9));
     }
 
     #[test]
     fn proc_set_merge_is_union() {
-        let mut v = Value::ProcSet(vec![ProcId(1), ProcId(3)]);
-        v.merge(&Value::ProcSet(vec![ProcId(2), ProcId(3)]));
+        let mut v = Value::proc_set(vec![ProcId(1), ProcId(3)]);
+        assert!(v.merge(&Value::proc_set(vec![ProcId(2), ProcId(3)])));
         assert_eq!(
             v,
-            Value::ProcSet(vec![ProcId(1), ProcId(2), ProcId(3)]),
+            Value::proc_set(vec![ProcId(1), ProcId(2), ProcId(3)]),
             "union, sorted, deduplicated"
         );
     }
@@ -281,7 +502,7 @@ mod tests {
     #[test]
     fn mismatched_merge_keeps_self() {
         let mut v = Value::Round(4);
-        v.merge(&Value::Flag(true));
+        assert!(!v.merge(&Value::Flag(true)));
         assert_eq!(v.as_round(), Some(4));
     }
 
@@ -300,5 +521,93 @@ mod tests {
         let mut ba = b.clone();
         ba.merge(&a);
         assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn proc_set_stays_inline_up_to_capacity_and_spills_past_it() {
+        let inline: ProcSet = (0..ProcSet::INLINE_CAPACITY).map(ProcId).collect();
+        assert!(!inline.is_spilled());
+        assert_eq!(inline.len(), ProcSet::INLINE_CAPACITY);
+
+        let spilled: ProcSet = (0..=ProcSet::INLINE_CAPACITY).map(ProcId).collect();
+        assert!(spilled.is_spilled());
+        assert_eq!(spilled.len(), ProcSet::INLINE_CAPACITY + 1);
+        assert_eq!(
+            spilled.as_slice(),
+            (0..=ProcSet::INLINE_CAPACITY)
+                .map(ProcId)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn proc_set_union_across_the_spill_boundary() {
+        // A union landing exactly on the inline boundary stays inline.
+        let cap = ProcSet::INLINE_CAPACITY;
+        let mut a: ProcSet = (0..cap - 1).map(ProcId).collect();
+        let b: ProcSet = [ProcId(100)].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert_eq!(a.len(), cap);
+        assert!(!a.is_spilled());
+
+        // One more distinct member pushes it over the boundary.
+        let c: ProcSet = [ProcId(200)].into_iter().collect();
+        assert!(a.union_with(&c));
+        assert_eq!(a.len(), cap + 1);
+        assert!(a.is_spilled());
+        assert!(a.contains(ProcId(200)) && a.contains(ProcId(0)));
+
+        // Spilled ∪ subset is detected as unchanged without rebuilding.
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), cap + 1);
+    }
+
+    #[test]
+    fn proc_set_union_is_idempotent_and_empty_neutral() {
+        let mut a: ProcSet = (0..7).map(ProcId).collect();
+        let copy = a.clone();
+        assert!(!a.union_with(&copy), "a ∪ a must report no change");
+        assert_eq!(a, copy);
+
+        assert!(!a.union_with(&ProcSet::new()), "a ∪ ∅ = a");
+        let mut empty = ProcSet::new();
+        assert!(empty.union_with(&a), "∅ ∪ a = a");
+        assert_eq!(empty, a);
+        let mut still_empty = ProcSet::new();
+        assert!(!still_empty.union_with(&ProcSet::new()));
+        assert!(still_empty.is_empty());
+    }
+
+    #[test]
+    fn proc_set_order_matches_slice_order() {
+        let small: ProcSet = [ProcId(1), ProcId(2)].into_iter().collect();
+        let large: ProcSet = (0..9).map(ProcId).collect();
+        assert_eq!(
+            small.cmp(&large),
+            small.as_slice().cmp(large.as_slice()),
+            "comparison must be the lexicographic slice order regardless of representation"
+        );
+        assert!(small > large, "lexicographic: [1,2] > [0,1,...]");
+    }
+
+    #[test]
+    fn mixed_type_merges_never_change_and_never_panic() {
+        let values = [
+            Value::Status(Status::Commit),
+            Value::Round(3),
+            Value::Flag(true),
+            Value::Int(-2),
+            Value::proc_set(vec![ProcId(1)]),
+        ];
+        for a in &values {
+            for b in &values {
+                let same_kind = std::mem::discriminant(a) == std::mem::discriminant(b);
+                if !same_kind {
+                    let mut merged = a.clone();
+                    assert!(!merged.merge(b), "mixed merge {a} ∪ {b} must be a no-op");
+                    assert_eq!(&merged, a);
+                }
+            }
+        }
     }
 }

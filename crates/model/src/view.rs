@@ -1,15 +1,125 @@
 //! Views returned by `communicate(collect, ·)`.
 //!
 //! A view used to be a `BTreeMap<Slot, Value>`; the simulator's hot loop
-//! merges and clones views constantly, so the representation is now a dense,
+//! merges and clones views constantly, so the representation is a dense,
 //! index-addressed slot array: slots are small integers keyed by processor
 //! (or by name for the renaming algorithm), which makes `get`/`insert` O(1)
-//! array accesses, `merge` a linear sweep without tree rebalancing, and
-//! `clone` a pair of memcpy-style `Vec` clones.
+//! array accesses and `merge` a linear sweep without tree rebalancing.
+//!
+//! On top of the dense layout every view is **versioned**: a per-view write
+//! counter ([`View::version`]) and a per-slot stamp recording the counter
+//! value of the slot's last *effective* write (one that actually changed the
+//! merged value). [`View::delta_since`] then enumerates exactly the entries
+//! written after a given version, which is what lets a collect reply ship
+//! only the entries the requester has not seen yet instead of a full copy of
+//! the slot array. Version numbers are replica-local bookkeeping: they are
+//! never compared across replicas and do not participate in view equality.
 
 use crate::ids::{ProcId, Slot};
 use crate::value::{Status, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One slot of a view: the merged value plus the version stamp of its last
+/// effective write.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Cell {
+    value: Option<Value>,
+    stamp: u64,
+}
+
+/// Cells per copy-on-write block of a slot family.
+const CHUNK: usize = 32;
+
+/// A fixed block of cells with summary metadata for fast skipping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Chunk {
+    cells: [Cell; CHUNK],
+    /// Maximum stamp of any cell in the block (0 when untouched), so
+    /// [`View::delta_since`] can skip whole blocks.
+    max_stamp: u64,
+    /// Number of occupied cells, so iteration can skip empty blocks.
+    occupied: u32,
+}
+
+impl Default for Chunk {
+    fn default() -> Self {
+        Chunk {
+            cells: std::array::from_fn(|_| Cell::default()),
+            max_stamp: 0,
+            occupied: 0,
+        }
+    }
+}
+
+/// A dense, index-addressed cell array stored as `Arc`-shared fixed-size
+/// blocks.
+///
+/// The block structure makes snapshots cheap to *diverge from*: cloning the
+/// table is one `Arc` bump per block, and a write after a snapshot
+/// copy-on-writes only the CHUNK-cell block it lands in instead of the whole
+/// array. Untouched tails share one global empty block, so growing a view
+/// allocates nothing until a block is actually written.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CellTable {
+    chunks: Vec<Arc<Chunk>>,
+}
+
+/// The shared all-`⊥` block used for freshly grown table tails.
+fn empty_chunk() -> Arc<Chunk> {
+    static EMPTY: std::sync::OnceLock<Arc<Chunk>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Chunk::default())).clone()
+}
+
+impl CellTable {
+    fn get(&self, index: usize) -> Option<&Cell> {
+        let cell = &self.chunks.get(index / CHUNK)?.cells[index % CHUNK];
+        cell.value.is_some().then_some(cell)
+    }
+
+    /// The block containing `index`, unshared and ready to mutate.
+    fn chunk_mut(&mut self, index: usize) -> &mut Chunk {
+        let block = index / CHUNK;
+        if block >= self.chunks.len() {
+            self.chunks.resize_with(block + 1, empty_chunk);
+        }
+        Arc::make_mut(&mut self.chunks[block])
+    }
+
+    /// Iterate `(index, cell)` over occupied cells in ascending index order,
+    /// skipping entirely empty blocks.
+    fn iter(&self) -> impl Iterator<Item = (usize, &Cell)> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, chunk)| chunk.occupied > 0)
+            .flat_map(|(block, chunk)| {
+                chunk
+                    .cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, cell)| cell.value.is_some())
+                    .map(move |(offset, cell)| (block * CHUNK + offset, cell))
+            })
+    }
+
+    /// Iterate `(index, cell)` over cells stamped after `since`, skipping
+    /// blocks whose newest stamp is not.
+    fn delta_since(&self, since: u64) -> impl Iterator<Item = (usize, &Cell)> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(move |(_, chunk)| chunk.max_stamp > since)
+            .flat_map(move |(block, chunk)| {
+                chunk
+                    .cells
+                    .iter()
+                    .enumerate()
+                    .filter(move |(_, cell)| cell.stamp > since && cell.value.is_some())
+                    .map(move |(offset, cell)| (block * CHUNK + offset, cell))
+            })
+    }
+}
 
 /// One responder's view of a register array: a mapping from slot to value.
 ///
@@ -21,13 +131,15 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct View {
     /// Values of `Slot::Proc(i)`, indexed by `i`.
-    procs: Vec<Option<Value>>,
+    procs: CellTable,
     /// Values of `Slot::Name(u)`, indexed by `u`.
-    names: Vec<Option<Value>>,
+    names: CellTable,
     /// Value of `Slot::Global`.
-    global: Option<Value>,
+    global: Cell,
     /// Number of non-`⊥` entries across all three families.
     occupied: usize,
+    /// Count of effective writes; each one stamps the written cell.
+    version: u64,
 }
 
 impl View {
@@ -39,47 +151,69 @@ impl View {
     /// The value of `slot`, or `None` if the responder's view is `⊥` there.
     pub fn get(&self, slot: &Slot) -> Option<&Value> {
         match slot {
-            Slot::Proc(p) => self.procs.get(p.index())?.as_ref(),
-            Slot::Name(u) => self.names.get(*u)?.as_ref(),
-            Slot::Global => self.global.as_ref(),
+            Slot::Proc(p) => self.procs.get(p.index())?.value.as_ref(),
+            Slot::Name(u) => self.names.get(*u)?.value.as_ref(),
+            Slot::Global => self.global.value.as_ref(),
         }
     }
 
-    fn cell_mut(&mut self, slot: Slot) -> &mut Option<Value> {
-        match slot {
-            Slot::Proc(p) => {
-                let index = p.index();
-                if index >= self.procs.len() {
-                    self.procs.resize(index + 1, None);
-                }
-                &mut self.procs[index]
-            }
-            Slot::Name(u) => {
-                if u >= self.names.len() {
-                    self.names.resize(u + 1, None);
-                }
-                &mut self.names[u]
-            }
-            Slot::Global => &mut self.global,
-        }
+    /// The number of effective writes this view has absorbed. Monotone;
+    /// replica-local (never comparable across views).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
-    /// Record (merge) `value` into `slot`.
-    pub fn insert(&mut self, slot: Slot, value: Value) {
-        let cell = self.cell_mut(slot);
-        let newly_occupied = match cell {
-            Some(existing) => {
-                existing.merge(&value);
-                false
-            }
+    /// Merge `value` into `cell`; returns `(changed, newly_occupied)`.
+    fn merge_cell(cell: &mut Cell, value: Value) -> (bool, bool) {
+        match &mut cell.value {
+            Some(existing) => (existing.merge(&value), false),
             empty => {
                 *empty = Some(value);
-                true
+                (true, true)
             }
+        }
+    }
+
+    /// Record (merge) `value` into `slot`; returns whether the view changed.
+    pub fn insert(&mut self, slot: Slot, value: Value) -> bool {
+        let (changed, newly_occupied) = match slot {
+            Slot::Global => {
+                let (changed, newly) = Self::merge_cell(&mut self.global, value);
+                if changed {
+                    self.version += 1;
+                    self.global.stamp = self.version;
+                }
+                (changed, newly)
+            }
+            Slot::Proc(p) => {
+                Self::insert_indexed(&mut self.procs, &mut self.version, p.index(), value)
+            }
+            Slot::Name(u) => Self::insert_indexed(&mut self.names, &mut self.version, u, value),
         };
         if newly_occupied {
             self.occupied += 1;
         }
+        changed
+    }
+
+    fn insert_indexed(
+        table: &mut CellTable,
+        version: &mut u64,
+        index: usize,
+        value: Value,
+    ) -> (bool, bool) {
+        let chunk = table.chunk_mut(index);
+        let offset = index % CHUNK;
+        let (changed, newly) = Self::merge_cell(&mut chunk.cells[offset], value);
+        if changed {
+            *version += 1;
+            chunk.cells[offset].stamp = *version;
+            chunk.max_stamp = *version;
+        }
+        if newly {
+            chunk.occupied += 1;
+        }
+        (changed, newly)
     }
 
     /// Merge another view into this one slot-by-slot.
@@ -95,15 +229,67 @@ impl View {
         let procs = self
             .procs
             .iter()
-            .enumerate()
-            .filter_map(|(i, v)| Some((Slot::Proc(ProcId(i)), v.as_ref()?)));
+            .map(|(i, cell)| (Slot::Proc(ProcId(i)), cell));
+        let names = self.names.iter().map(|(u, cell)| (Slot::Name(u), cell));
+        let global =
+            std::iter::once((Slot::Global, &self.global)).filter(|(_, cell)| cell.value.is_some());
+        procs
+            .chain(names)
+            .chain(global)
+            .map(|(slot, cell)| (slot, cell.value.as_ref().expect("occupied cell")))
+    }
+
+    /// Iterate over the entries whose last effective write is newer than
+    /// `since` (a value previously obtained from [`View::version`] of this
+    /// same view), in slot order. `delta_since(0)` enumerates every entry.
+    pub fn delta_since(&self, since: u64) -> impl Iterator<Item = (Slot, &Value)> {
+        let procs = self
+            .procs
+            .delta_since(since)
+            .map(|(i, cell)| (Slot::Proc(ProcId(i)), cell));
         let names = self
             .names
-            .iter()
-            .enumerate()
-            .filter_map(|(u, v)| Some((Slot::Name(u), v.as_ref()?)));
-        let global = self.global.iter().map(|v| (Slot::Global, v));
-        procs.chain(names).chain(global)
+            .delta_since(since)
+            .map(|(u, cell)| (Slot::Name(u), cell));
+        let global = std::iter::once(&self.global)
+            .filter(move |cell| cell.stamp > since && cell.value.is_some())
+            .map(|cell| (Slot::Global, cell));
+        procs
+            .chain(names)
+            .chain(global)
+            .map(|(slot, cell)| (slot, cell.value.as_ref().expect("stamped cell")))
+    }
+
+    /// Visit every non-`⊥` entry in slot order with a plain nested loop.
+    ///
+    /// Semantically identical to [`View::iter`]; exists because the
+    /// protocols' aggregate rules (death rules, observed-participant sweeps)
+    /// visit quorum × entries cells per decision, where a tight loop beats
+    /// the layered iterator chain.
+    pub fn for_each(&self, mut f: impl FnMut(Slot, &Value)) {
+        for (block, chunk) in self.procs.chunks.iter().enumerate() {
+            if chunk.occupied == 0 {
+                continue;
+            }
+            for (offset, cell) in chunk.cells.iter().enumerate() {
+                if let Some(value) = &cell.value {
+                    f(Slot::Proc(ProcId(block * CHUNK + offset)), value);
+                }
+            }
+        }
+        for (block, chunk) in self.names.chunks.iter().enumerate() {
+            if chunk.occupied == 0 {
+                continue;
+            }
+            for (offset, cell) in chunk.cells.iter().enumerate() {
+                if let Some(value) = &cell.value {
+                    f(Slot::Name(block * CHUNK + offset), value);
+                }
+            }
+        }
+        if let Some(value) = &self.global.value {
+            f(Slot::Global, value);
+        }
     }
 
     /// Number of non-`⊥` entries.
@@ -115,12 +301,39 @@ impl View {
     pub fn is_empty(&self) -> bool {
         self.occupied == 0
     }
+
+    /// A copy that shares no *slot storage* with `self`: every cell block
+    /// is re-allocated and copied. (Values clone as values do — a spilled
+    /// [`crate::value::ProcSet`] list still clones by refcount.)
+    ///
+    /// `clone` shares the blocks structurally (copy-on-write), which is what
+    /// every hot path wants; this detached variant exists for the retained
+    /// clone-per-message payload baseline, whose point is to reproduce the
+    /// historical cost of materializing the slot array of a full view per
+    /// collect reply.
+    pub fn detached_clone(&self) -> View {
+        let detach = |table: &CellTable| CellTable {
+            chunks: table
+                .chunks
+                .iter()
+                .map(|chunk| Arc::new(Chunk::clone(chunk)))
+                .collect(),
+        };
+        View {
+            procs: detach(&self.procs),
+            names: detach(&self.names),
+            global: self.global.clone(),
+            occupied: self.occupied,
+            version: self.version,
+        }
+    }
 }
 
 impl PartialEq for View {
     fn eq(&self, other: &Self) -> bool {
-        // Trailing `None` padding differs between views built in different
-        // orders, so compare contents, not representation.
+        // Trailing `⊥` padding differs between views built in different
+        // orders, and version stamps are replica-local bookkeeping, so
+        // compare contents only.
         self.occupied == other.occupied && self.iter().eq(other.iter())
     }
 }
@@ -139,19 +352,33 @@ impl FromIterator<(Slot, Value)> for View {
 
 /// The result of one `communicate(collect, ·)` call: the views reported by a
 /// quorum (more than `n/2`) of responders.
+///
+/// Views are held behind [`Arc`] so that a copy-on-write snapshot taken by a
+/// responder can travel to the requester, into this collection and into the
+/// requester's delta cache without ever duplicating the slot array.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CollectedViews {
-    responses: Vec<(ProcId, View)>,
+    responses: Vec<(ProcId, Arc<View>)>,
 }
 
 impl CollectedViews {
-    /// Build a collection from `(responder, view)` pairs.
+    /// Build a collection from owned `(responder, view)` pairs.
     pub fn new(responses: Vec<(ProcId, View)>) -> Self {
+        CollectedViews {
+            responses: responses
+                .into_iter()
+                .map(|(p, view)| (p, Arc::new(view)))
+                .collect(),
+        }
+    }
+
+    /// Build a collection from already-shared views (the backends' path).
+    pub fn from_shared(responses: Vec<(ProcId, Arc<View>)>) -> Self {
         CollectedViews { responses }
     }
 
     /// The individual responses.
-    pub fn responses(&self) -> &[(ProcId, View)] {
+    pub fn responses(&self) -> &[(ProcId, Arc<View>)] {
         &self.responses
     }
 
@@ -165,15 +392,34 @@ impl CollectedViews {
         self.responses.is_empty()
     }
 
-    /// All slots that are non-`⊥` in at least one responder's view.
+    /// All slots that are non-`⊥` in at least one responder's view, in slot
+    /// order.
+    ///
+    /// Computed by marking per-family occupancy bitmaps and walking them once
+    /// — O(total entries + distinct slots) — instead of collecting every
+    /// entry of every view and sorting, which dominated the sifting phases'
+    /// step cost at large `n` (quorum × slots entries per call).
     pub fn observed_slots(&self) -> Vec<Slot> {
-        let mut slots: Vec<Slot> = self
-            .responses
-            .iter()
-            .flat_map(|(_, view)| view.iter().map(|(slot, _)| slot))
-            .collect();
-        slots.sort();
-        slots.dedup();
+        let mut procs = BitRow::new();
+        let mut names = BitRow::new();
+        let mut global = false;
+        for (_, view) in &self.responses {
+            view.for_each(|slot, _| match slot {
+                Slot::Proc(p) => {
+                    procs.set(p.index());
+                }
+                Slot::Name(u) => {
+                    names.set(u);
+                }
+                Slot::Global => global = true,
+            });
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(procs.len() + names.len() + 1);
+        slots.extend(procs.iter().map(|i| Slot::Proc(ProcId(i))));
+        slots.extend(names.iter().map(Slot::Name));
+        if global {
+            slots.push(Slot::Global);
+        }
         slots
     }
 
@@ -238,13 +484,17 @@ impl CollectedViews {
 
     /// Maximum `Round` value reported for any slot other than `exclude`.
     pub fn max_round_excluding(&self, exclude: ProcId) -> u32 {
-        self.responses
-            .iter()
-            .flat_map(|(_, view)| view.iter())
-            .filter(|(slot, _)| *slot != Slot::Proc(exclude))
-            .filter_map(|(_, value)| value.as_round())
-            .max()
-            .unwrap_or(0)
+        let mut max = 0;
+        for (_, view) in &self.responses {
+            view.for_each(|slot, value| {
+                if slot != Slot::Proc(exclude) {
+                    if let Some(round) = value.as_round() {
+                        max = max.max(round);
+                    }
+                }
+            });
+        }
+        max
     }
 
     /// Union of all views: one merged view.
@@ -254,6 +504,79 @@ impl CollectedViews {
             merged.merge(view);
         }
         merged
+    }
+}
+
+/// A growable bitmap over small indexes, used for set-union sweeps over
+/// views (observed slots, death-rule bookkeeping) without sort-and-dedup
+/// passes or per-element tree allocations.
+#[derive(Debug, Clone, Default)]
+pub struct BitRow {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl BitRow {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        BitRow::default()
+    }
+
+    /// Mark `index`; returns whether it was newly marked.
+    pub fn set(&mut self, index: usize) -> bool {
+        let word = index / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (index % 64);
+        if self.words[word] & mask == 0 {
+            self.words[word] |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unmark every index, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Whether `index` is marked.
+    pub fn contains(&self, index: usize) -> bool {
+        self.words
+            .get(index / 64)
+            .is_some_and(|word| word & (1 << (index % 64)) != 0)
+    }
+
+    /// Number of marked indexes.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate over marked indexes in ascending order (word-skipping).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(word_index, word)| {
+                let mut bits = *word;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(word_index * 64 + bit)
+                })
+            })
     }
 }
 
@@ -269,16 +592,16 @@ mod tests {
     #[test]
     fn view_insert_merges() {
         let mut view = View::new();
-        view.insert(Slot::Global, Value::Flag(false));
-        view.insert(Slot::Global, Value::Flag(true));
-        view.insert(Slot::Global, Value::Flag(false));
+        assert!(view.insert(Slot::Global, Value::Flag(false)));
+        assert!(view.insert(Slot::Global, Value::Flag(true)));
+        assert!(!view.insert(Slot::Global, Value::Flag(false)));
         assert_eq!(view.get(&Slot::Global).unwrap().as_flag(), Some(true));
         assert_eq!(view.len(), 1);
     }
 
     #[test]
     fn view_equality_ignores_capacity_padding() {
-        // Insert a high slot then a low slot; the padded Nones must not make
+        // Insert a high slot then a low slot; the padded cells must not make
         // structurally identical views compare unequal.
         let mut a = View::new();
         a.insert(Slot::Proc(ProcId(5)), Value::Flag(true));
@@ -287,7 +610,7 @@ mod tests {
         b.insert(Slot::Proc(ProcId(5)), Value::Flag(true));
         assert_ne!(a, b);
         a.insert(Slot::Proc(ProcId(0)), Value::Flag(true));
-        assert_eq!(a, b);
+        assert_eq!(a, b, "version stamps and padding must not affect equality");
     }
 
     #[test]
@@ -311,6 +634,51 @@ mod tests {
             ]
         );
         assert_eq!(view.len(), 4);
+    }
+
+    #[test]
+    fn version_counts_effective_writes_only() {
+        let mut view = View::new();
+        assert_eq!(view.version(), 0);
+        view.insert(Slot::Proc(ProcId(2)), Value::Round(1));
+        assert_eq!(view.version(), 1);
+        // Idempotent re-delivery does not advance the version.
+        view.insert(Slot::Proc(ProcId(2)), Value::Round(1));
+        assert_eq!(view.version(), 1);
+        view.insert(Slot::Proc(ProcId(2)), Value::Round(5));
+        assert_eq!(view.version(), 2);
+    }
+
+    #[test]
+    fn delta_since_enumerates_exactly_the_newer_entries() {
+        let mut view = View::new();
+        view.insert(Slot::Proc(ProcId(0)), Value::Round(1));
+        view.insert(Slot::Name(1), Value::Flag(true));
+        let checkpoint = view.version();
+
+        // Unchanged merge: delta stays empty.
+        view.insert(Slot::Proc(ProcId(0)), Value::Round(1));
+        assert_eq!(view.delta_since(checkpoint).count(), 0);
+
+        // One re-written slot and one new slot after the checkpoint.
+        view.insert(Slot::Proc(ProcId(0)), Value::Round(7));
+        view.insert(Slot::Global, Value::Flag(true));
+        let delta: Vec<Slot> = view.delta_since(checkpoint).map(|(slot, _)| slot).collect();
+        assert_eq!(delta, vec![Slot::Proc(ProcId(0)), Slot::Global]);
+
+        // Replaying the delta over a copy taken at the checkpoint
+        // reconstructs the current view exactly.
+        let mut replayed: View = [
+            (Slot::Proc(ProcId(0)), Value::Round(1)),
+            (Slot::Name(1), Value::Flag(true)),
+        ]
+        .into_iter()
+        .collect();
+        for (slot, value) in view.delta_since(checkpoint) {
+            replayed.insert(slot, value.clone());
+        }
+        assert_eq!(replayed, view);
+        assert_eq!(view.delta_since(0).count(), view.len());
     }
 
     #[test]
@@ -384,5 +752,13 @@ mod tests {
         let v2: View = [(Slot::Name(2), Value::Flag(true))].into_iter().collect();
         let merged = CollectedViews::new(vec![(ProcId(0), v1), (ProcId(1), v2)]).merged();
         assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn shared_views_compare_by_contents() {
+        let view: View = [(Slot::Global, Value::Flag(true))].into_iter().collect();
+        let a = CollectedViews::from_shared(vec![(ProcId(0), Arc::new(view.clone()))]);
+        let b = CollectedViews::new(vec![(ProcId(0), view)]);
+        assert_eq!(a, b);
     }
 }

@@ -4,11 +4,12 @@ use crate::RuntimeConfig;
 use crossbeam_channel::{Receiver, Sender};
 use fle_model::wire::CallSeq;
 use fle_model::{
-    Action, CollectedViews, InstanceId, Key, Outcome, ProcId, ProcessMetrics, Protocol,
+    Action, CollectCache, CollectedViews, Key, Outcome, ProcId, ProcessMetrics, Protocol,
     ReplicaStore, Response, Value, View, WireMessage,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A message travelling between node threads.
@@ -43,7 +44,7 @@ enum Outstanding {
     },
     Views {
         seq: CallSeq,
-        views: Vec<(ProcId, View)>,
+        views: Vec<(ProcId, Arc<View>)>,
     },
 }
 
@@ -61,6 +62,9 @@ pub struct NodeRunner {
     metrics: ProcessMetrics,
     next_seq: CallSeq,
     outstanding: Outstanding,
+    /// Requester-side delta-collect state: per responder, the most recent
+    /// view received for the instance currently being collected.
+    collect_cache: CollectCache,
     outcome: Option<Outcome>,
     unresponsive: bool,
 }
@@ -89,6 +93,7 @@ impl NodeRunner {
             metrics: ProcessMetrics::default(),
             next_seq: 0,
             outstanding: Outstanding::None,
+            collect_cache: CollectCache::new(),
             outcome: None,
             unresponsive,
         }
@@ -146,7 +151,12 @@ impl NodeRunner {
                         self.apply_write(*key, value);
                     }
                     self.outstanding = Outstanding::Acks { seq, received: 1 };
-                    self.broadcast(WireMessage::Propagate { seq, entries });
+                    // The entry list is built once; every send of the
+                    // broadcast clones only the refcount.
+                    self.broadcast(WireMessage::Propagate {
+                        seq,
+                        entries: entries.into(),
+                    });
                     if self.quorum_reached() {
                         response = self.take_completed_response();
                         continue;
@@ -157,12 +167,28 @@ impl NodeRunner {
                     self.metrics.communicate_calls += 1;
                     self.next_seq += 1;
                     let seq = self.next_seq;
-                    let own_view = self.view_of(instance);
+                    let own_view = self.replica.view_arc(instance);
                     self.outstanding = Outstanding::Views {
                         seq,
                         views: vec![(self.me, own_view)],
                     };
-                    self.broadcast(WireMessage::Collect { seq, instance });
+                    self.collect_cache.prepare(instance, self.config.n);
+                    // Each responder learns which of its versions we already
+                    // hold, so it can reply with a delta.
+                    for index in 0..self.config.n {
+                        if index == self.me.index() {
+                            continue;
+                        }
+                        let known = self.collect_cache.known(ProcId(index));
+                        self.send(
+                            ProcId(index),
+                            WireMessage::Collect {
+                                seq,
+                                instance,
+                                known,
+                            },
+                        );
+                    }
                     if self.quorum_reached() {
                         response = self.take_completed_response();
                         continue;
@@ -196,16 +222,20 @@ impl NodeRunner {
         self.metrics.messages_received += 1;
         match message {
             WireMessage::Propagate { seq, entries } => {
-                for (key, value) in &entries {
+                for (key, value) in entries.iter() {
                     self.apply_write(*key, value);
                 }
                 if !self.unresponsive {
                     self.send(from, WireMessage::Ack { seq });
                 }
             }
-            WireMessage::Collect { seq, instance } => {
+            WireMessage::Collect {
+                seq,
+                instance,
+                known,
+            } => {
                 if !self.unresponsive {
-                    let view = self.view_of(instance);
+                    let view = self.replica.transfer_since(instance, known);
                     self.send(from, WireMessage::CollectReply { seq, view });
                 }
             }
@@ -223,7 +253,11 @@ impl NodeRunner {
             }
             WireMessage::CollectReply { seq, view } => {
                 if let Outstanding::Views { seq: want, views } = &mut self.outstanding {
+                    // Resolve against the delta cache only when the reply is
+                    // actually recorded, so stale or duplicate replies never
+                    // perturb the cached versions.
                     if *want == seq && !views.iter().any(|(p, _)| *p == from) {
+                        let view = self.collect_cache.resolve(from, view);
                         views.push((from, view));
                     }
                 }
@@ -251,7 +285,7 @@ impl NodeRunner {
     fn take_completed_response(&mut self) -> Response {
         match std::mem::replace(&mut self.outstanding, Outstanding::None) {
             Outstanding::Acks { .. } => Response::AckQuorum,
-            Outstanding::Views { views, .. } => Response::Views(CollectedViews::new(views)),
+            Outstanding::Views { views, .. } => Response::Views(CollectedViews::from_shared(views)),
             Outstanding::None => Response::AckQuorum,
         }
     }
@@ -260,7 +294,10 @@ impl NodeRunner {
         self.replica.apply(key, value);
     }
 
-    fn view_of(&self, instance: InstanceId) -> View {
+    /// Owned copy of the replica's view (test helper; the hot paths use the
+    /// copy-on-write `view_arc`/`transfer_since` instead).
+    #[cfg(test)]
+    fn view_of(&self, instance: fle_model::InstanceId) -> View {
         self.replica.view_of(instance)
     }
 
@@ -286,6 +323,7 @@ impl NodeRunner {
 mod tests {
     use super::*;
     use crossbeam_channel::unbounded;
+    use fle_model::InstanceId;
 
     #[test]
     fn replica_view_filters_by_instance() {
@@ -326,7 +364,7 @@ mod tests {
             ProcId(0),
             WireMessage::Propagate {
                 seq: 1,
-                entries: vec![(Key::name(InstanceId::Contended, 0), Value::Flag(true))],
+                entries: vec![(Key::name(InstanceId::Contended, 0), Value::Flag(true))].into(),
             },
         );
         // The write is applied (messages still reach faulty processors)...

@@ -18,8 +18,18 @@
 //!   on this.
 //! * [`SimConfig::with_event_set_validation`] asserts before every decision
 //!   that the incremental indexes agree with a brute-force recomputation.
+//!
+//! Payload cost is O(1) per event as well: a propagate broadcast builds its
+//! entry list once and refcount-shares it across all `n − 1` sends, collect
+//! replies are copy-on-write snapshots or per-responder deltas (only the
+//! entries the requester has not seen), and back-to-back trials recycle the
+//! engine's buffers through a [`crate::SimArena`]. The historical
+//! clone-per-message payload path survives behind
+//! [`SimConfig::with_naive_payloads`] — it too is **byte-identical** in
+//! schedules, reports and metrics, which the differential tests assert.
 
 use crate::adversary::Adversary;
+use crate::arena::SimArena;
 use crate::error::SimError;
 use crate::event_set::{IndexedBitSet, OrderedMsgSet};
 use crate::message::{InFlightMessage, MessageId, MessageSlab};
@@ -29,10 +39,11 @@ use crate::observation::{
 use crate::process::{PendingWork, SimProcess};
 use crate::report::ExecutionReport;
 use crate::trace::{Trace, TraceEvent};
-use fle_model::{Action, CollectedViews, ProcId, Protocol, Response, View, WireMessage};
+use fle_model::{Action, CollectedViews, Key, ProcId, Protocol, Response, Value, WireMessage};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of a simulated execution.
 #[derive(Debug, Clone)]
@@ -58,6 +69,13 @@ pub struct SimConfig {
     /// indexes exactly match a brute-force recomputation. For tests; costs
     /// O(n + messages) per event.
     pub validate_event_set: bool,
+    /// Use the historical clone-per-message payload path: every propagate
+    /// send carries its own copy of the entry list and every collect reply a
+    /// freshly cloned full view, instead of refcount-shared broadcasts and
+    /// copy-on-write/delta view transfers. Semantically identical (same
+    /// schedules, same reports); kept as the payload-cost baseline and as
+    /// the reference half of the payload differential tests.
+    pub naive_payloads: bool,
 }
 
 impl SimConfig {
@@ -76,6 +94,7 @@ impl SimConfig {
             record_trace: false,
             naive_event_set: false,
             validate_event_set: false,
+            naive_payloads: false,
         }
     }
 
@@ -122,6 +141,14 @@ impl SimConfig {
         self
     }
 
+    /// Use the historical clone-per-message payload path (performance
+    /// baseline; schedules and reports are identical to the shared path).
+    #[must_use]
+    pub fn with_naive_payloads(mut self) -> Self {
+        self.naive_payloads = true;
+        self
+    }
+
     /// Quorum size: `⌊n/2⌋ + 1`.
     pub fn quorum(&self) -> usize {
         self.n / 2 + 1
@@ -160,6 +187,13 @@ pub struct Simulator {
     next_message_id: u64,
     events_executed: u64,
     crashes: Vec<ProcId>,
+    /// Reusable buffer for slots retired in [`Simulator::crash`], so a crash
+    /// does not allocate on the hot path.
+    scratch_slots: Vec<u32>,
+    /// Whether the buffers return to the thread-local arena pool on drop
+    /// (set by [`Simulator::new`]; explicit arenas use
+    /// [`Simulator::into_arena`] instead).
+    pooled: bool,
     rng: ChaCha8Rng,
     report: ExecutionReport,
     /// Persistent adversary observation, updated incrementally as processors
@@ -170,10 +204,50 @@ pub struct Simulator {
 impl Simulator {
     /// Create a simulator with `config.n` processors, none of which
     /// participates yet.
+    ///
+    /// The engine buffers (message slab, event indexes, processor shells) are
+    /// drawn from a thread-local [`SimArena`] pool and returned on drop, so
+    /// back-to-back trials on one thread allocate almost nothing after the
+    /// first. This is purely an allocator optimization: a recycled simulator
+    /// is indistinguishable from a freshly allocated one.
     pub fn new(config: SimConfig) -> Self {
-        let processes = (0..config.n)
-            .map(|i| SimProcess::replica_only(ProcId(i)))
-            .collect();
+        let mut sim = Simulator::from_arena(config, SimArena::take_pooled());
+        sim.pooled = true;
+        sim
+    }
+
+    /// Create a simulator that reuses the buffers of `arena` (see
+    /// [`SimArena`]); recover them afterwards with
+    /// [`Simulator::into_arena`].
+    pub fn from_arena(config: SimConfig, arena: SimArena) -> Self {
+        let SimArena {
+            mut slab,
+            mut enabled_msgs,
+            mut enabled_steps,
+            mut processes,
+            mut crashes,
+            mut scratch_slots,
+            mut observations,
+        } = arena;
+        slab.clear();
+        enabled_msgs.clear();
+        enabled_steps.reset(config.n);
+        crashes.clear();
+        scratch_slots.clear();
+        for (index, process) in processes.iter_mut().enumerate().take(config.n) {
+            process.recycle(ProcId(index));
+        }
+        processes.truncate(config.n);
+        while processes.len() < config.n {
+            processes.push(SimProcess::replica_only(ProcId(processes.len())));
+        }
+        observations.clear();
+        observations.extend((0..config.n).map(|i| ProcessObservation {
+            proc: ProcId(i),
+            phase: ProcessPhase::Idle,
+            local_state: None,
+        }));
+
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let trace = if config.record_trace {
             Trace::recording()
@@ -184,26 +258,22 @@ impl Simulator {
             n: config.n,
             events_executed: 0,
             crash_budget_left: config.crash_budget,
-            processes: (0..config.n)
-                .map(|i| ProcessObservation {
-                    proc: ProcId(i),
-                    phase: ProcessPhase::Idle,
-                    local_state: None,
-                })
-                .collect(),
+            processes: observations,
         };
         let naive_index = config.naive_event_set.then(BTreeMap::new);
         Simulator {
-            enabled_steps: IndexedBitSet::new(config.n),
-            enabled_msgs: OrderedMsgSet::new(),
+            enabled_steps,
+            enabled_msgs,
             naive_index,
             live_participants: 0,
             config,
             processes,
-            in_flight: MessageSlab::new(),
+            in_flight: slab,
             next_message_id: 0,
             events_executed: 0,
-            crashes: Vec::new(),
+            crashes,
+            scratch_slots,
+            pooled: false,
             rng,
             report: ExecutionReport {
                 trace,
@@ -211,6 +281,38 @@ impl Simulator {
             },
             observation,
         }
+    }
+
+    /// Recover the engine buffers for the next trial (counterpart of
+    /// [`Simulator::from_arena`]).
+    pub fn into_arena(mut self) -> SimArena {
+        self.pooled = false;
+        self.extract_arena()
+    }
+
+    fn extract_arena(&mut self) -> SimArena {
+        let mut arena = SimArena {
+            slab: std::mem::take(&mut self.in_flight),
+            enabled_msgs: std::mem::take(&mut self.enabled_msgs),
+            enabled_steps: std::mem::take(&mut self.enabled_steps),
+            processes: std::mem::take(&mut self.processes),
+            crashes: std::mem::take(&mut self.crashes),
+            scratch_slots: std::mem::take(&mut self.scratch_slots),
+            observations: std::mem::take(&mut self.observation.processes),
+        };
+        // Empty everything now (keeping capacity) rather than lazily on next
+        // reuse: an arena parked in the thread-local pool must hold only
+        // buffer capacity, not the last trial's protocol boxes, replica
+        // contents and undelivered message payloads.
+        arena.slab.clear();
+        arena.enabled_msgs.clear();
+        arena.crashes.clear();
+        arena.scratch_slots.clear();
+        arena.observations.clear();
+        for process in &mut arena.processes {
+            process.recycle(process.id);
+        }
+        arena
     }
 
     /// Register `proc` as a participant running `protocol`.
@@ -538,21 +640,24 @@ impl Simulator {
         // from the enabled set (the messages stay in flight, matching the
         // historical semantics of filtering them out of every rebuild).
         if self.maintains_incremental() {
-            let doomed: Vec<u32> = self
-                .enabled_msgs
-                .iter()
-                .filter(|&(_, slot)| {
-                    self.in_flight
-                        .get(slot)
-                        .expect("enabled message indexes a live slab slot")
-                        .to
-                        == victim
-                })
-                .map(|(_, slot)| slot)
-                .collect();
-            for slot in doomed {
+            let mut doomed = std::mem::take(&mut self.scratch_slots);
+            doomed.clear();
+            doomed.extend(
+                self.enabled_msgs
+                    .iter()
+                    .filter(|&(_, slot)| {
+                        self.in_flight
+                            .get(slot)
+                            .expect("enabled message indexes a live slab slot")
+                            .to
+                            == victim
+                    })
+                    .map(|(_, slot)| slot),
+            );
+            for &slot in &doomed {
                 self.enabled_msgs.remove_slot(slot);
             }
+            self.scratch_slots = doomed;
         }
         self.report.trace.push(TraceEvent::Crash { proc: victim });
         self.refresh_process_observation(victim);
@@ -622,42 +727,78 @@ impl Simulator {
                     let metrics = self.report.metrics.proc_mut(proc);
                     metrics.communicate_calls += 1;
                 }
-                let mut acked = std::collections::BTreeSet::new();
-                acked.insert(proc);
+                let mut seen = fle_model::BitRow::new();
+                seen.set(index);
                 self.processes[index].call_msgs.clear();
-                self.processes[index].pending = PendingWork::AwaitingAcks { seq, acked };
+                self.processes[index].pending = PendingWork::AwaitingAcks {
+                    seq,
+                    acked: 1,
+                    seen,
+                };
+                // One shared payload for the whole broadcast: every send is a
+                // refcount bump. The naive baseline clones the entry list per
+                // target instead (the historical cost profile).
+                let shared: Arc<[(Key, Value)]> = entries.into();
                 for target in 0..n {
                     if target == index {
                         continue;
                     }
+                    let entries = if self.config.naive_payloads {
+                        // One fresh copy per target — the historical cost.
+                        Arc::from(&*shared)
+                    } else {
+                        shared.clone()
+                    };
                     self.send(
                         proc,
                         ProcId(target),
-                        WireMessage::Propagate {
-                            seq,
-                            entries: entries.clone(),
-                        },
+                        WireMessage::Propagate { seq, entries },
                     );
                 }
                 self.maybe_complete_quorum(proc, quorum);
             }
             Action::Collect { instance } => {
                 let seq = self.processes[index].fresh_seq();
-                let own_view = self.processes[index].replica.view_of(instance);
+                let own_view = if self.config.naive_payloads {
+                    Arc::new(self.processes[index].replica.view_of(instance))
+                } else {
+                    self.processes[index].replica.view_arc(instance)
+                };
                 {
                     let metrics = self.report.metrics.proc_mut(proc);
                     metrics.communicate_calls += 1;
                 }
+                let mut seen = fle_model::BitRow::new();
+                seen.set(index);
                 self.processes[index].call_msgs.clear();
                 self.processes[index].pending = PendingWork::AwaitingViews {
                     seq,
                     views: vec![(proc, own_view)],
+                    seen,
                 };
+                if !self.config.naive_payloads {
+                    self.processes[index].collect_cache.prepare(instance, n);
+                }
                 for target in 0..n {
                     if target == index {
                         continue;
                     }
-                    self.send(proc, ProcId(target), WireMessage::Collect { seq, instance });
+                    // Tell each responder which of its versions we already
+                    // hold, so it can reply with a delta.
+                    let known = if self.config.naive_payloads {
+                        0
+                    } else {
+                        self.processes[index].collect_cache.known(ProcId(target))
+                    };
+                    self.send(
+                        proc,
+                        ProcId(target),
+                        WireMessage::Collect {
+                            seq,
+                            instance,
+                            known,
+                        },
+                    );
                 }
                 self.maybe_complete_quorum(proc, quorum);
             }
@@ -695,16 +836,17 @@ impl Simulator {
     fn maybe_complete_quorum(&mut self, proc: ProcId, quorum: usize) {
         let process = &mut self.processes[proc.index()];
         let completed_seq = match &mut process.pending {
-            PendingWork::AwaitingAcks { seq, acked } if acked.len() >= quorum => {
+            PendingWork::AwaitingAcks { seq, acked, .. } if *acked >= quorum => {
                 let seq = *seq;
                 process.pending = PendingWork::ResponseReady(Response::AckQuorum);
                 Some(seq)
             }
-            PendingWork::AwaitingViews { seq, views } if views.len() >= quorum => {
+            PendingWork::AwaitingViews { seq, views, .. } if views.len() >= quorum => {
                 let seq = *seq;
                 let collected = std::mem::take(views);
-                process.pending =
-                    PendingWork::ResponseReady(Response::Views(CollectedViews::new(collected)));
+                process.pending = PendingWork::ResponseReady(Response::Views(
+                    CollectedViews::from_shared(collected),
+                ));
                 Some(seq)
             }
             _ => None,
@@ -815,9 +957,25 @@ impl Simulator {
                     self.send(message.to, message.from, WireMessage::Ack { seq });
                 }
             }
-            WireMessage::Collect { seq, instance } => {
+            WireMessage::Collect {
+                seq,
+                instance,
+                known,
+            } => {
                 if self.call_outstanding(message.from, seq) {
-                    let view: View = self.processes[to_index].replica.view_of(instance);
+                    // Shared path: a copy-on-write snapshot when the
+                    // requester holds nothing, otherwise only the entries
+                    // written since the version it reported. Naive path:
+                    // the historical full deep clone per reply.
+                    let view = if self.config.naive_payloads {
+                        fle_model::ViewTransfer::Full(Arc::new(
+                            self.processes[to_index].replica.view_of(instance),
+                        ))
+                    } else {
+                        self.processes[to_index]
+                            .replica
+                            .transfer_since(instance, known)
+                    };
                     self.send(
                         message.to,
                         message.from,
@@ -830,7 +988,8 @@ impl Simulator {
                 self.purge_if_completed(message.to);
             }
             WireMessage::CollectReply { seq, view } => {
-                self.processes[to_index].record_view(message.from, seq, view, quorum);
+                let naive = self.config.naive_payloads;
+                self.processes[to_index].record_view(message.from, seq, view, naive, quorum);
                 self.purge_if_completed(message.to);
             }
         }
@@ -851,7 +1010,17 @@ impl Simulator {
 
     fn finalize(&mut self) {
         self.report.events_executed = self.events_executed;
-        self.report.crashed = self.crashes.clone();
+        // The crash list is only needed by the report from here on; move it
+        // instead of cloning (the drained engine copy is never read again).
+        self.report.crashed = std::mem::take(&mut self.crashes);
+    }
+}
+
+impl Drop for Simulator {
+    fn drop(&mut self) {
+        if self.pooled {
+            SimArena::pool(self.extract_arena());
+        }
     }
 }
 
@@ -1036,6 +1205,27 @@ mod tests {
         assert_eq!(incremental.total_messages(), naive.total_messages());
         assert_eq!(incremental.outcomes, naive.outcomes);
         assert_eq!(incremental.events_executed, naive.events_executed);
+    }
+
+    #[test]
+    fn naive_and_shared_payloads_agree() {
+        let run = |naive_payloads: bool| {
+            let mut config = SimConfig::new(7).with_seed(5).with_trace();
+            if naive_payloads {
+                config = config.with_naive_payloads();
+            }
+            let mut sim = Simulator::new(config);
+            for i in 0..7 {
+                sim.add_participant(ProcId(i), Box::new(PropagateCollect::new(ProcId(i))));
+            }
+            sim.run(&mut RandomAdversary::with_seed(23)).unwrap()
+        };
+        let shared = run(false);
+        let naive = run(true);
+        assert_eq!(shared.trace.digest(), naive.trace.digest());
+        assert_eq!(shared.total_messages(), naive.total_messages());
+        assert_eq!(shared.outcomes, naive.outcomes);
+        assert_eq!(shared.events_executed, naive.events_executed);
     }
 
     #[test]

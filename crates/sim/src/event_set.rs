@@ -125,6 +125,24 @@ impl IndexedBitSet {
             .enumerate()
             .filter_map(|(index, &bit)| bit.then_some(index))
     }
+
+    /// Empty the set and re-size it to universe `n`, keeping allocations
+    /// when the universe already fits (trial reuse via [`crate::SimArena`]).
+    pub fn reset(&mut self, n: usize) {
+        if self.bits.len() == n {
+            self.bits.fill(false);
+            self.tree.fill(0);
+            self.len = 0;
+        } else {
+            *self = IndexedBitSet::new(n);
+        }
+    }
+}
+
+impl Default for IndexedBitSet {
+    fn default() -> Self {
+        IndexedBitSet::new(0)
+    }
 }
 
 /// Sentinel for "slot not present" in [`OrderedMsgSet::entry_of_slot`].
@@ -262,6 +280,17 @@ impl OrderedMsgSet {
             .iter()
             .zip(self.alive.iter())
             .filter_map(|(&(id, slot), &alive)| alive.then_some((MessageId(id), slot)))
+    }
+
+    /// Empty the set while keeping its allocations, for trial reuse through
+    /// [`crate::SimArena`]. Afterwards it is indistinguishable from a fresh
+    /// set (ids restart from anything, slots map on demand).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.alive.clear();
+        self.tree.clear();
+        self.entry_of_slot.clear();
+        self.live = 0;
     }
 
     /// Drop tombstones once they outnumber live entries, keeping iteration

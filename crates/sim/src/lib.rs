@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod arena;
 pub mod engine;
 pub mod error;
 pub mod event_set;
@@ -67,6 +68,7 @@ pub use adversary::{
     Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, ObliviousAdversary,
     RandomAdversary, SequentialAdversary,
 };
+pub use arena::SimArena;
 pub use engine::{SimConfig, Simulator};
 pub use error::SimError;
 pub use event_set::{IndexedBitSet, OrderedMsgSet};

@@ -102,14 +102,16 @@ impl MessageSlab {
     /// Store a message, reusing a freed slot when one exists.
     pub fn insert(&mut self, message: InFlightMessage) -> u32 {
         self.live += 1;
-        if let Some(slot) = self.free.pop() {
+        let slot = if let Some(slot) = self.free.pop() {
             debug_assert!(self.slots[slot as usize].is_none());
             self.slots[slot as usize] = Some(message);
             slot
         } else {
             self.slots.push(Some(message));
             (self.slots.len() - 1) as u32
-        }
+        };
+        self.debug_check_invariants();
+        slot
     }
 
     /// Remove and return the message in `slot`, freeing the slot.
@@ -117,7 +119,31 @@ impl MessageSlab {
         let message = self.slots.get_mut(slot as usize)?.take()?;
         self.free.push(slot);
         self.live -= 1;
+        self.debug_check_invariants();
         Some(message)
+    }
+
+    /// Empty the slab while keeping its allocations, for trial reuse through
+    /// [`crate::SimArena`]. Afterwards the slab behaves exactly like a fresh
+    /// one: slot 0 is handed out first and the free list is empty.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+    }
+
+    /// The structural invariant (`live + free = allocated`), checked after
+    /// every mutation in debug builds only. Deliberately O(1) and
+    /// allocation-free — no scan, no collecting ids into a scratch vector —
+    /// so it can neither slow the hot path nor distort allocation-sensitive
+    /// measurements; the per-slot conditions are asserted at the touch site.
+    #[inline]
+    fn debug_check_invariants(&self) {
+        debug_assert_eq!(
+            self.live + self.free.len(),
+            self.slots.len(),
+            "every slot is either occupied or on the free list"
+        );
     }
 
     /// The message in `slot`, if the slot is occupied.

@@ -2,8 +2,8 @@
 
 use crate::replica::ReplicaStore;
 use fle_model::wire::CallSeq;
-use fle_model::{Outcome, ProcId, Protocol, Response, View};
-use std::collections::BTreeSet;
+use fle_model::{BitRow, CollectCache, Outcome, ProcId, Protocol, Response, View, ViewTransfer};
+use std::sync::Arc;
 
 /// What a participating processor is currently waiting for.
 #[derive(Debug)]
@@ -18,15 +18,20 @@ pub enum PendingWork {
     AwaitingAcks {
         /// Sequence number of the call.
         seq: CallSeq,
-        /// Processors that acknowledged so far (includes the caller itself).
-        acked: BTreeSet<ProcId>,
+        /// Number of acknowledgements so far (includes the caller itself).
+        acked: usize,
+        /// Which processors acknowledged (O(1) duplicate rejection).
+        seen: BitRow,
     },
     /// A `collect` call is outstanding.
     AwaitingViews {
         /// Sequence number of the call.
         seq: CallSeq,
-        /// Views received so far (includes the caller's own view).
-        views: Vec<(ProcId, View)>,
+        /// Views received so far (includes the caller's own view), shared
+        /// with the responders' copy-on-write snapshots.
+        views: Vec<(ProcId, Arc<View>)>,
+        /// Which responders are already counted (O(1) duplicate rejection).
+        seen: BitRow,
     },
     /// The quorum has been reached and the response is ready to be consumed
     /// at the processor's next step.
@@ -61,6 +66,9 @@ pub struct SimProcess {
     /// back to it. Lets the engine purge a completed call's leftover traffic
     /// in O(call size) instead of scanning every in-flight message.
     pub call_msgs: Vec<u32>,
+    /// Requester-side delta-collect state: per responder, the most recent
+    /// view received for the instance currently being collected.
+    pub collect_cache: CollectCache,
 }
 
 impl std::fmt::Debug for SimProcess {
@@ -87,7 +95,24 @@ impl SimProcess {
             finished_at: None,
             next_seq: 0,
             call_msgs: Vec::new(),
+            collect_cache: CollectCache::new(),
         }
+    }
+
+    /// Reset this node to the pristine `replica_only` state while keeping its
+    /// buffers (call-message list, cache entries) allocated, for trial reuse
+    /// through [`crate::SimArena`].
+    pub fn recycle(&mut self, id: ProcId) {
+        self.id = id;
+        self.protocol = None;
+        self.pending = PendingWork::Finished(Outcome::Proceed);
+        self.replica.clear();
+        self.crashed = false;
+        self.started_at = None;
+        self.finished_at = None;
+        self.next_seq = 0;
+        self.call_msgs.clear();
+        self.collect_cache.clear();
     }
 
     /// Attach a protocol, turning the node into a participant.
@@ -136,10 +161,15 @@ impl SimProcess {
     /// promote the pending state to [`PendingWork::ResponseReady`] once a
     /// quorum has been reached.
     pub fn record_ack(&mut self, from: ProcId, seq: CallSeq, quorum: usize) {
-        if let PendingWork::AwaitingAcks { seq: want, acked } = &mut self.pending {
-            if *want == seq {
-                acked.insert(from);
-                if acked.len() >= quorum {
+        if let PendingWork::AwaitingAcks {
+            seq: want,
+            acked,
+            seen,
+        } = &mut self.pending
+        {
+            if *want == seq && seen.set(from.index()) {
+                *acked += 1;
+                if *acked >= quorum {
                     self.pending = PendingWork::ResponseReady(Response::AckQuorum);
                 }
             }
@@ -148,14 +178,37 @@ impl SimProcess {
 
     /// Record a collect reply for the outstanding collect call, promoting to
     /// [`PendingWork::ResponseReady`] once a quorum has been reached.
-    pub fn record_view(&mut self, from: ProcId, seq: CallSeq, view: View, quorum: usize) {
-        if let PendingWork::AwaitingViews { seq: want, views } = &mut self.pending {
-            if *want == seq && !views.iter().any(|(p, _)| *p == from) {
+    ///
+    /// `transfer` is resolved against the delta cache only when the reply is
+    /// actually recorded (right sequence number, responder not yet counted),
+    /// so stale or duplicate traffic never perturbs the cache. With
+    /// `naive_payloads` the transfer is taken as the full view it must be
+    /// (the clone path never produces deltas) and the cache stays untouched.
+    pub fn record_view(
+        &mut self,
+        from: ProcId,
+        seq: CallSeq,
+        transfer: ViewTransfer,
+        naive_payloads: bool,
+        quorum: usize,
+    ) {
+        if let PendingWork::AwaitingViews {
+            seq: want,
+            views,
+            seen,
+        } = &mut self.pending
+        {
+            if *want == seq && seen.set(from.index()) {
+                let view = if naive_payloads {
+                    transfer.expect_full()
+                } else {
+                    self.collect_cache.resolve(from, transfer)
+                };
                 views.push((from, view));
                 if views.len() >= quorum {
                     let collected = std::mem::take(views);
                     self.pending = PendingWork::ResponseReady(Response::Views(
-                        fle_model::CollectedViews::new(collected),
+                        fle_model::CollectedViews::from_shared(collected),
                     ));
                 }
             }
@@ -176,6 +229,10 @@ mod tests {
         fn adversary_view(&self) -> LocalStateView {
             LocalStateView::new("nop", "nop")
         }
+    }
+
+    fn full(view: View) -> ViewTransfer {
+        ViewTransfer::Full(Arc::new(view))
     }
 
     #[test]
@@ -203,9 +260,12 @@ mod tests {
     fn ack_quorum_promotes_pending_state() {
         let mut p = SimProcess::replica_only(ProcId(0));
         p.participate(Box::new(Nop));
+        let mut seen = BitRow::new();
+        seen.set(0);
         p.pending = PendingWork::AwaitingAcks {
             seq: 1,
-            acked: BTreeSet::from([ProcId(0)]),
+            acked: 1,
+            seen,
         };
         p.record_ack(ProcId(1), 1, 3);
         assert!(!p.step_enabled(), "two of three acks is not a quorum");
@@ -220,17 +280,20 @@ mod tests {
     fn duplicate_views_do_not_count_twice() {
         let mut p = SimProcess::replica_only(ProcId(0));
         p.participate(Box::new(Nop));
+        let mut seen = BitRow::new();
+        seen.set(0);
         p.pending = PendingWork::AwaitingViews {
             seq: 4,
-            views: vec![(ProcId(0), View::new())],
+            views: vec![(ProcId(0), Arc::new(View::new()))],
+            seen,
         };
-        p.record_view(ProcId(1), 4, View::new(), 3);
-        p.record_view(ProcId(1), 4, View::new(), 3);
+        p.record_view(ProcId(1), 4, full(View::new()), false, 3);
+        p.record_view(ProcId(1), 4, full(View::new()), false, 3);
         assert!(
             !p.step_enabled(),
             "duplicate responder must not fill the quorum"
         );
-        p.record_view(ProcId(2), 4, View::new(), 3);
+        p.record_view(ProcId(2), 4, full(View::new()), false, 3);
         assert!(p.step_enabled());
     }
 
@@ -240,5 +303,24 @@ mod tests {
         let a = p.fresh_seq();
         let b = p.fresh_seq();
         assert!(b > a);
+    }
+
+    #[test]
+    fn recycle_restores_the_pristine_state() {
+        let mut p = SimProcess::replica_only(ProcId(0));
+        p.participate(Box::new(Nop));
+        p.crashed = true;
+        p.next_seq = 9;
+        p.call_msgs.push(3);
+        p.replica.apply(
+            fle_model::Key::global(fle_model::InstanceId::Contended),
+            &fle_model::Value::Flag(true),
+        );
+        p.recycle(ProcId(5));
+        assert_eq!(p.id, ProcId(5));
+        assert!(!p.participates() && !p.crashed);
+        assert_eq!(p.next_seq, 0);
+        assert!(p.call_msgs.is_empty());
+        assert!(p.replica.is_empty());
     }
 }

@@ -1,8 +1,10 @@
-//! Differential tests for the incremental enabled-event scheduler.
+//! Differential tests for the simulator's performance modes.
 //!
 //! The simulator maintains its enabled-event set incrementally (see
-//! `fle_sim::event_set`); these tests pin that optimization to the original
-//! semantics in two ways:
+//! `fle_sim::event_set`) and ships message payloads as refcount-shared
+//! broadcasts and copy-on-write / delta view transfers (see
+//! `fle_model::wire`); these tests pin both optimizations to the original
+//! semantics:
 //!
 //! 1. **Per-step differential check** — `with_event_set_validation()` makes
 //!    the engine assert, before *every* adversary decision, that the
@@ -13,6 +15,10 @@
 //!    profile) must produce byte-identical execution reports: same trace
 //!    digest, same outcomes, same metrics, same event counts, for every
 //!    `(seed, adversary)` pair.
+//! 3. **Payload-path equivalence** — the clone-per-message payload path
+//!    (`with_naive_payloads()`) must produce byte-identical reports to the
+//!    shared/delta path, alone and combined with the naive scheduler, across
+//!    the election, renaming and crashy workloads.
 
 use fast_leader_election::prelude::*;
 
@@ -158,6 +164,72 @@ fn naive_and_incremental_schedulers_yield_identical_reports() {
                 &naive,
                 &format!("crashy election n={n} seed={seed}"),
             );
+        }
+    }
+}
+
+/// The shared/delta payload path produces byte-identical execution reports
+/// to the retained clone-per-message path: same trace, outcomes, metrics and
+/// event counts for every `(workload, seed, adversary)` combination. This is
+/// the differential gate for the O(1)-payload data plane (shared broadcast
+/// `Arc`s, copy-on-write snapshots, delta collect replies).
+#[test]
+fn clone_and_shared_payload_paths_yield_identical_reports() {
+    for n in [1usize, 2, 4, 8, 13] {
+        for seed in 0..3u64 {
+            for kind in 0..4u8 {
+                let shared = run_election(n, seed, kind, |c| c);
+                let cloned = run_election(n, seed, kind, SimConfig::with_naive_payloads);
+                assert_reports_identical(
+                    &shared,
+                    &cloned,
+                    &format!("payload election n={n} seed={seed} kind={kind}"),
+                );
+            }
+        }
+    }
+    for n in [3usize, 5] {
+        for seed in 0..2u64 {
+            let shared = run_renaming_sim(n, seed, 0, |c| c);
+            let cloned = run_renaming_sim(n, seed, 0, SimConfig::with_naive_payloads);
+            assert_reports_identical(
+                &shared,
+                &cloned,
+                &format!("payload renaming n={n} seed={seed}"),
+            );
+        }
+    }
+    for n in [5usize, 9] {
+        for seed in 0..3u64 {
+            let shared = run_crashy_election(n, seed, |c| c);
+            let cloned = run_crashy_election(n, seed, SimConfig::with_naive_payloads);
+            assert_reports_identical(
+                &shared,
+                &cloned,
+                &format!("payload crashy election n={n} seed={seed}"),
+            );
+        }
+    }
+}
+
+/// Both reference axes at once: the fully naive engine (rebuild-per-event
+/// scheduler + clone-per-message payloads) agrees with the fully optimized
+/// one, so the two optimizations cannot mask each other's divergences.
+#[test]
+fn fully_naive_and_fully_optimized_engines_agree() {
+    for n in [2usize, 7, 12] {
+        for seed in 0..2u64 {
+            for kind in 0..4u8 {
+                let optimized = run_election(n, seed, kind, |c| c);
+                let naive = run_election(n, seed, kind, |c| {
+                    c.with_naive_event_set().with_naive_payloads()
+                });
+                assert_reports_identical(
+                    &optimized,
+                    &naive,
+                    &format!("fully-naive election n={n} seed={seed} kind={kind}"),
+                );
+            }
         }
     }
 }
