@@ -85,16 +85,46 @@ pub fn valid_tight_renaming(report: &ExecutionReport, k: usize, namespace: usize
 /// Renaming validity for executions with crashes: every participant that
 /// returned holds a distinct in-range name (no completeness requirement).
 pub fn valid_partial_renaming(report: &ExecutionReport, namespace: usize) -> bool {
-    let names = report.names();
-    let mut seen = BTreeSet::new();
-    names
-        .values()
-        .all(|&name| name >= 1 && name <= namespace && seen.insert(name))
+    first_name_violation(report, namespace).is_none()
 }
 
 /// Every processor in `participants` returned some outcome.
 pub fn all_returned(report: &ExecutionReport, participants: &[ProcId]) -> bool {
     participants.iter().all(|p| report.outcome(*p).is_some())
+}
+
+/// Sifting wipeout: every listed participant returned and **none** survived
+/// — the negation of Claim 3.1, and the condition the explorer's
+/// survivor-bound oracle fires on.
+///
+/// Because a crashed participant never returns, "every participant returned"
+/// doubles as a crash-freedom certificate for the participants; the claim is
+/// only guaranteed in that case, so the predicate is conservative (`false`)
+/// while anyone is still out.
+pub fn sifting_wipeout(report: &ExecutionReport, participants: &[ProcId]) -> bool {
+    !participants.is_empty() && all_returned(report, participants) && report.survivors().is_empty()
+}
+
+/// Election stall: every listed participant returned and **nobody** won —
+/// the negation of the test-and-set liveness guarantee for crash-free
+/// executions (like [`sifting_wipeout`], "everyone returned" certifies that
+/// no participant crashed).
+pub fn election_stalled(report: &ExecutionReport, participants: &[ProcId]) -> bool {
+    !participants.is_empty() && all_returned(report, participants) && report.winners().is_empty()
+}
+
+/// The first renaming violation among the outcomes so far: a processor
+/// holding a name outside `1..=namespace`, or the second holder of a
+/// duplicated name. `None` while every returned name is a valid partial
+/// renaming — so the predicate is usable *online*, after every return.
+pub fn first_name_violation(report: &ExecutionReport, namespace: usize) -> Option<(ProcId, usize)> {
+    let mut holders: BTreeSet<usize> = BTreeSet::new();
+    for (proc, name) in report.names() {
+        if name == 0 || name > namespace || !holders.insert(name) {
+            return Some((proc, name));
+        }
+    }
+    None
 }
 
 /// Every *correct* (non-crashed) processor in `participants` returned.
@@ -168,6 +198,44 @@ mod tests {
         let out_of_range = report_with(&[(0, Outcome::Name(9))]);
         assert!(!valid_tight_renaming(&out_of_range, 1, 3));
         assert!(!valid_partial_renaming(&out_of_range, 3));
+    }
+
+    #[test]
+    fn wipeout_and_stall_require_everyone_back() {
+        let participants = [ProcId(0), ProcId(1)];
+        let all_dead = report_with(&[(0, Outcome::Die), (1, Outcome::Die)]);
+        assert!(sifting_wipeout(&all_dead, &participants));
+        let one_out = report_with(&[(0, Outcome::Die)]);
+        assert!(
+            !sifting_wipeout(&one_out, &participants),
+            "an unreturned (possibly crashed) participant mutes the oracle"
+        );
+        let one_lives = report_with(&[(0, Outcome::Die), (1, Outcome::Survive)]);
+        assert!(!sifting_wipeout(&one_lives, &participants));
+        assert!(!sifting_wipeout(&all_dead, &[]));
+
+        let no_winner = report_with(&[(0, Outcome::Lose), (1, Outcome::Lose)]);
+        assert!(election_stalled(&no_winner, &participants));
+        let won = report_with(&[(0, Outcome::Win), (1, Outcome::Lose)]);
+        assert!(!election_stalled(&won, &participants));
+        assert!(!election_stalled(
+            &report_with(&[(0, Outcome::Lose)]),
+            &participants
+        ));
+    }
+
+    #[test]
+    fn first_name_violation_finds_duplicates_and_range_errors() {
+        let good = report_with(&[(0, Outcome::Name(1)), (1, Outcome::Name(3))]);
+        assert_eq!(first_name_violation(&good, 3), None);
+
+        let dup = report_with(&[(0, Outcome::Name(2)), (2, Outcome::Name(2))]);
+        assert_eq!(first_name_violation(&dup, 3), Some((ProcId(2), 2)));
+
+        let out_of_range = report_with(&[(0, Outcome::Name(9))]);
+        assert_eq!(first_name_violation(&out_of_range, 3), Some((ProcId(0), 9)));
+        let zero = report_with(&[(0, Outcome::Name(0))]);
+        assert_eq!(first_name_violation(&zero, 3), Some((ProcId(0), 0)));
     }
 
     #[test]

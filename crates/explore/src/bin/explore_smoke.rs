@@ -1,0 +1,76 @@
+//! CI smoke sweep for the schedule explorer.
+//!
+//! Runs the full attack library against every healthy scenario at n ∈ {4, 8}
+//! with fixed seeds and asserts that **zero** violations are found — the
+//! paper's invariants must survive every strategy in the library. As a
+//! positive control (the sweep must be able to fail), it then hunts the two
+//! sabotaged protocol variants and asserts that both *are* caught and that
+//! the election counterexample shrinks.
+//!
+//! Exit code 0 = all clean and both mutants caught; 1 otherwise. The grid is
+//! sized to finish in well under a minute on one core.
+
+use fle_explore::sabotage::{SabotagedElectionScenario, SabotagedSiftScenario};
+use fle_explore::{shrink, standard_scenarios, Explorer, Scenario};
+
+fn main() {
+    let mut failures = 0usize;
+
+    println!("== explore-smoke: healthy scenarios (must be clean) ==");
+    for scenario in standard_scenarios(&[4, 8]) {
+        let report = Explorer::new(scenario.as_ref())
+            .with_sim_seeds(0..4)
+            .with_strategy_seeds(0..2)
+            .hunt();
+        let status = if report.violations.is_empty() {
+            "clean"
+        } else {
+            failures += 1;
+            "VIOLATED"
+        };
+        println!(
+            "  {:<40} {:>3} episodes  {status}",
+            scenario.name(),
+            report.episodes
+        );
+        for violation in &report.violations {
+            println!("    !! {violation}");
+        }
+    }
+
+    println!("== explore-smoke: sabotaged mutants (must be caught) ==");
+    let election = SabotagedElectionScenario { n: 8, k: 8 };
+    let hunt = Explorer::new(&election).with_sim_seeds(0..8).hunt();
+    match hunt.first_violation() {
+        Some(found) => {
+            let minimal = shrink(&election, found, 300);
+            println!(
+                "  {:<40} caught ({}; trace {} -> {} decisions in {} replays)",
+                election.name(),
+                found.violation.oracle,
+                minimal.original_len,
+                minimal.minimized.len(),
+                minimal.replays
+            );
+        }
+        None => {
+            failures += 1;
+            println!("  {:<40} NOT CAUGHT", election.name());
+        }
+    }
+    let sift = SabotagedSiftScenario { n: 4, bias: 0.1 };
+    let hunt = Explorer::new(&sift).with_sim_seeds(0..8).hunt();
+    match hunt.first_violation() {
+        Some(found) => println!("  {:<40} caught ({})", sift.name(), found.violation.oracle),
+        None => {
+            failures += 1;
+            println!("  {:<40} NOT CAUGHT", sift.name());
+        }
+    }
+
+    if failures > 0 {
+        println!("explore-smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("explore-smoke: ok");
+}

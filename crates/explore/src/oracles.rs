@@ -1,0 +1,380 @@
+//! Safety oracles: invariant monitors evaluated *online*, after every
+//! executed event.
+//!
+//! An [`Oracle`] watches one of the paper's guarantees over the in-progress
+//! execution (via [`OracleCtx`]) and reports a [`Violation`] the moment the
+//! guarantee is falsified, so the explorer can stop the episode at the first
+//! bad event — which also makes the recorded counterexample as short as
+//! possible before shrinking even starts. The predicates themselves live in
+//! `fle_core::checks`; the oracles add the online-evaluation discipline
+//! (when a check is meaningful, how to phrase the violation).
+//!
+//! The standard library:
+//!
+//! * [`UniqueLeaderOracle`] — at most one `WIN` per election instance
+//!   (Section 2's test-and-set uniqueness); fires the moment a second
+//!   winner returns.
+//! * [`LinearizabilityOracle`] — the test-and-set linearizability condition:
+//!   no loser may finish before the eventual winner started.
+//! * [`NameUniquenessOracle`] — renaming names are distinct and inside
+//!   `1..=namespace` (Lemma A.6); fires on the first duplicate or
+//!   out-of-range name.
+//! * [`SurvivorBoundOracle`] — a sifting phase never eliminates everyone
+//!   (Claim 3.1); fires when the last participant returns and nobody
+//!   survived.
+//! * [`ElectionLivenessOracle`] — a crash-free election elects somebody;
+//!   fires when every participant returned and nobody won.
+//! * [`TerminationBudgetOracle`] — quiescence: the execution must finish
+//!   within an event budget; fires when the budget is crossed (the explorer
+//!   also maps the engine's own budget error onto this oracle).
+
+use fle_core::checks;
+use fle_model::ProcId;
+use fle_sim::{ExecutionReport, SystemObservation};
+use std::fmt;
+
+/// What an oracle may inspect after an event: the in-progress report (the
+/// outcomes and intervals of participants that returned so far), the
+/// adversary-visible observation, the participant list and the event count.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleCtx<'a> {
+    /// Outcomes, intervals, metrics and trace accumulated so far.
+    pub report: &'a ExecutionReport,
+    /// The adversary-visible system state.
+    pub observation: &'a SystemObservation,
+    /// The processors participating in the scenario's protocol.
+    pub participants: &'a [ProcId],
+    /// Events executed so far (the in-progress report does not carry this).
+    pub events_executed: u64,
+}
+
+/// A falsified invariant: which oracle fired, why, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the oracle that fired (e.g. `"unique-leader"`).
+    pub oracle: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+    /// Events executed when the oracle fired.
+    pub events_executed: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} (after {} events)",
+            self.oracle, self.detail, self.events_executed
+        )
+    }
+}
+
+/// An online invariant monitor. `check` runs after **every** executed event;
+/// returning `Some` aborts the episode with that violation.
+pub trait Oracle {
+    /// Stable oracle name used in reports and by the shrinker to re-identify
+    /// the violation under replay.
+    fn name(&self) -> &'static str;
+
+    /// Inspect the execution after one event.
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Option<Violation>;
+}
+
+/// At most one participant wins the election (test-and-set uniqueness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniqueLeaderOracle;
+
+/// Stable name of [`UniqueLeaderOracle`].
+pub const UNIQUE_LEADER: &str = "unique-leader";
+
+impl Oracle for UniqueLeaderOracle {
+    fn name(&self) -> &'static str {
+        UNIQUE_LEADER
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Option<Violation> {
+        if checks::unique_winner(ctx.report) {
+            return None;
+        }
+        Some(Violation {
+            oracle: UNIQUE_LEADER,
+            detail: format!("multiple winners: {:?}", ctx.report.winners()),
+            events_executed: ctx.events_executed,
+        })
+    }
+}
+
+/// The linearizability condition of Section 2: no loser finishes before the
+/// eventual winner started.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearizabilityOracle;
+
+/// Stable name of [`LinearizabilityOracle`].
+pub const LINEARIZABILITY: &str = "linearizability";
+
+impl Oracle for LinearizabilityOracle {
+    fn name(&self) -> &'static str {
+        LINEARIZABILITY
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Option<Violation> {
+        // The check is monotone once the winner has returned: a loser that
+        // already finished before the winner started stays finished. Before
+        // any winner exists the condition is vacuous (given uniqueness,
+        // which UniqueLeaderOracle polices separately).
+        if checks::linearizable_test_and_set(ctx.report) || !checks::unique_winner(ctx.report) {
+            return None;
+        }
+        Some(Violation {
+            oracle: LINEARIZABILITY,
+            detail: format!(
+                "a loser's interval ended before winner {:?} started",
+                ctx.report.winners()
+            ),
+            events_executed: ctx.events_executed,
+        })
+    }
+}
+
+/// Renaming validity: names handed out so far are distinct and inside
+/// `1..=namespace`.
+#[derive(Debug, Clone, Copy)]
+pub struct NameUniquenessOracle {
+    /// The target namespace (names must fall in `1..=namespace`).
+    pub namespace: usize,
+}
+
+/// Stable name of [`NameUniquenessOracle`].
+pub const NAME_UNIQUENESS: &str = "name-uniqueness";
+
+impl Oracle for NameUniquenessOracle {
+    fn name(&self) -> &'static str {
+        NAME_UNIQUENESS
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Option<Violation> {
+        let (proc, name) = checks::first_name_violation(ctx.report, self.namespace)?;
+        Some(Violation {
+            oracle: NAME_UNIQUENESS,
+            detail: format!(
+                "{proc} holds name {name}, which is duplicated or outside 1..={}",
+                self.namespace
+            ),
+            events_executed: ctx.events_executed,
+        })
+    }
+}
+
+/// Claim 3.1: a sifting phase in which every participant returned must have
+/// at least one survivor. (A crashed participant never returns, so the
+/// oracle is automatically mute in executions where the claim's crash-free
+/// precondition fails.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SurvivorBoundOracle;
+
+/// Stable name of [`SurvivorBoundOracle`].
+pub const SURVIVOR_BOUND: &str = "survivor-bound";
+
+impl Oracle for SurvivorBoundOracle {
+    fn name(&self) -> &'static str {
+        SURVIVOR_BOUND
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Option<Violation> {
+        if !checks::sifting_wipeout(ctx.report, ctx.participants) {
+            return None;
+        }
+        Some(Violation {
+            oracle: SURVIVOR_BOUND,
+            detail: format!(
+                "all {} participants returned and nobody survived",
+                ctx.participants.len()
+            ),
+            events_executed: ctx.events_executed,
+        })
+    }
+}
+
+/// Liveness of a crash-free election: when every participant returned,
+/// somebody must have won.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElectionLivenessOracle;
+
+/// Stable name of [`ElectionLivenessOracle`].
+pub const ELECTION_LIVENESS: &str = "election-liveness";
+
+impl Oracle for ElectionLivenessOracle {
+    fn name(&self) -> &'static str {
+        ELECTION_LIVENESS
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Option<Violation> {
+        if !checks::election_stalled(ctx.report, ctx.participants) {
+            return None;
+        }
+        Some(Violation {
+            oracle: ELECTION_LIVENESS,
+            detail: format!(
+                "all {} participants returned and nobody won",
+                ctx.participants.len()
+            ),
+            events_executed: ctx.events_executed,
+        })
+    }
+}
+
+/// Quiescence: the execution must complete within an event budget. The
+/// explorer also maps the engine's [`fle_sim::SimError::EventBudgetExhausted`]
+/// onto this oracle, so runaway schedules are reported as violations rather
+/// than as errors.
+#[derive(Debug, Clone, Copy)]
+pub struct TerminationBudgetOracle {
+    /// Maximum events the execution may take.
+    pub budget: u64,
+}
+
+/// Stable name of [`TerminationBudgetOracle`].
+pub const TERMINATION_BUDGET: &str = "termination-budget";
+
+/// The violation reported when an execution exceeds `budget` events.
+pub fn budget_violation(budget: u64, events_executed: u64) -> Violation {
+    Violation {
+        oracle: TERMINATION_BUDGET,
+        detail: format!("still running after {events_executed} events (budget {budget})"),
+        events_executed,
+    }
+}
+
+impl Oracle for TerminationBudgetOracle {
+    fn name(&self) -> &'static str {
+        TERMINATION_BUDGET
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Option<Violation> {
+        (ctx.events_executed > self.budget)
+            .then(|| budget_violation(self.budget, ctx.events_executed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fle_model::Outcome;
+    use fle_sim::{ExecutionReport, SystemObservation};
+
+    fn ctx_with<'a>(
+        report: &'a ExecutionReport,
+        observation: &'a SystemObservation,
+        participants: &'a [ProcId],
+    ) -> OracleCtx<'a> {
+        OracleCtx {
+            report,
+            observation,
+            participants,
+            events_executed: 10,
+        }
+    }
+
+    fn empty_observation() -> SystemObservation {
+        SystemObservation {
+            n: 2,
+            events_executed: 10,
+            crash_budget_left: 0,
+            processes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unique_leader_fires_on_the_second_win() {
+        let observation = empty_observation();
+        let participants = [ProcId(0), ProcId(1)];
+        let mut report = ExecutionReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Win);
+        let mut oracle = UniqueLeaderOracle;
+        assert!(oracle
+            .check(&ctx_with(&report, &observation, &participants))
+            .is_none());
+        report.outcomes.insert(ProcId(1), Outcome::Win);
+        let violation = oracle
+            .check(&ctx_with(&report, &observation, &participants))
+            .expect("two winners violate uniqueness");
+        assert_eq!(violation.oracle, UNIQUE_LEADER);
+        assert_eq!(violation.events_executed, 10);
+        assert!(violation.to_string().contains("unique-leader"));
+    }
+
+    #[test]
+    fn survivor_bound_waits_for_everyone() {
+        let observation = empty_observation();
+        let participants = [ProcId(0), ProcId(1)];
+        let mut report = ExecutionReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Die);
+        let mut oracle = SurvivorBoundOracle;
+        assert!(
+            oracle
+                .check(&ctx_with(&report, &observation, &participants))
+                .is_none(),
+            "one participant still out: claim not yet applicable"
+        );
+        report.outcomes.insert(ProcId(1), Outcome::Die);
+        assert!(oracle
+            .check(&ctx_with(&report, &observation, &participants))
+            .is_some());
+    }
+
+    #[test]
+    fn name_uniqueness_reports_the_clashing_processor() {
+        let observation = empty_observation();
+        let participants = [ProcId(0), ProcId(1)];
+        let mut report = ExecutionReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Name(2));
+        report.outcomes.insert(ProcId(1), Outcome::Name(2));
+        let mut oracle = NameUniquenessOracle { namespace: 4 };
+        let violation = oracle
+            .check(&ctx_with(&report, &observation, &participants))
+            .expect("duplicate names violate renaming");
+        assert_eq!(violation.oracle, NAME_UNIQUENESS);
+    }
+
+    #[test]
+    fn termination_budget_fires_past_the_budget() {
+        let observation = empty_observation();
+        let participants = [ProcId(0)];
+        let report = ExecutionReport::default();
+        let mut oracle = TerminationBudgetOracle { budget: 9 };
+        let violation = oracle.check(&ctx_with(&report, &observation, &participants));
+        assert!(violation.is_some(), "10 events exceed a budget of 9");
+        let mut generous = TerminationBudgetOracle { budget: 10 };
+        assert!(generous
+            .check(&ctx_with(&report, &observation, &participants))
+            .is_none());
+    }
+
+    #[test]
+    fn election_liveness_fires_when_everyone_lost() {
+        let observation = empty_observation();
+        let participants = [ProcId(0), ProcId(1)];
+        let mut report = ExecutionReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Lose);
+        report.outcomes.insert(ProcId(1), Outcome::Lose);
+        let mut oracle = ElectionLivenessOracle;
+        assert!(oracle
+            .check(&ctx_with(&report, &observation, &participants))
+            .is_some());
+    }
+
+    #[test]
+    fn linearizability_oracle_spots_early_losers() {
+        let observation = empty_observation();
+        let participants = [ProcId(0), ProcId(1)];
+        let mut report = ExecutionReport::default();
+        report.outcomes.insert(ProcId(0), Outcome::Win);
+        report.outcomes.insert(ProcId(1), Outcome::Lose);
+        report.intervals.insert(ProcId(0), (10, Some(20)));
+        report.intervals.insert(ProcId(1), (0, Some(5)));
+        let mut oracle = LinearizabilityOracle;
+        assert!(oracle
+            .check(&ctx_with(&report, &observation, &participants))
+            .is_some());
+    }
+}

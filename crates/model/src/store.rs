@@ -431,6 +431,87 @@ mod tests {
     }
 
     #[test]
+    fn transfer_crosses_from_delta_to_snapshot_at_the_entry_budget() {
+        let mut store = ReplicaStore::new();
+        let instance = InstanceId::Contended;
+        store.apply(Key::name(instance, 5000), &Value::Flag(true));
+        let known = store.view_arc(instance).version();
+
+        // Exactly DELTA_ENTRY_BUDGET effective writes since `known`: still a
+        // partial delta carrying every one of them.
+        for i in 0..DELTA_ENTRY_BUDGET {
+            store.apply(Key::name(instance, i as usize), &Value::Flag(true));
+        }
+        match store.transfer_since(instance, known) {
+            ViewTransfer::Delta { since, entries, .. } => {
+                assert_eq!(since, known);
+                assert_eq!(entries.len(), DELTA_ENTRY_BUDGET as usize);
+            }
+            other => panic!("at the budget the reply must still be a delta, got {other:?}"),
+        }
+
+        // One more effective write crosses the threshold: the responder
+        // falls back to a copy-on-write full snapshot.
+        store.apply(
+            Key::name(instance, DELTA_ENTRY_BUDGET as usize),
+            &Value::Flag(true),
+        );
+        match store.transfer_since(instance, known) {
+            ViewTransfer::Full(view) => {
+                assert_eq!(view.len(), DELTA_ENTRY_BUDGET as usize + 2);
+            }
+            other => panic!("past the budget the reply must be a snapshot, got {other:?}"),
+        }
+
+        // Either way the requester reconstructs the same view.
+        let mut cache = CollectCache::new();
+        cache.prepare(instance, 2);
+        let rebuilt = cache.resolve(ProcId(1), store.transfer_since(instance, 0));
+        assert_eq!(*rebuilt, store.view_of(instance));
+    }
+
+    #[test]
+    fn collect_cache_epoch_invalidation_is_constant_time_and_safe() {
+        let instance_a = InstanceId::Contended;
+        let instance_b = InstanceId::door(ElectionContext::Standalone);
+        let responder_id = ProcId(1);
+        let mut responder = ReplicaStore::new();
+        responder.apply(Key::name(instance_a, 0), &Value::Flag(true));
+        responder.apply(Key::name(instance_a, 3), &Value::Flag(true));
+        let version_a = responder.view_arc(instance_a).version();
+
+        let mut cache = CollectCache::new();
+        cache.prepare(instance_a, 2);
+        cache.resolve(
+            responder_id,
+            responder.transfer_since(instance_a, cache.known(responder_id)),
+        );
+        assert_eq!(cache.known(responder_id), version_a);
+
+        // Switching instances must invalidate in O(1): the entry is *not*
+        // rewritten (it still physically holds the old version and view),
+        // only the epoch moves on — which is what makes the entry invisible.
+        cache.prepare(instance_b, 2);
+        assert_eq!(cache.entries[responder_id.index()].version, version_a);
+        assert!(cache.entries[responder_id.index()].view.is_some());
+        assert_eq!(cache.known(responder_id), 0, "stale epoch reads as unknown");
+
+        // Switching *back* bumps the epoch again: the version from the
+        // first visit must not leak, or the responder would answer with a
+        // delta based on state the requester no longer tracks.
+        cache.prepare(instance_a, 2);
+        assert_eq!(cache.known(responder_id), 0);
+        let transfer = responder.transfer_since(instance_a, cache.known(responder_id));
+        assert!(
+            matches!(transfer, ViewTransfer::Full(_)),
+            "a stale-version collect after a switch must get a full snapshot"
+        );
+        let rebuilt = cache.resolve(responder_id, transfer);
+        assert_eq!(*rebuilt, responder.view_of(instance_a));
+        assert_eq!(cache.known(responder_id), version_a);
+    }
+
+    #[test]
     fn collect_cache_resets_when_the_instance_changes() {
         let mut cache = CollectCache::new();
         cache.prepare(InstanceId::Contended, 2);

@@ -682,6 +682,80 @@ mod tests {
     }
 
     #[test]
+    fn write_after_snapshot_recopies_exactly_one_chunk() {
+        let mut view = View::new();
+        view.insert(Slot::Proc(ProcId(0)), Value::Round(1));
+        view.insert(Slot::Proc(ProcId(CHUNK + 1)), Value::Round(2));
+        let snapshot = view.clone();
+        // A structural clone shares every block.
+        assert!(Arc::ptr_eq(
+            &view.procs.chunks[0],
+            &snapshot.procs.chunks[0]
+        ));
+        assert!(Arc::ptr_eq(
+            &view.procs.chunks[1],
+            &snapshot.procs.chunks[1]
+        ));
+
+        // One write into block 0: that block — and only that block — is
+        // re-copied; the untouched block stays shared with the snapshot.
+        view.insert(Slot::Proc(ProcId(1)), Value::Round(3));
+        assert!(
+            !Arc::ptr_eq(&view.procs.chunks[0], &snapshot.procs.chunks[0]),
+            "the written block must detach from the snapshot"
+        );
+        assert!(
+            Arc::ptr_eq(&view.procs.chunks[1], &snapshot.procs.chunks[1]),
+            "an untouched block must stay refcount-shared"
+        );
+        // The snapshot still observes the pre-write state.
+        assert!(snapshot.get(&Slot::Proc(ProcId(1))).is_none());
+        assert_eq!(view.get(&Slot::Proc(ProcId(1))), Some(&Value::Round(3)));
+    }
+
+    #[test]
+    fn untouched_tail_blocks_share_the_global_empty_chunk() {
+        let mut view = View::new();
+        // Growing straight to block 2 fills blocks 0-1 with the shared
+        // all-⊥ block instead of allocating fresh zeroed blocks.
+        view.insert(Slot::Proc(ProcId(2 * CHUNK + 5)), Value::Flag(true));
+        assert!(Arc::ptr_eq(&view.procs.chunks[0], &empty_chunk()));
+        assert!(Arc::ptr_eq(&view.procs.chunks[1], &empty_chunk()));
+        assert!(!Arc::ptr_eq(&view.procs.chunks[2], &empty_chunk()));
+        assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn merge_no_op_writes_leave_versions_and_stamps_alone() {
+        let mut view = View::new();
+        view.insert(Slot::Proc(ProcId(3)), Value::Round(5));
+        let version = view.version();
+        assert_eq!(view.procs.chunks[0].cells[3].stamp, version);
+
+        // An idempotent re-delivery and a stale (smaller) round are both
+        // merge no-ops: no version advance, no restamp, no delta entries.
+        assert!(!view.insert(Slot::Proc(ProcId(3)), Value::Round(5)));
+        assert!(!view.insert(Slot::Proc(ProcId(3)), Value::Round(2)));
+        assert_eq!(view.version(), version);
+        assert_eq!(view.procs.chunks[0].cells[3].stamp, version);
+        assert_eq!(view.procs.chunks[0].max_stamp, version);
+        assert_eq!(view.delta_since(version).count(), 0);
+
+        // A no-op write after a snapshot still unshares the block it lands
+        // in (`chunk_mut` runs before the merge outcome is known) — the
+        // price is one block copy, never a wrong stamp or a false delta.
+        let snapshot = view.clone();
+        assert!(!view.insert(Slot::Proc(ProcId(3)), Value::Round(5)));
+        assert!(!Arc::ptr_eq(
+            &view.procs.chunks[0],
+            &snapshot.procs.chunks[0]
+        ));
+        assert_eq!(view, snapshot, "contents must be untouched");
+        assert_eq!(view.version(), snapshot.version());
+        assert_eq!(view.delta_since(version).count(), 0);
+    }
+
+    #[test]
     fn observed_procs_unions_views() {
         let v1: View = [(Slot::Proc(ProcId(0)), status(Priority::Low))]
             .into_iter()

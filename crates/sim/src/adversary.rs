@@ -21,8 +21,16 @@
 //!   survivors.
 //! * [`CrashingAdversary`] — wraps any adversary with a [`CrashPlan`] that
 //!   crashes chosen processors at chosen points of the execution.
+//!
+//! Two combinators support the schedule-exploration subsystem
+//! (`fle_explore`): [`RecordingAdversary`] taps any adversary and records its
+//! decisions into a replayable [`DecisionTrace`], and [`ReplayAdversary`]
+//! plays such a trace back — tolerating edits, which is what lets a
+//! delta-debugging shrinker drop decision chunks and still obtain a valid
+//! execution.
 
 use crate::observation::{Decision, EnabledEvent, EnabledEvents, ProcessPhase, SystemObservation};
+use crate::trace::DecisionTrace;
 use fle_model::ProcId;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -41,6 +49,16 @@ pub trait Adversary {
 
     /// Human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
+}
+
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
+        (**self).decide(observation, enabled)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 /// Picks uniformly at random among enabled events. Fair with probability 1.
@@ -285,6 +303,125 @@ impl<A: Adversary> Adversary for CrashingAdversary<A> {
     }
 }
 
+/// Taps an inner adversary and records every decision it makes into a
+/// [`DecisionTrace`].
+///
+/// Because the engine is deterministic given its seed, the recorded trace
+/// plus the [`crate::SimConfig`] fully determine the execution; feeding the
+/// trace to a [`ReplayAdversary`] reproduces it. The explorer wraps every
+/// attack strategy in one of these so that any violation it finds comes with
+/// a replayable counterexample for free.
+#[derive(Debug, Clone)]
+pub struct RecordingAdversary<A> {
+    inner: A,
+    trace: DecisionTrace,
+}
+
+impl<A: Adversary> RecordingAdversary<A> {
+    /// Record the decisions of `inner`.
+    pub fn new(inner: A) -> Self {
+        RecordingAdversary {
+            inner,
+            trace: DecisionTrace::new(),
+        }
+    }
+
+    /// The decisions recorded so far.
+    pub fn trace(&self) -> &DecisionTrace {
+        &self.trace
+    }
+
+    /// Consume the recorder, keeping only the trace.
+    pub fn into_trace(self) -> DecisionTrace {
+        self.trace
+    }
+}
+
+impl<A: Adversary> Adversary for RecordingAdversary<A> {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
+        let decision = self.inner.decide(observation, enabled);
+        self.trace.push(decision);
+        decision
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Replays a [`DecisionTrace`], sanitizing decisions that no longer apply.
+///
+/// The replayer is deliberately *tolerant*: the shrinker edits traces (drops
+/// chunks, truncates), which shifts the meaning of later indices, so a
+/// faithful-or-fail replayer would reject almost every edit. Instead:
+///
+/// * `Schedule(i)` is clamped to `i % enabled.len()` — an unedited trace is
+///   replayed verbatim (indices are always in range when nothing was
+///   dropped), an edited one stays a *valid* schedule;
+/// * `Crash(p)` is replayed only while it is legal (budget left, victim
+///   alive); otherwise the oldest enabled event is scheduled instead;
+/// * once the trace is exhausted the replayer keeps scheduling the oldest
+///   enabled event (index 0), a deterministic completion rule.
+///
+/// Any violation found under replay is therefore a genuine counterexample —
+/// the schedule executed is exactly the (sanitized) decision sequence, and
+/// re-running it is deterministic.
+#[derive(Debug, Clone)]
+pub struct ReplayAdversary {
+    decisions: Vec<Decision>,
+    next: usize,
+}
+
+impl ReplayAdversary {
+    /// Replay `trace` from the beginning.
+    pub fn new(trace: &DecisionTrace) -> Self {
+        ReplayAdversary {
+            decisions: trace.decisions().to_vec(),
+            next: 0,
+        }
+    }
+
+    /// Replay an explicit decision sequence.
+    pub fn from_decisions(decisions: Vec<Decision>) -> Self {
+        ReplayAdversary { decisions, next: 0 }
+    }
+
+    /// How many trace decisions have been consumed so far (fallback
+    /// decisions made after exhaustion are not counted). The shrinker uses
+    /// this to truncate a trace to the prefix that was actually needed
+    /// before the violation fired.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+}
+
+impl Adversary for ReplayAdversary {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
+        let Some(&decision) = self.decisions.get(self.next) else {
+            // Trace exhausted: deterministic completion (oldest event first).
+            return Decision::Schedule(0);
+        };
+        self.next += 1;
+        match decision {
+            Decision::Schedule(index) => Decision::Schedule(index % enabled.len()),
+            Decision::Crash(victim) => {
+                let legal = victim.index() < observation.n
+                    && observation.crash_budget_left > 0
+                    && !matches!(observation.process(victim).phase, ProcessPhase::Crashed);
+                if legal {
+                    Decision::Crash(victim)
+                } else {
+                    Decision::Schedule(0)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +549,73 @@ mod tests {
             adversary.decide(&obs, &EnabledEvents::from_slice(&enabled)),
             Decision::Schedule(_)
         ));
+    }
+
+    #[test]
+    fn recording_adversary_captures_the_exact_decisions() {
+        let obs = observation(vec![(ProcessPhase::StepReady, None); 3]);
+        let enabled = vec![EnabledEvent::Step(ProcId(0)); 4];
+        let mut recorder = RecordingAdversary::new(RandomAdversary::with_seed(9));
+        let mut reference = RandomAdversary::with_seed(9);
+        let mut expected = Vec::new();
+        for _ in 0..6 {
+            let d = recorder.decide(&obs, &EnabledEvents::from_slice(&enabled));
+            expected.push(reference.decide(&obs, &EnabledEvents::from_slice(&enabled)));
+            assert_eq!(d, *expected.last().unwrap());
+        }
+        assert_eq!(recorder.trace().decisions(), expected.as_slice());
+        assert_eq!(recorder.name(), "random");
+        assert_eq!(recorder.into_trace().len(), 6);
+    }
+
+    #[test]
+    fn replay_adversary_clamps_and_falls_back() {
+        let obs = observation(vec![(ProcessPhase::StepReady, None); 3]);
+        let enabled = vec![EnabledEvent::Step(ProcId(0)); 3];
+        let trace: DecisionTrace = [
+            Decision::Schedule(2),
+            Decision::Schedule(7), // out of range after an edit: clamped to 7 % 3
+            Decision::Crash(ProcId(1)),
+            Decision::Crash(ProcId(9)), // invalid victim: sanitized
+        ]
+        .into_iter()
+        .collect();
+        let mut replay = ReplayAdversary::new(&trace);
+        let view = EnabledEvents::from_slice(&enabled);
+        assert_eq!(replay.decide(&obs, &view), Decision::Schedule(2));
+        assert_eq!(replay.decide(&obs, &view), Decision::Schedule(1));
+        assert_eq!(replay.decide(&obs, &view), Decision::Crash(ProcId(1)));
+        assert_eq!(replay.decide(&obs, &view), Decision::Schedule(0));
+        assert_eq!(replay.consumed(), 4);
+        // Exhausted: deterministic completion, not counted as consumed.
+        assert_eq!(replay.decide(&obs, &view), Decision::Schedule(0));
+        assert_eq!(replay.consumed(), 4);
+        assert_eq!(replay.name(), "replay");
+    }
+
+    #[test]
+    fn replay_adversary_respects_the_crash_budget() {
+        let mut obs = observation(vec![(ProcessPhase::StepReady, None); 3]);
+        obs.crash_budget_left = 0;
+        let enabled = vec![EnabledEvent::Step(ProcId(0))];
+        let mut replay = ReplayAdversary::from_decisions(vec![Decision::Crash(ProcId(1))]);
+        assert_eq!(
+            replay.decide(&obs, &EnabledEvents::from_slice(&enabled)),
+            Decision::Schedule(0),
+            "a crash with no budget left must degrade to a schedule"
+        );
+    }
+
+    #[test]
+    fn boxed_adversaries_delegate() {
+        let obs = observation(vec![(ProcessPhase::StepReady, None)]);
+        let enabled = vec![EnabledEvent::Step(ProcId(0))];
+        let mut boxed: Box<dyn Adversary> = Box::new(SequentialAdversary::new());
+        assert_eq!(boxed.name(), "sequential");
+        assert_eq!(
+            boxed.decide(&obs, &EnabledEvents::from_slice(&enabled)),
+            Decision::Schedule(0)
+        );
     }
 
     #[test]

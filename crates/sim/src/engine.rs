@@ -365,91 +365,155 @@ impl Simulator {
     /// engine falls back to the oldest enabled event, so executions always
     /// make progress.
     ///
+    /// Equivalent to driving [`Simulator::step_once`] until it reports
+    /// completion and then calling [`Simulator::finish`]; callers that need
+    /// to inspect the execution between decisions (e.g. online safety
+    /// oracles) use those directly.
+    ///
     /// # Errors
     /// * [`SimError::EventBudgetExhausted`] if the event budget runs out.
     /// * [`SimError::CrashBudgetExceeded`] if the adversary exceeds `t`.
     /// * [`SimError::InvalidDecision`] if the adversary returns a decision
     ///   that does not refer to an enabled event.
     pub fn run(&mut self, adversary: &mut dyn Adversary) -> Result<ExecutionReport, SimError> {
-        while self.live_participants > 0 {
-            if self.events_executed >= self.config.max_events {
-                return Err(self.budget_exhausted());
-            }
+        while self.step_once(adversary)? {}
+        Ok(self.finish())
+    }
 
-            // In naive mode the event list is rebuilt from scratch for every
-            // decision — the historical cost profile the benchmarks compare
-            // against. The rebuilt list is identical, element for element, to
-            // the incremental view, so schedules and reports do not change.
-            let snapshot: Option<Vec<EnabledEvent>> =
-                self.config.naive_event_set.then(|| self.naive_snapshot());
-            let enabled_len = match &snapshot {
-                Some(events) => events.len(),
-                None => self.enabled_steps.len() + self.enabled_msgs.len(),
-            };
-
-            if enabled_len == 0 {
-                // Every live participant is blocked on a quorum that can never
-                // form (too many crashes for the remaining replicas). The
-                // model guarantees termination only for t < n/2, so this can
-                // only be reached by misconfiguration; treat it as budget
-                // exhaustion for reporting purposes.
-                return Err(self.budget_exhausted());
-            }
-
-            self.refresh_observation_header();
-
-            if self.config.validate_event_set {
-                self.assert_event_set_matches_brute_force();
-            }
-
-            let decision = {
-                let enabled = match &snapshot {
-                    Some(events) => EnabledEvents::from_slice(events),
-                    None => EnabledEvents::live(
-                        &self.enabled_steps,
-                        &self.enabled_msgs,
-                        &self.in_flight,
-                    ),
-                };
-                adversary.decide(&self.observation, &enabled)
-            };
-
-            match decision {
-                Decision::Crash(victim) => {
-                    self.crash(victim)?;
-                }
-                Decision::Schedule(index) => {
-                    let resolved = match &snapshot {
-                        Some(events) => events.get(index).copied().map(|event| {
-                            let slot = match event {
-                                EnabledEvent::Deliver { id, .. } => Some(
-                                    *self
-                                        .naive_index
-                                        .as_ref()
-                                        .expect("naive index exists in naive mode")
-                                        .get(&id)
-                                        .expect("enabled message is in the naive index"),
-                                ),
-                                EnabledEvent::Step(_) => None,
-                            };
-                            (event, slot)
-                        }),
-                        None => self.resolve_live(index),
-                    };
-                    let Some((event, slot)) = resolved else {
-                        return Err(SimError::InvalidDecision {
-                            reason: format!(
-                                "index {index} out of bounds for {enabled_len} enabled events"
-                            ),
-                        });
-                    };
-                    self.execute(event, slot);
-                }
-            }
+    /// Obtain and execute **one** adversary decision (a step, a delivery, or
+    /// a crash). Returns `Ok(false)` — without consulting the adversary —
+    /// once every live participant has returned.
+    ///
+    /// This is the granular form of [`Simulator::run`]: driving it in a loop
+    /// executes the identical schedule, but the caller regains control after
+    /// every decision and may inspect the in-progress execution through
+    /// [`Simulator::report_so_far`], [`Simulator::events_executed`] and the
+    /// trace — which is what lets the exploration subsystem evaluate safety
+    /// oracles *online* and stop at the first violating event.
+    ///
+    /// # Errors
+    /// Same conditions as [`Simulator::run`].
+    pub fn step_once(&mut self, adversary: &mut dyn Adversary) -> Result<bool, SimError> {
+        if self.live_participants == 0 {
+            return Ok(false);
+        }
+        if self.events_executed >= self.config.max_events {
+            return Err(self.budget_exhausted());
         }
 
+        // In naive mode the event list is rebuilt from scratch for every
+        // decision — the historical cost profile the benchmarks compare
+        // against. The rebuilt list is identical, element for element, to
+        // the incremental view, so schedules and reports do not change.
+        let snapshot: Option<Vec<EnabledEvent>> =
+            self.config.naive_event_set.then(|| self.naive_snapshot());
+        let enabled_len = match &snapshot {
+            Some(events) => events.len(),
+            None => self.enabled_steps.len() + self.enabled_msgs.len(),
+        };
+
+        if enabled_len == 0 {
+            // Every live participant is blocked on a quorum that can never
+            // form (too many crashes for the remaining replicas). The
+            // model guarantees termination only for t < n/2, so this can
+            // only be reached by misconfiguration; treat it as budget
+            // exhaustion for reporting purposes.
+            return Err(self.budget_exhausted());
+        }
+
+        self.refresh_observation_header();
+
+        if self.config.validate_event_set {
+            self.assert_event_set_matches_brute_force();
+        }
+
+        let decision = {
+            let enabled = match &snapshot {
+                Some(events) => EnabledEvents::from_slice(events),
+                None => {
+                    EnabledEvents::live(&self.enabled_steps, &self.enabled_msgs, &self.in_flight)
+                }
+            };
+            adversary.decide(&self.observation, &enabled)
+        };
+
+        match decision {
+            Decision::Crash(victim) => {
+                self.crash(victim)?;
+            }
+            Decision::Schedule(index) => {
+                let resolved = match &snapshot {
+                    Some(events) => events.get(index).copied().map(|event| {
+                        let slot = match event {
+                            EnabledEvent::Deliver { id, .. } => Some(
+                                *self
+                                    .naive_index
+                                    .as_ref()
+                                    .expect("naive index exists in naive mode")
+                                    .get(&id)
+                                    .expect("enabled message is in the naive index"),
+                            ),
+                            EnabledEvent::Step(_) => None,
+                        };
+                        (event, slot)
+                    }),
+                    None => self.resolve_live(index),
+                };
+                let Some((event, slot)) = resolved else {
+                    return Err(SimError::InvalidDecision {
+                        reason: format!(
+                            "index {index} out of bounds for {enabled_len} enabled events"
+                        ),
+                    });
+                };
+                self.execute(event, slot);
+            }
+        }
+        // Re-sync the observation's scalar header so callers inspecting the
+        // simulator *between* decisions (online oracles) see the post-event
+        // event count and crash budget, not values one decision stale. The
+        // adversary path is unaffected: its refresh above still runs first.
+        self.refresh_observation_header();
+        Ok(true)
+    }
+
+    /// Finalize the bookkeeping and take the report of a completed
+    /// execution (counterpart of driving [`Simulator::step_once`] to
+    /// completion; [`Simulator::run`] calls this internally).
+    ///
+    /// Callers should only invoke this once [`Simulator::is_complete`]
+    /// holds. Finishing earlier yields a snapshot report over the partial
+    /// execution and is safe — the engine's own crash accounting (budget
+    /// enforcement, adversary observation) is unaffected — but the taken
+    /// outcomes, metrics and trace are gone from any later report.
+    pub fn finish(&mut self) -> ExecutionReport {
         self.finalize();
-        Ok(std::mem::take(&mut self.report))
+        std::mem::take(&mut self.report)
+    }
+
+    /// Whether every live participant has returned (the run is over).
+    pub fn is_complete(&self) -> bool {
+        self.live_participants == 0
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// The in-progress report: outcomes and intervals of the participants
+    /// that returned so far, the metrics and the trace. `events_executed`
+    /// and `crashed` are only filled in by [`Simulator::finish`]; use
+    /// [`Simulator::events_executed`] and the observation while the run is
+    /// still going.
+    pub fn report_so_far(&self) -> &ExecutionReport {
+        &self.report
+    }
+
+    /// The adversary-visible system observation as of the last executed
+    /// event.
+    pub fn observation(&self) -> &SystemObservation {
+        &self.observation
     }
 
     /// Convenience wrapper: run and panic on simulator errors. Useful in
@@ -823,9 +887,18 @@ impl Simulator {
                 self.processes[index].finished_at = Some(self.events_executed);
                 self.live_participants -= 1;
                 self.report.outcomes.insert(proc, outcome);
-                if let Some(interval) = self.report.intervals.get_mut(&proc) {
-                    interval.1 = Some(self.events_executed);
-                }
+                // The interval entry normally exists since the first step,
+                // but an early `finish()` takes the report with it; rebuild
+                // the start from `started_at` (which survives the take) so a
+                // later report never carries an outcome without an interval.
+                let started = self.processes[index]
+                    .started_at
+                    .expect("a returning participant has taken at least one step");
+                self.report
+                    .intervals
+                    .entry(proc)
+                    .or_insert((started, None))
+                    .1 = Some(self.events_executed);
                 self.report.trace.push(TraceEvent::Return { proc, outcome });
             }
         }
@@ -1010,9 +1083,18 @@ impl Simulator {
 
     fn finalize(&mut self) {
         self.report.events_executed = self.events_executed;
-        // The crash list is only needed by the report from here on; move it
-        // instead of cloning (the drained engine copy is never read again).
-        self.report.crashed = std::mem::take(&mut self.crashes);
+        if self.live_participants == 0 {
+            // The crash list is only needed by the report from here on; move
+            // it instead of cloning (the drained engine copy is never read
+            // again on a completed run).
+            self.report.crashed = std::mem::take(&mut self.crashes);
+        } else {
+            // Partial finish: the engine keeps stepping afterwards, and both
+            // the crash-budget check and the adversary observation read
+            // `self.crashes` — draining it here would hand the adversary a
+            // second budget and lose the early crashes from later reports.
+            self.report.crashed = self.crashes.clone();
+        }
     }
 }
 
@@ -1226,6 +1308,86 @@ mod tests {
         assert_eq!(shared.total_messages(), naive.total_messages());
         assert_eq!(shared.outcomes, naive.outcomes);
         assert_eq!(shared.events_executed, naive.events_executed);
+    }
+
+    #[test]
+    fn early_finish_keeps_crash_accounting_intact() {
+        // n = 5 ⇒ crash budget 2. Crash once, take a partial report, and
+        // verify the engine still counts that crash: the budget must run out
+        // after one *more* crash, not two, and the partial report must list
+        // the crash it observed.
+        struct CrashThenOldest {
+            victims: Vec<ProcId>,
+        }
+        impl Adversary for CrashThenOldest {
+            fn decide(
+                &mut self,
+                _obs: &SystemObservation,
+                _enabled: &EnabledEvents<'_>,
+            ) -> Decision {
+                match self.victims.pop() {
+                    Some(victim) => Decision::Crash(victim),
+                    None => Decision::Schedule(0),
+                }
+            }
+            fn name(&self) -> &'static str {
+                "crash-then-oldest"
+            }
+        }
+
+        let mut sim = Simulator::new(SimConfig::new(5));
+        for i in 0..3 {
+            sim.add_participant(ProcId(i), Box::new(PropagateCollect::new(ProcId(i))));
+        }
+        let mut adversary = CrashThenOldest {
+            victims: vec![ProcId(3)],
+        };
+        assert!(sim.step_once(&mut adversary).unwrap());
+        let partial = sim.finish();
+        assert_eq!(
+            partial.crashed,
+            vec![ProcId(3)],
+            "partial report sees the crash"
+        );
+        assert!(!sim.is_complete());
+
+        // One more crash fits the budget of 2; the next must be rejected —
+        // an early finish must not have handed the adversary a fresh budget.
+        let mut adversary = CrashThenOldest {
+            victims: vec![ProcId(2), ProcId(4)],
+        };
+        assert!(sim.step_once(&mut adversary).unwrap());
+        let err = sim.step_once(&mut adversary).unwrap_err();
+        assert!(matches!(err, SimError::CrashBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn early_finish_keeps_later_reports_internally_consistent() {
+        let mut sim = Simulator::new(SimConfig::new(3));
+        for i in 0..2 {
+            sim.add_participant(ProcId(i), Box::new(PropagateCollect::new(ProcId(i))));
+        }
+        let mut adversary = RandomAdversary::with_seed(1);
+        // Let participants start, then take a partial snapshot (which also
+        // takes the interval-start entries with it).
+        for _ in 0..3 {
+            assert!(sim.step_once(&mut adversary).unwrap());
+        }
+        let _partial = sim.finish();
+        // The final report must still pair every outcome it carries with a
+        // complete interval, or the linearizability checker false-fires.
+        while sim.step_once(&mut adversary).unwrap() {}
+        let report = sim.finish();
+        assert!(!report.outcomes.is_empty());
+        for proc in report.outcomes.keys() {
+            assert!(
+                report
+                    .intervals
+                    .get(proc)
+                    .is_some_and(|(_, end)| end.is_some()),
+                "{proc} returned but its interval is missing or open"
+            );
+        }
     }
 
     #[test]

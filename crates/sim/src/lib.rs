@@ -66,7 +66,7 @@ pub mod trace;
 
 pub use adversary::{
     Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, ObliviousAdversary,
-    RandomAdversary, SequentialAdversary,
+    RandomAdversary, RecordingAdversary, ReplayAdversary, SequentialAdversary,
 };
 pub use arena::SimArena;
 pub use engine::{SimConfig, Simulator};
@@ -77,4 +77,4 @@ pub use observation::{
     Decision, EnabledEvent, EnabledEvents, ProcessObservation, ProcessPhase, SystemObservation,
 };
 pub use report::ExecutionReport;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{DecisionTrace, Trace, TraceEvent};

@@ -1,6 +1,9 @@
-//! Execution traces, used for determinism tests and debugging.
+//! Execution traces, used for determinism tests and debugging, and
+//! adversary *decision* traces, used by the schedule-exploration subsystem
+//! (`fle_explore`) to replay, serialize and minimize counterexamples.
 
 use crate::message::MessageId;
+use crate::observation::Decision;
 use fle_model::{Outcome, ProcId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -118,6 +121,119 @@ impl Trace {
     }
 }
 
+/// An ordered record of adversary decisions — the *input* side of an
+/// execution, where [`Trace`] records the *output* side.
+///
+/// Because the simulator is deterministic given its seed, a decision trace
+/// fully determines an execution: replaying the same decisions (via
+/// [`crate::ReplayAdversary`]) against a simulator built with the same
+/// [`crate::SimConfig`] reproduces the run event for event. The explorer
+/// records one of these for every violating schedule it finds and
+/// delta-debugs it down to a minimal counterexample.
+///
+/// The trace serializes to a compact human-readable form (`s<index>` for
+/// `Schedule(index)`, `c<proc>` for `Crash(proc)`, space-separated) so a
+/// counterexample can travel through CI logs and bug reports and be replayed
+/// from the text alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionTrace {
+    decisions: Vec<Decision>,
+}
+
+impl DecisionTrace {
+    /// An empty decision trace.
+    pub fn new() -> Self {
+        DecisionTrace::default()
+    }
+
+    /// Wrap an explicit decision sequence.
+    pub fn from_decisions(decisions: Vec<Decision>) -> Self {
+        DecisionTrace { decisions }
+    }
+
+    /// Record one decision.
+    pub fn push(&mut self, decision: Decision) {
+        self.decisions.push(decision);
+    }
+
+    /// The recorded decisions, in the order they were made.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether no decisions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The compact text form: `s<index>` / `c<proc>` tokens separated by
+    /// single spaces (empty string for an empty trace). Inverse of
+    /// [`DecisionTrace::parse`].
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::with_capacity(self.decisions.len() * 4);
+        for (i, decision) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match decision {
+                Decision::Schedule(index) => {
+                    out.push('s');
+                    out.push_str(&index.to_string());
+                }
+                Decision::Crash(proc) => {
+                    out.push('c');
+                    out.push_str(&proc.index().to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the compact text form produced by
+    /// [`DecisionTrace::to_compact_string`].
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed token.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut decisions = Vec::new();
+        for token in text.split_whitespace() {
+            let mut chars = token.chars();
+            let kind = chars
+                .next()
+                .expect("split_whitespace yields non-empty tokens");
+            let value: usize = chars
+                .as_str()
+                .parse()
+                .map_err(|_| format!("malformed decision token {token:?}"))?;
+            match kind {
+                's' => decisions.push(Decision::Schedule(value)),
+                'c' => decisions.push(Decision::Crash(ProcId(value))),
+                _ => return Err(format!("unknown decision kind in token {token:?}")),
+            }
+        }
+        Ok(DecisionTrace { decisions })
+    }
+}
+
+impl fmt::Display for DecisionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_compact_string())
+    }
+}
+
+impl FromIterator<Decision> for DecisionTrace {
+    fn from_iter<T: IntoIterator<Item = Decision>>(iter: T) -> Self {
+        DecisionTrace {
+            decisions: iter.into_iter().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +281,38 @@ mod tests {
             t
         };
         assert_eq!(build().digest(), build().digest());
+    }
+
+    #[test]
+    fn decision_trace_round_trips_through_compact_text() {
+        let trace: DecisionTrace = [
+            Decision::Schedule(0),
+            Decision::Crash(ProcId(7)),
+            Decision::Schedule(41),
+            Decision::Schedule(3),
+        ]
+        .into_iter()
+        .collect();
+        let text = trace.to_compact_string();
+        assert_eq!(text, "s0 c7 s41 s3");
+        assert_eq!(DecisionTrace::parse(&text).unwrap(), trace);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.to_string(), text);
+    }
+
+    #[test]
+    fn empty_decision_trace_round_trips() {
+        let empty = DecisionTrace::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_compact_string(), "");
+        assert_eq!(DecisionTrace::parse("").unwrap(), empty);
+        assert_eq!(DecisionTrace::parse("  \n ").unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_decision_tokens_are_rejected() {
+        assert!(DecisionTrace::parse("s1 x2").is_err());
+        assert!(DecisionTrace::parse("s").is_err());
+        assert!(DecisionTrace::parse("cabc").is_err());
     }
 }

@@ -4,15 +4,35 @@
 //! `prop_assert*` macros.
 //!
 //! Unlike the registry crate there is no shrinking: each test runs
-//! `config.cases` deterministic cases whose inputs derive from a per-test
-//! seed (FNV-1a of the test name), so failures reproduce exactly across
-//! runs and machines. Swap the workspace dependency for the registry crate
-//! to get real shrinking and persistence.
+//! `config.cases` deterministic cases whose inputs derive from a **logged
+//! master seed** mixed with the test's name (FNV-1a), so failures reproduce
+//! exactly across runs and machines *from CI output alone*: every case
+//! prints its master seed and case index to captured stdout, which the test
+//! harness replays on failure, and setting `PROPTEST_MASTER_SEED` to the
+//! printed value re-derives the identical case sequence locally. Swap the
+//! workspace dependency for the registry crate to get real shrinking and
+//! persistence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;
+
+/// The master seed every property test derives its cases from: the value of
+/// the `PROPTEST_MASTER_SEED` environment variable, or 0.
+///
+/// The macro logs this seed with every case, so a CI failure line like
+/// `proptest foo: case 17 of 24 (master seed 0 — …)` is enough to reproduce
+/// the failing inputs anywhere.
+pub fn master_seed() -> u64 {
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("PROPTEST_MASTER_SEED")
+            .ok()
+            .and_then(|value| value.trim().parse().ok())
+            .unwrap_or(0)
+    })
+}
 
 /// Configuration accepted by `#![proptest_config(...)]`.
 #[derive(Debug, Clone)]
@@ -47,6 +67,16 @@ impl TestRng {
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
         TestRng { state: hash }
+    }
+
+    /// The generator the `proptest!` macro uses: the per-test name hash
+    /// mixed with the logged master seed. With the default master seed (0)
+    /// this is identical to [`TestRng::deterministic`], so recorded case
+    /// sequences do not change unless a seed is explicitly injected.
+    pub fn for_test(name: &str, master_seed: u64) -> Self {
+        let mut rng = Self::deterministic(name);
+        rng.state ^= master_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        rng
     }
 
     /// The next 64 random bits.
@@ -157,8 +187,17 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let master = $crate::master_seed();
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut rng = $crate::TestRng::for_test(test_name, master);
             for _case in 0..config.cases {
+                // Captured stdout: the harness replays it on failure, so the
+                // last such line in CI output names the failing case and the
+                // master seed needed to reproduce it.
+                println!(
+                    "proptest {}: case {} of {} (master seed {} — rerun with PROPTEST_MASTER_SEED={})",
+                    test_name, _case, config.cases, master, master
+                );
                 $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
                 $body
             }
@@ -197,5 +236,22 @@ mod tests {
         let mut c = TestRng::deterministic("y");
         assert_eq!(a.next_u64(), b.next_u64());
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn master_seed_reseeds_every_test_stream() {
+        // Master seed 0 preserves the historical per-name streams…
+        let mut default = TestRng::for_test("x", 0);
+        let mut named = TestRng::deterministic("x");
+        assert_eq!(default.next_u64(), named.next_u64());
+        // …while any other master seed derives a fresh deterministic one.
+        let mut a = TestRng::for_test("x", 42);
+        let mut b = TestRng::for_test("x", 42);
+        let mut c = TestRng::for_test("x", 43);
+        let first = a.next_u64();
+        assert_eq!(first, b.next_u64());
+        assert_ne!(first, c.next_u64());
+        // The ambient master seed parses as a u64 (0 unless injected).
+        let _ = crate::master_seed();
     }
 }

@@ -17,6 +17,7 @@
 //! | [`runtime`] (`fle-runtime`) | real-thread backend: one OS thread per processor, crossbeam channels |
 //! | [`core`] (`fle-core`) | PoisonPill, Heterogeneous PoisonPill, doorway, pre-round, the full election, renaming |
 //! | [`baselines`] (`fle-baselines`) | tournament-tree test-and-set (AGTV92), random-order renaming (AAG+10) |
+//! | [`explore`] (`fle-explore`) | adversarial schedule exploration: attack strategies, safety oracles, counterexample shrinking |
 //! | [`analysis`] (`fle-analysis`) | statistics, `log*`/`log²`/`√n` reference curves, table rendering |
 //!
 //! # Quickstart
@@ -59,6 +60,7 @@
 pub use fle_analysis as analysis;
 pub use fle_baselines as baselines;
 pub use fle_core as core;
+pub use fle_explore as explore;
 pub use fle_model as model;
 pub use fle_runtime as runtime;
 pub use fle_sim as sim;
@@ -76,6 +78,7 @@ pub mod prelude {
         Doorway, ElectionConfig, HeterogeneousPoisonPill, LeaderElection, PoisonPill, PreRound,
         Renaming, RenamingConfig,
     };
+    pub use fle_explore::{shrink, Explorer, Oracle, Scenario, StrategySpec, Violation};
     pub use fle_model::{
         Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
     };
@@ -83,8 +86,9 @@ pub mod prelude {
         run_threaded_leader_election, run_threaded_renaming, RuntimeConfig, ThreadedRuntime,
     };
     pub use fle_sim::{
-        Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, ExecutionReport,
-        ObliviousAdversary, RandomAdversary, SequentialAdversary, SimConfig, SimError, Simulator,
+        Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, DecisionTrace,
+        ExecutionReport, ObliviousAdversary, RandomAdversary, RecordingAdversary, ReplayAdversary,
+        SequentialAdversary, SimConfig, SimError, Simulator,
     };
 }
 

@@ -1,6 +1,17 @@
 //! Property-based tests (proptest): the paper's invariants must hold for
 //! arbitrary system sizes, participant subsets, seeds, adversaries and crash
 //! patterns.
+//!
+//! # Reproducing failures from CI output
+//!
+//! Every case derives from a logged **master seed**: each iteration prints
+//! `proptest <test>: case <i> of <n> (master seed <m> — rerun with
+//! PROPTEST_MASTER_SEED=<m>)` to captured stdout, which the test harness
+//! replays on failure. To reproduce a CI failure locally, run the named test
+//! with `PROPTEST_MASTER_SEED=<m>` — the identical case sequence (and thus
+//! the identical failing inputs) is re-derived deterministically; no
+//! machine-local state is involved. The default master seed is 0, so plain
+//! `cargo test` runs are stable from commit to commit.
 
 use fast_leader_election::prelude::*;
 use proptest::prelude::*;
