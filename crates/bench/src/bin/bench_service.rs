@@ -1,0 +1,52 @@
+//! Record the service-throughput baseline (`BENCH_service.json`) or run the
+//! CI service-smoke gate.
+//!
+//! * `cargo run --release -p fle-bench --bin bench_service` — sweep the
+//!   concurrent backend at shard counts {1, 4, num_cpus} (2000 four-processor
+//!   elections each, closed loop) and write `BENCH_service.json`.
+//! * `cargo run --release -p fle-bench --bin bench_service -- --smoke` — run
+//!   1000 concurrent instances with correctness assertions (zero lost or
+//!   duplicate outcomes, exactly one winner each) and gate on a >3x
+//!   throughput regression against the recording.
+
+use fle_bench::service_load;
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    if smoke {
+        match service_load::smoke_check() {
+            Ok((measured, recorded)) => {
+                println!(
+                    "service-smoke OK: {} instances across {} shards, measured {measured:.0} \
+                     instances/s (recorded {recorded:.0}), all outcomes verified",
+                    service_load::SMOKE_INSTANCES,
+                    service_load::SMOKE_SHARDS,
+                );
+            }
+            Err(message) => {
+                eprintln!("service-smoke FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("recording service throughput into BENCH_service.json ...");
+    let points = service_load::record_default();
+    println!(
+        "{:>8} {:>7} {:>10} {:>16} {:>12} {:>12} {:>12}",
+        "backend", "shards", "instances", "instances/sec", "p50 us", "p95 us", "p99 us"
+    );
+    for p in &points {
+        println!(
+            "{:>8} {:>7} {:>10} {:>16.1} {:>12} {:>12} {:>12}",
+            p.spec.backend.label(),
+            p.spec.shards,
+            p.spec.instances,
+            p.instances_per_sec,
+            p.p50_micros,
+            p.p95_micros,
+            p.p99_micros,
+        );
+    }
+}

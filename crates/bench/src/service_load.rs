@@ -1,0 +1,409 @@
+//! Load generation against the sharded [`fle_service::ElectionService`].
+//!
+//! Two generator shapes, the standard pair for services:
+//!
+//! * **closed loop** ([`closed_loop`]) — `clients` threads, each submitting
+//!   its next instance only after the previous one completed; measures the
+//!   *sustained* instances/second the service can serve at that concurrency,
+//!   with per-instance latencies for tail percentiles.
+//! * **open loop** ([`open_loop`]) — a single submitter paces submissions at
+//!   a target rate regardless of completions, so queueing shows up as
+//!   latency rather than as throttled throughput.
+//!
+//! Every run verifies correctness while it measures: exactly one result per
+//! submitted key (nothing lost, nothing duplicated) and exactly one winner
+//! per election instance. The standard recording ([`record_default`]) sweeps
+//! the concurrent backend at shard counts {1, 4, `num_cpus`} and writes
+//! `BENCH_service.json`; [`smoke_check`] is the CI gate over that recording.
+
+use crate::json::write_or_warn;
+use fle_service::{BackendKind, ElectionService, InstanceSpec, ServiceConfig, Ticket};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// One load-generation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// The backend instances execute on.
+    pub backend: BackendKind,
+    /// Service shards (worker threads).
+    pub shards: usize,
+    /// Total instances to run.
+    pub instances: usize,
+    /// System size of each instance.
+    pub n: usize,
+    /// Closed-loop client threads (ignored by [`open_loop`]).
+    pub clients: usize,
+    /// Base for the per-instance keys/seeds.
+    pub base_key: u64,
+}
+
+impl LoadSpec {
+    /// A closed-loop spec on the concurrent backend: `instances` elections
+    /// of size `n` over `shards` shards, with twice as many clients as
+    /// shards (enough to keep every shard busy).
+    pub fn concurrent(shards: usize, instances: usize, n: usize) -> Self {
+        LoadSpec {
+            backend: BackendKind::Concurrent,
+            shards,
+            instances,
+            n,
+            clients: (shards * 2).max(2),
+            base_key: 0,
+        }
+    }
+
+    /// Use a different backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// The measurement of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// The configuration measured.
+    pub spec: LoadSpec,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Completed instances per second, sustained over the run.
+    pub instances_per_sec: f64,
+    /// Median submit-to-completion latency, microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_micros: u64,
+    /// Worst observed latency, microseconds.
+    pub max_micros: u64,
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
+    sorted_micros[rank.min(sorted_micros.len() - 1)]
+}
+
+fn summarize(spec: LoadSpec, wall: Duration, mut latencies_micros: Vec<u64>) -> LoadResult {
+    latencies_micros.sort_unstable();
+    let wall_secs = wall.as_secs_f64();
+    LoadResult {
+        spec,
+        wall_secs,
+        instances_per_sec: spec.instances as f64 / wall_secs.max(f64::MIN_POSITIVE),
+        p50_micros: percentile(&latencies_micros, 0.50),
+        p95_micros: percentile(&latencies_micros, 0.95),
+        p99_micros: percentile(&latencies_micros, 0.99),
+        max_micros: latencies_micros.last().copied().unwrap_or(0),
+    }
+}
+
+/// Verify one completed instance and return its latency in microseconds.
+///
+/// # Panics
+/// Panics when an instance loses its result, completes under the wrong key,
+/// returns the wrong number of outcomes, or fails to elect a unique winner —
+/// the load generator doubles as a correctness harness.
+fn verify(expected_key: u64, n: usize, ticket: Ticket) -> u64 {
+    let result = ticket.wait().expect("no instance result may be lost");
+    assert_eq!(result.key, expected_key, "results must not cross instances");
+    assert_eq!(
+        result.outcomes.len(),
+        n,
+        "every participant of instance {expected_key} must return"
+    );
+    assert!(
+        result.winner().is_some(),
+        "instance {expected_key} must elect exactly one winner"
+    );
+    u64::try_from(result.latency.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Closed-loop load: `spec.clients` threads, each keeping one instance in
+/// flight, until `spec.instances` have completed.
+///
+/// # Panics
+/// Panics on any correctness violation (lost/duplicate/cross-keyed result,
+/// no unique winner) — see [`verify`].
+pub fn closed_loop(spec: LoadSpec) -> LoadResult {
+    let service = ElectionService::new(ServiceConfig::new(spec.shards, spec.backend));
+    let start = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    // Client `c` owns keys c, c+clients, c+2·clients, …:
+                    // disjoint by construction, so nothing is ever duplicated.
+                    let mut latencies = Vec::new();
+                    let mut index = client;
+                    while index < spec.instances {
+                        let key = spec.base_key + index as u64;
+                        let ticket = service
+                            .submit(InstanceSpec::election(key, spec.n))
+                            .expect("disjoint fresh keys are always accepted");
+                        latencies.push(verify(key, spec.n, ticket));
+                        index += spec.clients;
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("client threads do not panic"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.completed, spec.instances as u64,
+        "the service must complete exactly the submitted instances"
+    );
+    assert_eq!(latencies.len(), spec.instances, "one result per instance");
+    summarize(spec, wall, latencies)
+}
+
+/// Open-loop load: submit every instance at a fixed target rate (per
+/// second), then drain all tickets. Queueing delay shows up in the latency
+/// percentiles instead of throttling the submission rate.
+///
+/// # Panics
+/// Panics on the same correctness violations as [`closed_loop`].
+pub fn open_loop(spec: LoadSpec, rate_per_sec: f64) -> LoadResult {
+    assert!(rate_per_sec > 0.0, "the target rate must be positive");
+    let service = ElectionService::new(ServiceConfig::new(spec.shards, spec.backend));
+    let gap = Duration::from_secs_f64(1.0 / rate_per_sec);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(spec.instances);
+    for index in 0..spec.instances {
+        // Pace against the ideal schedule, not the previous send, so a slow
+        // submit does not permanently lower the offered rate.
+        let due = start + gap * index as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let key = spec.base_key + index as u64;
+        tickets.push(
+            service
+                .submit(InstanceSpec::election(key, spec.n))
+                .expect("fresh keys are always accepted"),
+        );
+    }
+    let latencies: Vec<u64> = tickets
+        .into_iter()
+        .enumerate()
+        .map(|(index, ticket)| verify(spec.base_key + index as u64, spec.n, ticket))
+        .collect();
+    let wall = start.elapsed();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, spec.instances as u64);
+    summarize(spec, wall, latencies)
+}
+
+/// Single-threaded reference: the same instances run back-to-back on the
+/// bare backend with no service in front (no shards, no queues, no tickets).
+/// The machine-independent yardstick for [`smoke_check`].
+pub fn sequential_reference(spec: LoadSpec) -> f64 {
+    let registers = std::sync::Arc::new(fle_runtime::SharedRegisters::new(16));
+    let backend = spec.backend.build(&registers);
+    let start = Instant::now();
+    for index in 0..spec.instances {
+        let key = spec.base_key + index as u64;
+        let outcomes = backend.run_instance(&InstanceSpec::election(key, spec.n));
+        assert_eq!(outcomes.values().filter(|o| o.is_win()).count(), 1);
+        registers.retire(key);
+    }
+    spec.instances as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Render load results as the `BENCH_service.json` document.
+pub fn to_json(points: &[LoadResult]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"service_instances_per_sec\",\n");
+    out.push_str(
+        "  \"workload\": \"closed-loop election storm: `instances` independent n-processor \
+         elections over a sharded ElectionService\",\n",
+    );
+    out.push_str(
+        "  \"methodology\": \"clients = 2 x shards closed-loop threads, each keeping one \
+         instance in flight; every run asserts exactly one result per key and one winner per \
+         instance; latency is submit-to-completion including queueing; concurrent backend = \
+         namespaced shared registers, threads per instance = n\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (index, p) in points.iter().enumerate() {
+        let comma = if index + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"shards\": {}, \"instances\": {}, \"n\": {}, \
+             \"clients\": {}, \"instances_per_sec\": {:.1}, \"p50_micros\": {}, \
+             \"p95_micros\": {}, \"p99_micros\": {}, \"max_micros\": {}}}{comma}",
+            p.spec.backend.label(),
+            p.spec.shards,
+            p.spec.instances,
+            p.spec.n,
+            p.spec.clients,
+            p.instances_per_sec,
+            p.p50_micros,
+            p.p95_micros,
+            p.p99_micros,
+            p.max_micros,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The tracked `BENCH_service.json` at the workspace root.
+pub fn service_bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json")
+}
+
+/// Measure the given specs and write the document at `path`.
+pub fn record(path: &Path, specs: &[LoadSpec]) -> Vec<LoadResult> {
+    let points: Vec<LoadResult> = specs.iter().map(|&spec| closed_loop(spec)).collect();
+    write_or_warn(path, &to_json(&points));
+    points
+}
+
+/// The standard recording: the concurrent backend at shard counts
+/// {1, 4, `num_cpus`} (deduplicated), 2000 four-processor elections each.
+pub fn record_default() -> Vec<LoadResult> {
+    let cpus = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut shard_counts = vec![1usize, 4, cpus];
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    let specs: Vec<LoadSpec> = shard_counts
+        .into_iter()
+        .map(|shards| LoadSpec::concurrent(shards, 2000, 4))
+        .collect();
+    record(&service_bench_path(), &specs)
+}
+
+/// Extract `instances_per_sec` for one shard count from a recorded
+/// `BENCH_service.json` (line-oriented, like the baseline parser).
+pub fn recorded_instances_per_sec(json: &str, shards: usize) -> Option<f64> {
+    let needle = format!("\"shards\": {shards},");
+    let line = json.lines().find(|line| line.contains(&needle))?;
+    let key = "\"instances_per_sec\": ";
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Instances of the CI smoke run (the "≥ 1000 concurrent instances" gate).
+pub const SMOKE_INSTANCES: usize = 1000;
+
+/// Shard count of the CI smoke run (matches a recorded point).
+pub const SMOKE_SHARDS: usize = 4;
+
+/// Absolute regression factor against the recording before the gate even
+/// considers failing.
+pub const SMOKE_REGRESSION_FACTOR: f64 = 3.0;
+
+/// Machine-independent backstop: the sharded service must retain at least
+/// this fraction of the single-threaded sequential throughput *measured in
+/// the same run*. Anything lower means the service layer itself (queueing,
+/// sharding, retirement) is devouring the backend's throughput — a real
+/// regression even on a slow runner.
+pub const SMOKE_MIN_SEQUENTIAL_FRACTION: f64 = 1.0 / 3.0;
+
+/// The CI service-smoke gate: run [`SMOKE_INSTANCES`] concurrent-backend
+/// instances (correctness asserted throughout — zero lost or duplicate
+/// outcomes, one winner each), then compare throughput with the recorded
+/// `BENCH_service.json`.
+///
+/// Mirrors the baseline smoke gate's two-signal design: fail only when the
+/// absolute throughput fell more than [`SMOKE_REGRESSION_FACTOR`]× below the
+/// recording **and** the same-run service-vs-sequential ratio dropped below
+/// [`SMOKE_MIN_SEQUENTIAL_FRACTION`] — a slow runner passes the second
+/// check, a genuine service regression fails both.
+///
+/// # Errors
+/// Returns a description of the failure: unreadable recording or a
+/// regression confirmed by both signals.
+pub fn smoke_check() -> Result<(f64, f64), String> {
+    let path = service_bench_path();
+    let json = std::fs::read_to_string(&path)
+        .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+    let recorded = recorded_instances_per_sec(&json, SMOKE_SHARDS)
+        .ok_or_else(|| format!("no shards={SMOKE_SHARDS} point in {}", path.display()))?;
+    let result = closed_loop(LoadSpec::concurrent(SMOKE_SHARDS, SMOKE_INSTANCES, 4));
+    let measured = result.instances_per_sec;
+    if measured * SMOKE_REGRESSION_FACTOR < recorded {
+        let sequential = sequential_reference(LoadSpec::concurrent(1, 200, 4));
+        let fraction = measured / sequential;
+        if fraction < SMOKE_MIN_SEQUENTIAL_FRACTION {
+            return Err(format!(
+                "service throughput regressed: measured {measured:.0} instances/s is more \
+                 than {SMOKE_REGRESSION_FACTOR}x below the recorded {recorded:.0}, and the \
+                 same-run service/sequential ratio {fraction:.2} fell below \
+                 {SMOKE_MIN_SEQUENTIAL_FRACTION:.2}"
+            ));
+        }
+        eprintln!(
+            "service-smoke note: absolute throughput below the recording \
+             (measured {measured:.0} vs recorded {recorded:.0}) but the same-run \
+             service/sequential ratio {fraction:.2} is healthy — assuming a slower machine"
+        );
+    }
+    Ok((measured, recorded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_serves_and_verifies_a_small_storm() {
+        let result = closed_loop(LoadSpec::concurrent(2, 64, 3));
+        assert!(result.instances_per_sec > 0.0);
+        assert!(result.p50_micros <= result.p95_micros);
+        assert!(result.p95_micros <= result.p99_micros);
+        assert!(result.p99_micros <= result.max_micros);
+    }
+
+    #[test]
+    fn open_loop_completes_at_a_modest_rate() {
+        let result = open_loop(LoadSpec::concurrent(2, 20, 3), 2000.0);
+        assert!(result.instances_per_sec > 0.0);
+        assert!(result.max_micros > 0);
+    }
+
+    #[test]
+    fn sim_backend_load_also_verifies() {
+        let spec = LoadSpec::concurrent(2, 32, 4).with_backend(BackendKind::Sim);
+        let result = closed_loop(spec);
+        assert!(result.instances_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_smoke_parser() {
+        let points = vec![closed_loop(LoadSpec::concurrent(1, 16, 3))];
+        let json = to_json(&points);
+        assert!(json.contains("\"benchmark\": \"service_instances_per_sec\""));
+        let parsed = recorded_instances_per_sec(&json, 1).expect("parseable");
+        assert!((parsed - points[0].instances_per_sec).abs() < 1.0);
+        assert_eq!(recorded_instances_per_sec(&json, 99), None);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 0.50), 51);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn sequential_reference_is_positive() {
+        assert!(sequential_reference(LoadSpec::concurrent(1, 8, 3)) > 0.0);
+    }
+}

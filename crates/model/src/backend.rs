@@ -1,0 +1,264 @@
+//! The protocol ⇄ shared-memory contract.
+//!
+//! The paper states its algorithms against asynchronous shared memory: a
+//! processor *propagates* register writes and *collects* register views, and
+//! everything else is local computation and coin flips. [`SharedMemory`] is
+//! that contract made explicit — one processor's synchronous handle onto the
+//! replicated registers plus its local randomness — so a protocol written as
+//! a [`Protocol`] state machine runs unmodified on any implementation:
+//!
+//! * the deterministic **simulator adapter** (`fle_sim::SimMemory`), registers
+//!   as plain [`crate::ReplicaStore`]s driven sequentially,
+//! * the **threaded message-passing runtime** (`fle_runtime`), registers
+//!   emulated by quorum `communicate(propagate / collect)` traffic over real
+//!   channels (ABND95),
+//! * the **in-process concurrent backend** (`fle_runtime::SharedRegisters`),
+//!   registers as real shared state behind sharded locks, where contention
+//!   comes from the hardware rather than from emulated quorums.
+//!
+//! [`drive`] is the one loop every synchronous backend shares: feed the
+//! protocol the response to its previous action until it returns.
+//!
+//! The discrete-event simulator (`fle_sim::Simulator`) implements the same
+//! contract in *inverted* form — actions become scheduled events and the
+//! adversary chooses when each completes — which is why it keeps its own
+//! engine instead of implementing this trait directly.
+
+use crate::action::{Action, Outcome, Response};
+use crate::ids::InstanceId;
+use crate::protocol::Protocol;
+use crate::value::{Key, Value};
+use crate::view::CollectedViews;
+
+/// One processor's synchronous handle onto the replicated shared memory.
+///
+/// The four methods mirror the four non-returning [`Action`]s. A call to
+/// [`SharedMemory::propagate`] returns once the written entries are durable
+/// (in a quorum-based implementation: once a quorum acknowledged; in a true
+/// shared memory: immediately after the write). [`SharedMemory::collect`]
+/// returns the register views of `instance` that the caller is entitled to
+/// read — one view per responding replica, or a single atomic snapshot when
+/// the registers are genuinely shared.
+pub trait SharedMemory {
+    /// `communicate(propagate, entries)`: merge the register writes into the
+    /// shared memory; returns once they are durable.
+    fn propagate(&mut self, entries: Vec<(Key, Value)>);
+
+    /// `communicate(collect, instance)`: the current views of `instance`.
+    fn collect(&mut self, instance: InstanceId) -> CollectedViews;
+
+    /// Flip a biased coin (probability `prob_one` of returning `true`).
+    fn flip(&mut self, prob_one: f64) -> bool;
+
+    /// Pick uniformly at random among `choices`; implementations return `0`
+    /// for an empty slice (protocols never ask, this is a safeguard).
+    fn choose(&mut self, choices: &[u64]) -> u64;
+
+    /// Perform one non-returning action and produce the protocol's next
+    /// response; `None` exactly when the action is [`Action::Return`].
+    fn perform(&mut self, action: Action) -> Option<Response> {
+        match action {
+            Action::Propagate { entries } => {
+                self.propagate(entries);
+                Some(Response::AckQuorum)
+            }
+            Action::Collect { instance } => Some(Response::Views(self.collect(instance))),
+            Action::Flip { prob_one } => Some(Response::Coin(self.flip(prob_one))),
+            Action::Choose { choices } => Some(Response::Chosen(self.choose(&choices))),
+            Action::Return(_) => None,
+        }
+    }
+}
+
+impl<M: SharedMemory + ?Sized> SharedMemory for &mut M {
+    fn propagate(&mut self, entries: Vec<(Key, Value)>) {
+        (**self).propagate(entries);
+    }
+
+    fn collect(&mut self, instance: InstanceId) -> CollectedViews {
+        (**self).collect(instance)
+    }
+
+    fn flip(&mut self, prob_one: f64) -> bool {
+        (**self).flip(prob_one)
+    }
+
+    fn choose(&mut self, choices: &[u64]) -> u64 {
+        (**self).choose(choices)
+    }
+}
+
+/// Drive `protocol` to completion against `memory`: the single loop shared by
+/// every synchronous backend.
+pub fn drive<P, M>(protocol: &mut P, mut memory: M) -> Outcome
+where
+    P: Protocol + ?Sized,
+    M: SharedMemory,
+{
+    let mut response = Response::Start;
+    loop {
+        match protocol.step(response) {
+            Action::Return(outcome) => return outcome,
+            action => {
+                response = memory
+                    .perform(action)
+                    .expect("only Action::Return yields no response");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ElectionContext, ProcId, Slot};
+    use crate::protocol::LocalStateView;
+    use crate::store::ReplicaStore;
+
+    /// A single-replica shared memory with a scripted coin, for unit tests.
+    struct TestMemory {
+        store: ReplicaStore,
+        coins: Vec<bool>,
+        calls: Vec<&'static str>,
+    }
+
+    impl TestMemory {
+        fn new(coins: Vec<bool>) -> Self {
+            TestMemory {
+                store: ReplicaStore::new(),
+                coins,
+                calls: Vec::new(),
+            }
+        }
+    }
+
+    impl SharedMemory for TestMemory {
+        fn propagate(&mut self, entries: Vec<(Key, Value)>) {
+            self.calls.push("propagate");
+            self.store.apply_all(&entries);
+        }
+
+        fn collect(&mut self, instance: InstanceId) -> CollectedViews {
+            self.calls.push("collect");
+            CollectedViews::from_shared(vec![(ProcId(0), self.store.view_arc(instance))])
+        }
+
+        fn flip(&mut self, _prob_one: f64) -> bool {
+            self.calls.push("flip");
+            self.coins.pop().unwrap_or(false)
+        }
+
+        fn choose(&mut self, choices: &[u64]) -> u64 {
+            self.calls.push("choose");
+            choices.first().copied().unwrap_or(0)
+        }
+    }
+
+    /// Propagates a flag, collects it back, flips, and wins iff the flag is
+    /// visible and the coin came up true.
+    struct RoundTrip {
+        stage: u8,
+        saw_flag: bool,
+    }
+
+    impl Protocol for RoundTrip {
+        fn step(&mut self, response: Response) -> Action {
+            let instance = InstanceId::door(ElectionContext::Standalone);
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    Action::Propagate {
+                        entries: vec![(Key::global(instance), Value::Flag(true))],
+                    }
+                }
+                1 => {
+                    self.stage = 2;
+                    Action::Collect { instance }
+                }
+                2 => {
+                    let views = response.expect_views();
+                    self.saw_flag = views.responses().iter().any(|(_, view)| {
+                        view.get(&Slot::Global).and_then(Value::as_flag) == Some(true)
+                    });
+                    self.stage = 3;
+                    Action::Flip { prob_one: 0.5 }
+                }
+                _ => {
+                    let coin = response.expect_coin();
+                    Action::Return(if self.saw_flag && coin {
+                        Outcome::Win
+                    } else {
+                        Outcome::Lose
+                    })
+                }
+            }
+        }
+
+        fn adversary_view(&self) -> LocalStateView {
+            LocalStateView::new("round-trip", "test")
+        }
+    }
+
+    #[test]
+    fn drive_runs_a_protocol_to_completion() {
+        let mut memory = TestMemory::new(vec![true]);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        assert_eq!(drive(&mut protocol, &mut memory), Outcome::Win);
+        assert_eq!(memory.calls, vec!["propagate", "collect", "flip"]);
+    }
+
+    #[test]
+    fn drive_sees_its_own_writes() {
+        // A false coin loses even though the flag round-trips.
+        let mut memory = TestMemory::new(vec![false]);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        assert_eq!(drive(&mut protocol, &mut memory), Outcome::Lose);
+        assert!(protocol.saw_flag, "the propagated flag must be collectable");
+    }
+
+    #[test]
+    fn perform_maps_every_action_kind() {
+        let mut memory = TestMemory::new(vec![true]);
+        assert_eq!(
+            memory.perform(Action::Propagate {
+                entries: Vec::new()
+            }),
+            Some(Response::AckQuorum)
+        );
+        assert!(matches!(
+            memory.perform(Action::Collect {
+                instance: InstanceId::Contended
+            }),
+            Some(Response::Views(_))
+        ));
+        assert_eq!(
+            memory.perform(Action::Flip { prob_one: 1.0 }),
+            Some(Response::Coin(true))
+        );
+        assert_eq!(
+            memory.perform(Action::Choose {
+                choices: vec![7, 9]
+            }),
+            Some(Response::Chosen(7))
+        );
+        assert_eq!(memory.perform(Action::Return(Outcome::Win)), None);
+    }
+
+    #[test]
+    fn mutable_references_implement_the_trait() {
+        let mut memory = TestMemory::new(vec![true]);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        // Driving through a &mut &mut chain compiles and behaves identically.
+        let by_ref: &mut TestMemory = &mut memory;
+        assert_eq!(drive(&mut protocol, by_ref), Outcome::Win);
+    }
+}

@@ -3,6 +3,19 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// The splitmix64 finalizer: mixes a key into a uniformly distributed value.
+///
+/// Used wherever the workspace needs a *deterministic* hash — shard routing
+/// in the concurrent register bank and the service front-end — where the std
+/// hasher's documented freedom to change across releases would silently
+/// reshuffle placements.
+pub fn splitmix64(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Identifier of a processor in the system.
 ///
 /// Processors are numbered `0..n`. The identifier is used both as the address

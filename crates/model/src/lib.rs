@@ -9,6 +9,9 @@
 //! * [`Protocol`] — the state-machine interface every algorithm
 //!   (PoisonPill, Heterogeneous PoisonPill, the full leader election, the
 //!   renaming algorithm, and the tournament baselines) is written against,
+//! * [`SharedMemory`] — the protocol ⇄ memory contract
+//!   (`propagate`/`collect`/`flip`/`choose`) that every synchronous execution
+//!   backend implements, with [`drive`] as the shared protocol driver,
 //! * [`wire`] — the wire messages exchanged by the backends,
 //! * [`metrics`] — the complexity accounting shared by the simulator and the
 //!   threaded runtime (message complexity, communicate-call counts).
@@ -56,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod backend;
 pub mod ids;
 pub mod metrics;
 pub mod protocol;
@@ -65,7 +69,8 @@ pub mod view;
 pub mod wire;
 
 pub use action::{Action, Outcome, Response};
-pub use ids::{ElectionContext, InstanceId, ProcId, Slot};
+pub use backend::{drive, SharedMemory};
+pub use ids::{splitmix64, ElectionContext, InstanceId, ProcId, Slot};
 pub use metrics::{ExecutionMetrics, ProcessMetrics};
 pub use protocol::{LocalStateView, Protocol};
 pub use store::{CollectCache, ReplicaStore};

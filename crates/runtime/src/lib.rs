@@ -1,12 +1,18 @@
-//! A real-thread message-passing runtime for the paper's protocols.
+//! Real-thread execution backends for the paper's protocols.
 //!
 //! Where `fle-sim` gives deterministic, adversary-controlled executions, this
-//! crate runs the *same* [`fle_model::Protocol`] state machines on real OS
-//! threads: one thread per processor, point-to-point crossbeam channels, and
-//! the quorum-based `communicate(propagate / collect)` primitive implemented
-//! with actual request/reply traffic. It is the backend used by the
-//! wall-clock benchmarks ("strong atomics support, easy threaded
-//! benchmarks") and by the examples that want genuine concurrency.
+//! crate runs the *same* [`fle_model::Protocol`] state machines with genuine
+//! concurrency, through two implementations of the
+//! [`fle_model::SharedMemory`] contract:
+//!
+//! * [`ThreadedRuntime`] — the **message-passing** backend: one OS thread per
+//!   processor, point-to-point crossbeam channels, and the quorum-based
+//!   `communicate(propagate / collect)` primitive implemented with actual
+//!   request/reply traffic (ABND95).
+//! * [`SharedRegisters`] — the **in-process concurrent** backend: the
+//!   registers as real shared state behind sharded locks, where `propagate`
+//!   is a locked merge and `collect` an atomic copy-on-write snapshot; see
+//!   [`shm`].
 //!
 //! Asynchrony comes from the operating-system scheduler; additional jitter
 //! can be injected per message ([`RuntimeConfig::with_max_delay_micros`]) and
@@ -36,11 +42,13 @@
 
 pub mod node;
 pub mod report;
+pub mod shm;
 
 use crossbeam_channel::{unbounded, Sender};
 use fle_model::{ProcId, Protocol};
 use node::{Envelope, NodeResult, NodeRunner};
 pub use report::RuntimeReport;
+pub use shm::{run_concurrent, RegisterHandle, SharedRegisters};
 use std::error::Error;
 use std::fmt;
 use std::thread;
@@ -257,14 +265,10 @@ impl ThreadedRuntime {
     }
 }
 
-/// Convenience: run the paper's leader election on real threads with all `n`
-/// processors participating.
-///
-/// # Errors
-/// Propagates [`RuntimeError`] from [`ThreadedRuntime::run`].
-pub fn run_threaded_leader_election(n: usize, seed: u64) -> Result<RuntimeReport, RuntimeError> {
-    let config = RuntimeConfig::new(n).with_seed(seed);
-    let participants = (0..n)
+/// One [`fle_core::LeaderElection`] participant per processor `0..k` — the
+/// participant list every election backend, example and test needs.
+pub fn election_participants(k: usize) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
+    (0..k)
         .map(|i| {
             let p = ProcId(i);
             (
@@ -272,8 +276,35 @@ pub fn run_threaded_leader_election(n: usize, seed: u64) -> Result<RuntimeReport
                 Box::new(fle_core::LeaderElection::new(p)) as Box<dyn Protocol + Send>,
             )
         })
-        .collect();
-    ThreadedRuntime::new(config).run(participants)
+        .collect()
+}
+
+/// One [`fle_core::Renaming`] participant per processor `0..k`, renaming into
+/// the namespace `1..=namespace`.
+pub fn renaming_participants(
+    k: usize,
+    namespace: usize,
+) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
+    let config = fle_core::RenamingConfig::new(namespace);
+    (0..k)
+        .map(|i| {
+            let p = ProcId(i);
+            (
+                p,
+                Box::new(fle_core::Renaming::new(p, config)) as Box<dyn Protocol + Send>,
+            )
+        })
+        .collect()
+}
+
+/// Convenience: run the paper's leader election on real threads with all `n`
+/// processors participating.
+///
+/// # Errors
+/// Propagates [`RuntimeError`] from [`ThreadedRuntime::run`].
+pub fn run_threaded_leader_election(n: usize, seed: u64) -> Result<RuntimeReport, RuntimeError> {
+    let config = RuntimeConfig::new(n).with_seed(seed);
+    ThreadedRuntime::new(config).run(election_participants(n))
 }
 
 /// Convenience: run the paper's renaming algorithm on real threads.
@@ -282,17 +313,7 @@ pub fn run_threaded_leader_election(n: usize, seed: u64) -> Result<RuntimeReport
 /// Propagates [`RuntimeError`] from [`ThreadedRuntime::run`].
 pub fn run_threaded_renaming(n: usize, seed: u64) -> Result<RuntimeReport, RuntimeError> {
     let config = RuntimeConfig::new(n).with_seed(seed);
-    let renaming_config = fle_core::RenamingConfig::new(n);
-    let participants = (0..n)
-        .map(|i| {
-            let p = ProcId(i);
-            (
-                p,
-                Box::new(fle_core::Renaming::new(p, renaming_config)) as Box<dyn Protocol + Send>,
-            )
-        })
-        .collect();
-    ThreadedRuntime::new(config).run(participants)
+    ThreadedRuntime::new(config).run(renaming_participants(n, n))
 }
 
 #[cfg(test)]

@@ -1,0 +1,90 @@
+//! Fault-tolerance integration tests: the threaded runtime must make
+//! progress as long as fewer than half of the replicas answer requests
+//! (`t < ⌈n/2⌉`, the paper's fault model), and must refuse configurations
+//! where quorums could never form.
+
+use fle_model::{Outcome, ProcId};
+use fle_runtime::{
+    election_participants, renaming_participants, RuntimeConfig, RuntimeError, ThreadedRuntime,
+};
+
+/// The largest unresponsive set the model tolerates: `⌈n/2⌉ − 1` nodes.
+fn max_faulty(n: usize) -> Vec<ProcId> {
+    let tolerable = n.div_ceil(2) - 1;
+    (n - tolerable..n).map(ProcId).collect()
+}
+
+#[test]
+fn election_terminates_with_a_maximal_unresponsive_minority() {
+    for n in [3usize, 4, 5, 7] {
+        let faulty = max_faulty(n);
+        let k = n - faulty.len();
+        let config = RuntimeConfig::new(n)
+            .with_seed(11 + n as u64)
+            .with_unresponsive(faulty.clone());
+        let report = ThreadedRuntime::new(config)
+            .run(election_participants(k))
+            .expect("quorums still form with a minority unresponsive");
+        assert_eq!(
+            report.winners().len(),
+            1,
+            "n={n}, {} unresponsive: exactly one winner",
+            faulty.len()
+        );
+        assert_eq!(report.outcomes.len(), k, "every live participant returns");
+        assert!(report
+            .outcomes
+            .values()
+            .all(|o| matches!(o, Outcome::Win | Outcome::Lose)));
+    }
+}
+
+#[test]
+fn renaming_terminates_with_an_unresponsive_minority() {
+    let n = 5;
+    let config = RuntimeConfig::new(n)
+        .with_seed(23)
+        .with_unresponsive([ProcId(4)]);
+    let report = ThreadedRuntime::new(config)
+        .run(renaming_participants(4, n))
+        .expect("renaming tolerates one unresponsive replica out of five");
+    let names: std::collections::BTreeSet<usize> = report.names().values().copied().collect();
+    assert_eq!(names.len(), 4, "each live participant got a distinct name");
+    assert!(names.iter().all(|&u| (1..=n).contains(&u)));
+}
+
+#[test]
+fn unresponsive_majority_is_rejected_up_front() {
+    // One more unresponsive node than tolerable: the runtime must refuse to
+    // start rather than hang waiting for impossible quorums.
+    for n in [2usize, 4, 5] {
+        let tolerable = n.div_ceil(2) - 1;
+        let faulty: Vec<ProcId> = (0..=tolerable).map(ProcId).collect();
+        let config = RuntimeConfig::new(n).with_unresponsive(faulty);
+        let err = ThreadedRuntime::new(config)
+            .run(Vec::new())
+            .expect_err("too many unresponsive nodes must be rejected");
+        assert!(matches!(err, RuntimeError::TooManyUnresponsive { .. }));
+    }
+}
+
+#[test]
+fn delay_injection_with_faults_still_elects_one_leader() {
+    let n = 5;
+    let config = RuntimeConfig::new(n)
+        .with_seed(7)
+        .with_max_delay_micros(100)
+        .with_unresponsive([ProcId(0)]);
+    let participants = (1..n)
+        .map(|i| {
+            let p = ProcId(i);
+            (
+                p,
+                Box::new(fle_core::LeaderElection::new(p)) as Box<dyn fle_model::Protocol + Send>,
+            )
+        })
+        .collect();
+    let report = ThreadedRuntime::new(config).run(participants).unwrap();
+    assert_eq!(report.winners().len(), 1);
+    assert_eq!(report.outcomes.len(), n - 1);
+}

@@ -1,0 +1,196 @@
+//! The pluggable execution backends an instance can run on.
+//!
+//! A backend takes an [`InstanceSpec`] and runs one complete protocol
+//! instance — every participant to its outcome. The three implementations
+//! cover the repo's three execution substrates:
+//!
+//! * [`SimBackend`] — the deterministic discrete-event simulator: each
+//!   instance is a fresh [`fle_sim::Simulator`] run under a seeded fair
+//!   adversary, reproducible bit-for-bit from `(spec.seed, spec.n)`.
+//! * [`ThreadedBackend`] — the message-passing runtime: one OS thread per
+//!   processor and quorum `communicate` traffic over channels.
+//! * [`ConcurrentBackend`] — the in-process shared-memory backend: every
+//!   participant is a thread hammering one namespaced
+//!   [`fle_runtime::SharedRegisters`] bank, so thousands of instances share
+//!   (and contend on) the same sharded registers.
+//!
+//! Isolation: the sim and threaded backends isolate instances by
+//! construction (each run owns its replicas); the concurrent backend
+//! namespaces every register access by `spec.key`.
+
+use crate::{InstanceSpec, Workload};
+use fle_model::{Outcome, ProcId, Protocol};
+use fle_runtime::{run_concurrent, RuntimeConfig, SharedRegisters, ThreadedRuntime};
+use fle_sim::{RandomAdversary, SimConfig, Simulator};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which execution backend a service runs its instances on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Deterministic discrete-event simulation ([`SimBackend`]).
+    Sim,
+    /// Real-thread message passing ([`ThreadedBackend`]).
+    Threaded,
+    /// In-process concurrent shared registers ([`ConcurrentBackend`]).
+    Concurrent,
+}
+
+impl BackendKind {
+    /// A short label for reports and JSON documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Threaded => "threaded",
+            BackendKind::Concurrent => "concurrent",
+        }
+    }
+
+    /// Build the backend, attaching the service's shared register bank
+    /// (used only by [`BackendKind::Concurrent`]).
+    pub fn build(self, registers: &Arc<SharedRegisters>) -> Box<dyn InstanceBackend> {
+        match self {
+            BackendKind::Sim => Box::new(SimBackend),
+            BackendKind::Threaded => Box::new(ThreadedBackend),
+            BackendKind::Concurrent => Box::new(ConcurrentBackend {
+                registers: Arc::clone(registers),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An execution substrate that can run one protocol instance to completion.
+pub trait InstanceBackend: Send + Sync {
+    /// A short label for reports.
+    fn name(&self) -> &'static str;
+
+    /// Run every participant of `spec` to its outcome.
+    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome>;
+}
+
+/// The protocol state machines of an instance, one per participant.
+pub(crate) fn protocols(spec: &InstanceSpec) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
+    match spec.workload {
+        Workload::Election => fle_runtime::election_participants(spec.participants),
+        Workload::Renaming => {
+            fle_runtime::renaming_participants(spec.participants, spec.participants)
+        }
+    }
+}
+
+/// Deterministic simulator backend: fresh [`Simulator`] + seeded fair
+/// adversary per instance.
+#[derive(Debug, Default)]
+pub struct SimBackend;
+
+impl InstanceBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome> {
+        let mut sim = Simulator::new(SimConfig::new(spec.n).with_seed(spec.seed));
+        for (proc, protocol) in protocols(spec) {
+            sim.add_participant(proc, protocol);
+        }
+        let report = sim
+            .run(&mut RandomAdversary::with_seed(spec.seed.rotate_left(17)))
+            .expect("a fairly scheduled instance terminates");
+        report.outcomes
+    }
+}
+
+/// Message-passing backend: one [`ThreadedRuntime`] per instance.
+#[derive(Debug, Default)]
+pub struct ThreadedBackend;
+
+impl InstanceBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome> {
+        let config = RuntimeConfig::new(spec.n).with_seed(spec.seed);
+        let report = ThreadedRuntime::new(config)
+            .run(protocols(spec))
+            .expect("a fault-free threaded instance terminates");
+        report.outcomes
+    }
+}
+
+/// In-process concurrent backend: participants are threads over one shared,
+/// namespaced register bank.
+#[derive(Debug)]
+pub struct ConcurrentBackend {
+    pub(crate) registers: Arc<SharedRegisters>,
+}
+
+impl InstanceBackend for ConcurrentBackend {
+    fn name(&self) -> &'static str {
+        "concurrent"
+    }
+
+    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome> {
+        run_concurrent(&self.registers, spec.key, spec.seed, protocols(spec)).outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_backend_elects_exactly_one_winner() {
+        let registers = Arc::new(SharedRegisters::new(2));
+        for kind in [
+            BackendKind::Sim,
+            BackendKind::Threaded,
+            BackendKind::Concurrent,
+        ] {
+            let backend = kind.build(&registers);
+            let spec = InstanceSpec::election(42, 4).with_seed(7);
+            let outcomes = backend.run_instance(&spec);
+            assert_eq!(outcomes.len(), 4, "{kind}");
+            let winners = outcomes.values().filter(|o| o.is_win()).count();
+            assert_eq!(winners, 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn every_backend_renames_uniquely() {
+        let registers = Arc::new(SharedRegisters::new(2));
+        for kind in [
+            BackendKind::Sim,
+            BackendKind::Threaded,
+            BackendKind::Concurrent,
+        ] {
+            let backend = kind.build(&registers);
+            let spec = InstanceSpec::renaming(43, 4).with_seed(3);
+            let outcomes = backend.run_instance(&spec);
+            let names: std::collections::BTreeSet<usize> = outcomes
+                .values()
+                .filter_map(|o| match o {
+                    Outcome::Name(u) => Some(*u),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(names.len(), 4, "{kind}: names must be distinct");
+            assert!(names.iter().all(|&u| (1..=4).contains(&u)), "{kind}");
+        }
+    }
+
+    #[test]
+    fn sim_backend_is_reproducible() {
+        let registers = Arc::new(SharedRegisters::new(1));
+        let backend = BackendKind::Sim.build(&registers);
+        let spec = InstanceSpec::election(1, 6).with_seed(99);
+        assert_eq!(backend.run_instance(&spec), backend.run_instance(&spec));
+    }
+}

@@ -1,0 +1,639 @@
+//! A sharded front-end that serves many concurrent protocol instances.
+//!
+//! The repo's other crates run *one* election (or renaming) per execution;
+//! this crate turns them into a **service**: callers submit instances —
+//! `(key, system size, workload, seed)` — and the service multiplexes
+//! thousands of them across a fixed pool of shard workers, each instance
+//! executing on one of the pluggable [`backend`]s (deterministic simulator,
+//! threaded message passing, or the in-process concurrent shared-memory
+//! backend, where all instances contend on one namespaced
+//! [`fle_runtime::SharedRegisters`] bank).
+//!
+//! Design:
+//!
+//! * **Sharding** — `instance key → shard` via a splitmix64 hash; each shard
+//!   owns a FIFO of submitted instances and one worker thread, so two
+//!   instances on different shards run genuinely in parallel while a shard's
+//!   own instances are serialized (per-key FIFO fairness).
+//! * **Tickets** — [`ElectionService::submit`] is asynchronous: it enqueues
+//!   and returns a [`Ticket`]; [`Ticket::wait`] blocks for that instance's
+//!   [`InstanceResult`]. [`ElectionService::submit_wait`] is the synchronous
+//!   convenience.
+//! * **Epoch-based retirement** — finished instances stay queryable via
+//!   [`ElectionService::status`] for a bounded number of *epochs* (an epoch
+//!   closes after [`ServiceConfig::epoch_size`] completions on that shard);
+//!   once an instance's epoch falls out of the retention window, its record
+//!   *and its registers in the concurrent bank* are purged, so a service
+//!   that has processed a million instances holds state for only the recent
+//!   window. Duplicate submission of a live (un-retired) key is rejected.
+//!
+//! # Example
+//!
+//! ```
+//! use fle_service::{BackendKind, ElectionService, InstanceSpec, ServiceConfig};
+//!
+//! let service = ElectionService::new(ServiceConfig::new(2, BackendKind::Concurrent));
+//! let tickets: Vec<_> = (0..16)
+//!     .map(|key| {
+//!         service
+//!             .submit(InstanceSpec::election(key, 4))
+//!             .expect("fresh keys are accepted")
+//!     })
+//!     .collect();
+//! for ticket in tickets {
+//!     let result = ticket.wait().expect("the service completes every instance");
+//!     assert!(result.winner().is_some(), "exactly one winner per instance");
+//! }
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+
+pub use backend::{BackendKind, ConcurrentBackend, InstanceBackend, SimBackend, ThreadedBackend};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use fle_model::{Outcome, ProcId};
+use fle_runtime::SharedRegisters;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of an [`ElectionService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards; each shard runs one worker thread.
+    pub shards: usize,
+    /// The execution backend instances run on.
+    pub backend: BackendKind,
+    /// Lock shards of the concurrent backend's register bank.
+    pub register_shards: usize,
+    /// Completions per shard that close an epoch.
+    pub epoch_size: usize,
+    /// Closed epochs a finished instance stays queryable before its record
+    /// and registers are purged.
+    pub retained_epochs: u64,
+}
+
+impl ServiceConfig {
+    /// A service with `shards` workers on the given backend and default
+    /// retirement settings (epochs of 64 completions, 2 epochs retained).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, backend: BackendKind) -> Self {
+        assert!(shards > 0, "a service needs at least one shard");
+        ServiceConfig {
+            shards,
+            backend,
+            register_shards: (shards * 4).max(16),
+            epoch_size: 64,
+            retained_epochs: 2,
+        }
+    }
+
+    /// Set the register-bank lock shard count.
+    #[must_use]
+    pub fn with_register_shards(mut self, register_shards: usize) -> Self {
+        self.register_shards = register_shards.max(1);
+        self
+    }
+
+    /// Set completions per epoch.
+    #[must_use]
+    pub fn with_epoch_size(mut self, epoch_size: usize) -> Self {
+        self.epoch_size = epoch_size.max(1);
+        self
+    }
+
+    /// Set how many closed epochs a finished instance stays queryable.
+    #[must_use]
+    pub fn with_retained_epochs(mut self, retained_epochs: u64) -> Self {
+        self.retained_epochs = retained_epochs;
+        self
+    }
+}
+
+/// The protocol family an instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The paper's leader election: exactly one participant wins.
+    Election,
+    /// The paper's tight renaming: participants end with distinct names in
+    /// `1..=participants`.
+    Renaming,
+}
+
+/// One instance submitted to the service.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceSpec {
+    /// Caller-chosen identity; also the register namespace on the concurrent
+    /// backend and the default seed.
+    pub key: u64,
+    /// System size (processors / replicas) of the instance.
+    pub n: usize,
+    /// How many of the `n` processors participate (`1..=n`).
+    pub participants: usize,
+    /// Seed for the instance's randomness.
+    pub seed: u64,
+    /// The protocol family to run.
+    pub workload: Workload,
+}
+
+impl InstanceSpec {
+    /// A leader election among all `n` processors, seeded by the key.
+    pub fn election(key: u64, n: usize) -> Self {
+        InstanceSpec {
+            key,
+            n,
+            participants: n,
+            seed: key,
+            workload: Workload::Election,
+        }
+    }
+
+    /// A tight renaming among all `n` processors, seeded by the key.
+    pub fn renaming(key: u64, n: usize) -> Self {
+        InstanceSpec {
+            workload: Workload::Renaming,
+            ..InstanceSpec::election(key, n)
+        }
+    }
+
+    /// Set the seed explicitly (the default is the key).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of participants (`k ≤ n`).
+    #[must_use]
+    pub fn with_participants(mut self, participants: usize) -> Self {
+        self.participants = participants;
+        self
+    }
+}
+
+/// The completed execution of one instance.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// The instance's key.
+    pub key: u64,
+    /// Outcome of every participant.
+    pub outcomes: BTreeMap<ProcId, Outcome>,
+    /// Submit-to-completion latency (queueing included).
+    pub latency: Duration,
+}
+
+impl InstanceResult {
+    /// The unique winner of an election instance, if exactly one exists.
+    pub fn winner(&self) -> Option<ProcId> {
+        let mut winners = self
+            .outcomes
+            .iter()
+            .filter(|(_, o)| o.is_win())
+            .map(|(p, _)| *p);
+        match (winners.next(), winners.next()) {
+            (Some(p), None) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The names assigned by a renaming instance.
+    pub fn names(&self) -> BTreeMap<ProcId, usize> {
+        self.outcomes
+            .iter()
+            .filter_map(|(p, o)| match o {
+                Outcome::Name(u) => Some((*p, *u)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The key is already queued, running, or finished within the retention
+    /// window.
+    Duplicate(u64),
+    /// The spec is malformed (zero system, participants out of range).
+    InvalidSpec(String),
+    /// The service has been shut down.
+    Stopped,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Duplicate(key) => write!(f, "instance {key} already exists"),
+            SubmitError::InvalidSpec(reason) => write!(f, "invalid instance spec: {reason}"),
+            SubmitError::Stopped => write!(f, "the service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What the service knows about a key right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceStatus {
+    /// Never submitted, or finished and already retired.
+    Unknown,
+    /// Waiting in its shard's queue.
+    Queued,
+    /// Currently executing on the shard worker.
+    Running,
+    /// Finished within the retention window.
+    Done {
+        /// The unique winner, for election workloads.
+        winner: Option<ProcId>,
+    },
+}
+
+/// A claim on one submitted instance's result.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The instance's key.
+    pub key: u64,
+    rx: Receiver<InstanceResult>,
+}
+
+impl Ticket {
+    /// Block until the instance completes.
+    ///
+    /// # Errors
+    /// Returns [`SubmitError::Stopped`] if the service shut down before the
+    /// instance ran.
+    pub fn wait(self) -> Result<InstanceResult, SubmitError> {
+        self.rx.recv().map_err(|_| SubmitError::Stopped)
+    }
+}
+
+/// Aggregate counters returned by [`ElectionService::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Instances completed across all shards.
+    pub completed: u64,
+    /// Finished instances whose records and registers were purged.
+    pub retired: u64,
+    /// Epochs closed across all shards.
+    pub epochs_closed: u64,
+    /// Namespaces still live in the concurrent register bank (0 unless the
+    /// retention window still covers recent instances).
+    pub live_register_namespaces: usize,
+}
+
+/// The lifecycle phase of a tracked instance.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Queued,
+    Running,
+    Done { winner: Option<ProcId> },
+}
+
+/// Per-shard bookkeeping shared between `submit`, `status` and the worker.
+#[derive(Debug, Default)]
+struct ShardState {
+    phases: HashMap<u64, Phase>,
+    /// Finished instances in completion order, tagged with their epoch.
+    retire_queue: VecDeque<(u64, u64)>,
+    epoch: u64,
+    completed_in_epoch: usize,
+    completed: u64,
+    retired: u64,
+}
+
+struct Job {
+    spec: InstanceSpec,
+    submitted: Instant,
+    reply: Sender<InstanceResult>,
+}
+
+/// The sharded multi-instance service. See the crate docs for the design.
+pub struct ElectionService {
+    config: ServiceConfig,
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    states: Vec<Arc<Mutex<ShardState>>>,
+    registers: Arc<SharedRegisters>,
+}
+
+impl ElectionService {
+    /// Start the service: one worker thread per shard, all sharing one
+    /// register bank (used by the concurrent backend).
+    pub fn new(config: ServiceConfig) -> Self {
+        let registers = Arc::new(SharedRegisters::new(config.register_shards));
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut states = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = unbounded::<Job>();
+            let state = Arc::new(Mutex::new(ShardState::default()));
+            let worker_state = Arc::clone(&state);
+            let worker_registers = Arc::clone(&registers);
+            let worker_config = config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("fle-service-shard-{shard}"))
+                .spawn(move || {
+                    shard_worker(rx, worker_state, worker_registers, worker_config);
+                })
+                .expect("spawning a shard worker never fails on supported platforms");
+            senders.push(tx);
+            workers.push(handle);
+            states.push(state);
+        }
+        ElectionService {
+            config,
+            senders,
+            workers,
+            states,
+            registers,
+        }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared register bank (the concurrent backend's state). Exposed so
+    /// tests and benchmarks can assert isolation and retirement.
+    pub fn registers(&self) -> &Arc<SharedRegisters> {
+        &self.registers
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        (fle_model::splitmix64(key) as usize) % self.senders.len()
+    }
+
+    /// Enqueue an instance; returns a [`Ticket`] for its result.
+    ///
+    /// # Errors
+    /// [`SubmitError::InvalidSpec`] for malformed specs,
+    /// [`SubmitError::Duplicate`] when the key is live or retained, and
+    /// [`SubmitError::Stopped`] when the service is shutting down.
+    pub fn submit(&self, spec: InstanceSpec) -> Result<Ticket, SubmitError> {
+        if spec.n == 0 {
+            return Err(SubmitError::InvalidSpec(
+                "an instance needs at least one processor".to_string(),
+            ));
+        }
+        if spec.participants == 0 || spec.participants > spec.n {
+            return Err(SubmitError::InvalidSpec(format!(
+                "participants must lie in 1..={}, got {}",
+                spec.n, spec.participants
+            )));
+        }
+        let shard = self.shard_of(spec.key);
+        {
+            let mut state = lock(&self.states[shard]);
+            if state.phases.contains_key(&spec.key) {
+                return Err(SubmitError::Duplicate(spec.key));
+            }
+            state.phases.insert(spec.key, Phase::Queued);
+        }
+        let (reply, rx) = unbounded();
+        let job = Job {
+            spec,
+            submitted: Instant::now(),
+            reply,
+        };
+        if self.senders[shard].send(job).is_err() {
+            lock(&self.states[shard]).phases.remove(&spec.key);
+            return Err(SubmitError::Stopped);
+        }
+        Ok(Ticket { key: spec.key, rx })
+    }
+
+    /// Submit and block for the result.
+    ///
+    /// # Errors
+    /// Propagates the errors of [`ElectionService::submit`] and
+    /// [`Ticket::wait`].
+    pub fn submit_wait(&self, spec: InstanceSpec) -> Result<InstanceResult, SubmitError> {
+        self.submit(spec)?.wait()
+    }
+
+    /// What the service currently knows about `key`. Finished instances
+    /// answer [`InstanceStatus::Done`] until their epoch is retired, then
+    /// [`InstanceStatus::Unknown`].
+    pub fn status(&self, key: u64) -> InstanceStatus {
+        let state = lock(&self.states[self.shard_of(key)]);
+        match state.phases.get(&key) {
+            None => InstanceStatus::Unknown,
+            Some(Phase::Queued) => InstanceStatus::Queued,
+            Some(Phase::Running) => InstanceStatus::Running,
+            Some(Phase::Done { winner }) => InstanceStatus::Done { winner: *winner },
+        }
+    }
+
+    /// Drain the queues, stop every worker and return aggregate counters.
+    /// Instances already queued are still executed.
+    pub fn shutdown(self) -> ServiceStats {
+        drop(self.senders);
+        for worker in self.workers {
+            worker
+                .join()
+                .expect("shard workers propagate panics to shutdown");
+        }
+        let mut stats = ServiceStats {
+            live_register_namespaces: self.registers.live_namespaces(),
+            ..ServiceStats::default()
+        };
+        for state in &self.states {
+            let state = lock(state);
+            stats.completed += state.completed;
+            stats.retired += state.retired;
+            stats.epochs_closed += state.epoch;
+        }
+        stats
+    }
+}
+
+fn lock(state: &Arc<Mutex<ShardState>>) -> std::sync::MutexGuard<'_, ShardState> {
+    state
+        .lock()
+        .expect("shard bookkeeping never panics while locked")
+}
+
+/// One shard's worker loop: execute jobs FIFO, record completions, close
+/// epochs and purge retired instances (records + registers).
+fn shard_worker(
+    rx: Receiver<Job>,
+    state: Arc<Mutex<ShardState>>,
+    registers: Arc<SharedRegisters>,
+    config: ServiceConfig,
+) {
+    let backend = config.backend.build(&registers);
+    while let Ok(job) = rx.recv() {
+        let key = job.spec.key;
+        lock(&state).phases.insert(key, Phase::Running);
+        let outcomes = backend.run_instance(&job.spec);
+        let result = InstanceResult {
+            key,
+            outcomes,
+            latency: job.submitted.elapsed(),
+        };
+        let winner = result.winner();
+        // Record completion *before* releasing the ticket, so a caller that
+        // has seen its result also sees `Done` in `status` (until retired).
+        {
+            let mut state = lock(&state);
+            let epoch = state.epoch;
+            state.phases.insert(key, Phase::Done { winner });
+            state.retire_queue.push_back((epoch, key));
+            state.completed += 1;
+            state.completed_in_epoch += 1;
+            if state.completed_in_epoch >= config.epoch_size {
+                state.epoch += 1;
+                state.completed_in_epoch = 0;
+                // Everything that finished more than `retained_epochs`
+                // closed epochs ago leaves the status table and the
+                // register bank.
+                while let Some(&(done_epoch, old_key)) = state.retire_queue.front() {
+                    if done_epoch + config.retained_epochs > state.epoch {
+                        break;
+                    }
+                    state.retire_queue.pop_front();
+                    state.phases.remove(&old_key);
+                    registers.retire(old_key);
+                    state.retired += 1;
+                }
+            }
+        }
+        // The ticket may have been dropped; ignore a dead receiver.
+        let _ = job.reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_validates_specs() {
+        let service = ElectionService::new(ServiceConfig::new(1, BackendKind::Sim));
+        assert!(matches!(
+            service.submit(InstanceSpec::election(0, 0)),
+            Err(SubmitError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            service.submit(InstanceSpec::election(0, 4).with_participants(5)),
+            Err(SubmitError::InvalidSpec(_))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_while_live() {
+        let service = ElectionService::new(ServiceConfig::new(1, BackendKind::Sim));
+        let ticket = service.submit(InstanceSpec::election(7, 4)).unwrap();
+        assert!(matches!(
+            service.submit(InstanceSpec::election(7, 4)),
+            Err(SubmitError::Duplicate(7))
+        ));
+        ticket.wait().unwrap();
+        // Still within the retention window: a resubmit stays rejected.
+        assert!(matches!(
+            service.submit(InstanceSpec::election(7, 4)),
+            Err(SubmitError::Duplicate(7))
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn statuses_progress_to_done_and_then_retire() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent)
+            .with_epoch_size(2)
+            .with_retained_epochs(1);
+        let service = ElectionService::new(config);
+        assert_eq!(service.status(0), InstanceStatus::Unknown);
+
+        let first = service.submit_wait(InstanceSpec::election(0, 3)).unwrap();
+        assert!(matches!(
+            service.status(0),
+            InstanceStatus::Done { winner: Some(_) }
+        ));
+        assert_eq!(
+            service.status(0),
+            InstanceStatus::Done {
+                winner: first.winner()
+            }
+        );
+
+        // Three more completions close two epochs of size 2; instance 0's
+        // epoch falls out of the 1-epoch retention window and is purged —
+        // record and registers both.
+        for key in 1..=3 {
+            service.submit_wait(InstanceSpec::election(key, 3)).unwrap();
+        }
+        assert_eq!(service.status(0), InstanceStatus::Unknown);
+        assert!(
+            service
+                .registers()
+                .snapshot(0, fle_model::InstanceId::Contended)
+                .is_empty(),
+            "retired namespaces leave no registers behind"
+        );
+        // A retired key may be reused.
+        assert!(service.submit(InstanceSpec::election(0, 3)).is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 5);
+        assert!(stats.retired >= 2);
+        assert!(stats.epochs_closed >= 2);
+    }
+
+    #[test]
+    fn a_storm_of_concurrent_instances_each_elects_one_winner() {
+        let service = ElectionService::new(ServiceConfig::new(4, BackendKind::Concurrent));
+        let tickets: Vec<Ticket> = (0..200)
+            .map(|key| service.submit(InstanceSpec::election(key, 4)).unwrap())
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for ticket in tickets {
+            let result = ticket.wait().unwrap();
+            assert!(seen.insert(result.key), "no duplicate results");
+            assert_eq!(result.outcomes.len(), 4);
+            assert!(result.winner().is_some(), "instance {}", result.key);
+        }
+        assert_eq!(seen.len(), 200, "no lost results");
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 200);
+    }
+
+    #[test]
+    fn renaming_instances_return_distinct_tight_names() {
+        let service = ElectionService::new(ServiceConfig::new(2, BackendKind::Concurrent));
+        for key in 0..8 {
+            let result = service.submit_wait(InstanceSpec::renaming(key, 4)).unwrap();
+            let names: std::collections::BTreeSet<usize> =
+                result.names().values().copied().collect();
+            assert_eq!(names.len(), 4);
+            assert!(names.iter().all(|&u| (1..=4).contains(&u)));
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_instances() {
+        let service = ElectionService::new(ServiceConfig::new(2, BackendKind::Sim));
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|key| service.submit(InstanceSpec::election(key, 4)).unwrap())
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 32, "queued work is finished, not dropped");
+        for ticket in tickets {
+            assert!(
+                ticket.wait().is_ok(),
+                "results stay claimable after shutdown"
+            );
+        }
+    }
+}

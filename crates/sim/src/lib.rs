@@ -57,6 +57,7 @@ pub mod arena;
 pub mod engine;
 pub mod error;
 pub mod event_set;
+pub mod memory;
 pub mod message;
 pub mod observation;
 pub mod process;
@@ -72,6 +73,7 @@ pub use arena::SimArena;
 pub use engine::{SimConfig, Simulator};
 pub use error::SimError;
 pub use event_set::{IndexedBitSet, OrderedMsgSet};
+pub use memory::{SimMemory, SimMemoryHandle};
 pub use message::{InFlightMessage, MessageId, MessageSlab};
 pub use observation::{
     Decision, EnabledEvent, EnabledEvents, ProcessObservation, ProcessPhase, SystemObservation,

@@ -12,18 +12,8 @@ fn main() {
         .with_seed(5)
         .with_max_delay_micros(200);
 
-    let participants = (0..n)
-        .map(|i| {
-            let p = ProcId(i);
-            (
-                p,
-                Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>,
-            )
-        })
-        .collect();
-
     let report = ThreadedRuntime::new(config)
-        .run(participants)
+        .run(election_participants(n))
         .expect("the threaded election completes");
 
     let winners = report.winners();
@@ -41,17 +31,8 @@ fn main() {
     let config = RuntimeConfig::new(5)
         .with_seed(6)
         .with_unresponsive([ProcId(4)]);
-    let participants = (0..4)
-        .map(|i| {
-            let p = ProcId(i);
-            (
-                p,
-                Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>,
-            )
-        })
-        .collect();
     let report = ThreadedRuntime::new(config)
-        .run(participants)
+        .run(election_participants(4))
         .expect("completes despite an unresponsive replica");
     println!(
         "\nwith 1 of 5 replicas unresponsive the election still elects {}",

@@ -12,11 +12,12 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`model`] (`fle-model`) | protocol state-machine interface, register values, wire messages, complexity metrics |
-//! | [`sim`] (`fle-sim`) | deterministic discrete-event simulator: quorum `communicate`, adaptive adversaries, crash injection |
-//! | [`runtime`] (`fle-runtime`) | real-thread backend: one OS thread per processor, crossbeam channels |
+//! | [`model`] (`fle-model`) | protocol state-machine interface, the `SharedMemory` backend contract, register values, wire messages, complexity metrics |
+//! | [`sim`] (`fle-sim`) | deterministic discrete-event simulator: quorum `communicate`, adaptive adversaries, crash injection; sequential `SimMemory` adapter |
+//! | [`runtime`] (`fle-runtime`) | real-thread backends: message passing over crossbeam channels, and in-process concurrent `SharedRegisters` |
 //! | [`core`] (`fle-core`) | PoisonPill, Heterogeneous PoisonPill, doorway, pre-round, the full election, renaming |
 //! | [`baselines`] (`fle-baselines`) | tournament-tree test-and-set (AGTV92), random-order renaming (AAG+10) |
+//! | [`service`] (`fle-service`) | sharded multi-instance election/renaming service over the pluggable backends |
 //! | [`explore`] (`fle-explore`) | adversarial schedule exploration: attack strategies, safety oracles, counterexample shrinking |
 //! | [`analysis`] (`fle-analysis`) | statistics, `log*`/`log²`/`√n` reference curves, table rendering |
 //!
@@ -63,6 +64,7 @@ pub use fle_core as core;
 pub use fle_explore as explore;
 pub use fle_model as model;
 pub use fle_runtime as runtime;
+pub use fle_service as service;
 pub use fle_sim as sim;
 
 /// The most commonly used items, re-exported for one-line imports.
@@ -80,10 +82,16 @@ pub mod prelude {
     };
     pub use fle_explore::{shrink, Explorer, Oracle, Scenario, StrategySpec, Violation};
     pub use fle_model::{
-        Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
+        drive, Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
+        SharedMemory,
     };
     pub use fle_runtime::{
-        run_threaded_leader_election, run_threaded_renaming, RuntimeConfig, ThreadedRuntime,
+        election_participants, renaming_participants, run_concurrent, run_threaded_leader_election,
+        run_threaded_renaming, RuntimeConfig, SharedRegisters, ThreadedRuntime,
+    };
+    pub use fle_service::{
+        BackendKind, ElectionService, InstanceResult, InstanceSpec, InstanceStatus, ServiceConfig,
+        Ticket, Workload,
     };
     pub use fle_sim::{
         Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, DecisionTrace,

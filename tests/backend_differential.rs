@@ -1,0 +1,190 @@
+//! Differential tests across the execution backends.
+//!
+//! Every backend hosts the *same* protocol state machines through the
+//! [`fle_model::SharedMemory`] contract (or, for the discrete-event
+//! simulator, its inverted event-driven form). These tests run fixed-seed
+//! instances on all of them and check:
+//!
+//! * the safety invariants hold everywhere (exactly one winner, distinct
+//!   tight names),
+//! * where determinism allows, the outputs are *identical*: the sequential
+//!   backends agree bit-for-bit across repetitions, and a lone participant
+//!   wins on every backend.
+//!
+//! Byte-identical sim schedules across the refactor are covered separately
+//! and exhaustively by `tests/event_set_equivalence.rs`, which this PR
+//! leaves untouched.
+
+use fast_leader_election::prelude::*;
+use fle_sim::SimMemory;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Outcomes of a fixed-seed election on every backend, labelled.
+fn election_on_all_backends(
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<(&'static str, BTreeMap<ProcId, Outcome>)> {
+    let mut results = Vec::new();
+
+    // 1. The deterministic discrete-event simulator under a fair adversary.
+    let setup = ElectionSetup {
+        participants: (0..k).map(ProcId).collect(),
+        ..ElectionSetup::all_participate(n)
+    }
+    .with_seed(seed);
+    let report = run_leader_election(&setup, &mut RandomAdversary::with_seed(seed))
+        .expect("the simulated election terminates");
+    results.push(("sim", report.outcomes));
+
+    // 2. The deterministic sequential register adapter.
+    let mut memory = SimMemory::new(n, seed);
+    results.push(("sim-memory", memory.run_all(election_participants(k))));
+
+    // 3. The threaded message-passing runtime.
+    let report = ThreadedRuntime::new(RuntimeConfig::new(n).with_seed(seed))
+        .run(election_participants(k))
+        .expect("the threaded election terminates");
+    results.push(("threaded", report.outcomes));
+
+    // 4. The in-process concurrent shared-register backend.
+    let registers = Arc::new(SharedRegisters::new(4));
+    let report = run_concurrent(&registers, seed, seed, election_participants(k));
+    results.push(("concurrent", report.outcomes));
+
+    results
+}
+
+#[test]
+fn every_backend_elects_exactly_one_winner() {
+    for (n, k) in [(4usize, 4usize), (5, 3), (8, 8)] {
+        for seed in 0..3u64 {
+            for (backend, outcomes) in election_on_all_backends(n, k, seed) {
+                assert_eq!(
+                    outcomes.len(),
+                    k,
+                    "{backend}: n={n} k={k} seed={seed}: every participant returns"
+                );
+                let winners: Vec<&ProcId> = outcomes
+                    .iter()
+                    .filter(|(_, o)| o.is_win())
+                    .map(|(p, _)| p)
+                    .collect();
+                assert_eq!(
+                    winners.len(),
+                    1,
+                    "{backend}: n={n} k={k} seed={seed}: winners {winners:?}"
+                );
+                assert!(
+                    outcomes
+                        .values()
+                        .all(|o| matches!(o, Outcome::Win | Outcome::Lose)),
+                    "{backend}: elections return only WIN/LOSE"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_backends_agree_where_determinism_allows() {
+    // A lone participant must win on every backend — the one cross-backend
+    // output fixed by the spec rather than by scheduling.
+    for (backend, outcomes) in election_on_all_backends(4, 1, 9) {
+        assert_eq!(
+            outcomes.get(&ProcId(0)),
+            Some(&Outcome::Win),
+            "{backend}: a lone participant always wins"
+        );
+    }
+
+    // The fully deterministic backends reproduce themselves bit-for-bit.
+    for seed in 0..3u64 {
+        let sim_a = &election_on_all_backends(6, 6, seed)[0].1;
+        let sim_b = &election_on_all_backends(6, 6, seed)[0].1;
+        assert_eq!(sim_a, sim_b, "the simulator is deterministic per seed");
+
+        let mut mem_a = SimMemory::new(6, seed);
+        let mut mem_b = SimMemory::new(6, seed);
+        assert_eq!(
+            mem_a.run_all(election_participants(6)),
+            mem_b.run_all(election_participants(6)),
+            "the sequential register adapter is deterministic per seed"
+        );
+    }
+}
+
+#[test]
+fn renaming_is_tight_and_unique_on_every_backend() {
+    let n = 4;
+    let seed = 5;
+
+    let mut all: Vec<(&'static str, BTreeMap<ProcId, usize>)> = Vec::new();
+
+    let setup = RenamingSetup::all_participate(n).with_seed(seed);
+    let report = run_renaming(&setup, &mut RandomAdversary::with_seed(seed))
+        .expect("the simulated renaming terminates");
+    all.push(("sim", report.names()));
+
+    let mut memory = SimMemory::new(n, seed);
+    let outcomes = memory.run_all(renaming_participants(n, n));
+    all.push((
+        "sim-memory",
+        outcomes
+            .into_iter()
+            .filter_map(|(p, o)| match o {
+                Outcome::Name(u) => Some((p, u)),
+                _ => None,
+            })
+            .collect(),
+    ));
+
+    let report = ThreadedRuntime::new(RuntimeConfig::new(n).with_seed(seed))
+        .run(renaming_participants(n, n))
+        .expect("the threaded renaming terminates");
+    all.push(("threaded", report.names()));
+
+    let registers = Arc::new(SharedRegisters::new(2));
+    let report = run_concurrent(&registers, 0, seed, renaming_participants(n, n));
+    all.push(("concurrent", report.names()));
+
+    for (backend, names) in all {
+        assert_eq!(names.len(), n, "{backend}: every participant is renamed");
+        let distinct: BTreeSet<usize> = names.values().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            n,
+            "{backend}: names are distinct: {names:?}"
+        );
+        assert!(
+            distinct.iter().all(|&u| (1..=n).contains(&u)),
+            "{backend}: names are tight (1..={n}): {names:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_instances_on_one_register_bank_do_not_interfere() {
+    // Many elections race on the same shared register bank under distinct
+    // namespaces, in parallel; each must independently elect one winner.
+    let registers = Arc::new(SharedRegisters::new(2));
+    let results: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16u64)
+            .map(|namespace| {
+                let registers = Arc::clone(&registers);
+                scope.spawn(move || {
+                    run_concurrent(&registers, namespace, namespace, election_participants(3))
+                        .winners()
+                        .len()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        results.iter().all(|&w| w == 1),
+        "winners per instance: {results:?}"
+    );
+    assert_eq!(registers.live_namespaces(), 16);
+}
