@@ -129,7 +129,7 @@ fn verify(expected_key: u64, n: usize, ticket: Ticket) -> u64 {
 ///
 /// # Panics
 /// Panics on any correctness violation (lost/duplicate/cross-keyed result,
-/// no unique winner) — see [`verify`].
+/// no unique winner) — see the internal `verify` pass.
 pub fn closed_loop(spec: LoadSpec) -> LoadResult {
     let service = ElectionService::new(ServiceConfig::new(spec.shards, spec.backend));
     let start = Instant::now();

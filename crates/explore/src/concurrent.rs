@@ -1,0 +1,390 @@
+//! Hunting the **concurrent backend**: the same strategies, oracles, traces
+//! and shrinker as the simulator, pointed at real threads.
+//!
+//! `fle_runtime::run_scheduled` serializes the participant threads of a
+//! [`fle_runtime::SharedRegisters`] run at their [`fle_model::SchedulePoint`]
+//! gates and lets a picker choose the interleaving. This module adapts that
+//! picker interface to the simulator's [`Adversary`] so the entire PR 3
+//! pipeline transfers unchanged:
+//!
+//! * every attack strategy ([`crate::strategies`]) sees a synthetic
+//!   [`SystemObservation`] + [`EnabledEvents`] view in which each gated
+//!   participant appears as one enabled `Step` event carrying its live
+//!   [`fle_model::LocalStateView`] — the exact shape the strategies already
+//!   consume;
+//! * every safety oracle ([`crate::oracles`]) is evaluated online after each
+//!   grant, over an [`ExecutionReport`] assembled from the runner's
+//!   progress, and aborts the episode at the first bad grant;
+//! * every violation is recorded by [`RecordingAdversary`] as a
+//!   [`DecisionTrace`] (`s<i>` = grant the i-th waiting participant,
+//!   `c<p>` = crash processor p — same codec as the simulator), replayed by
+//!   [`ReplayAdversary`] and minimized by [`crate::shrink_shm`]'s ddmin.
+//!
+//! Determinism: one episode = fresh register bank + seeded per-participant
+//! coin streams + fully serialized grants, so the execution is a pure
+//! function of `(scenario, sim_seed, decision sequence)` — independent of
+//! machine load, OS scheduling and explorer thread count. That is what makes
+//! a counterexample found on real threads replayable from its compact text
+//! form alone.
+//!
+//! # Example
+//!
+//! Point a hunt at the concurrent backend (the healthy election survives):
+//!
+//! ```
+//! use fle_explore::{ElectionScenario, ExploreBackend, Explorer, ShmConfig};
+//!
+//! let scenario = ElectionScenario { n: 3, k: 3 };
+//! let report = Explorer::new(&scenario)
+//!     .with_backend(ExploreBackend::Concurrent(ShmConfig::default()))
+//!     .with_sim_seeds(0..1)
+//!     .with_strategy_seeds(0..1)
+//!     .with_threads(2)
+//!     .hunt();
+//! assert_eq!(report.clean, report.episodes);
+//! assert!(report.violations.is_empty());
+//! ```
+
+use crate::explorer::{EpisodeOutcome, EpisodePlan, FoundViolation};
+use crate::oracles::{budget_violation, Oracle, OracleCtx, Violation};
+use crate::scenario::Scenario;
+use crate::strategies::PreemptionBound;
+use fle_model::ProcId;
+use fle_runtime::{
+    run_scheduled, GateCommand, GateObservation, GateScheduler, ScheduleConfig, SharedRegisters,
+};
+use fle_sim::{
+    Adversary, Decision, DecisionTrace, EnabledEvent, EnabledEvents, ExecutionReport,
+    ProcessObservation, ProcessPhase, RecordingAdversary, ReplayAdversary, SystemObservation,
+};
+use std::sync::Arc;
+
+/// How the concurrent backend is exercised during a hunt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmConfig {
+    /// Lock shards of the per-episode register bank.
+    pub shards: usize,
+    /// Cap on schedule preemptions per episode (`None` = unbounded): wraps
+    /// the strategy in [`PreemptionBound`] *below* the recorder, so recorded
+    /// traces contain the bounded decisions and replay without the wrapper.
+    pub preemption_bound: Option<u32>,
+    /// Grant budget per episode (`None` defers to
+    /// [`Scenario::max_events`], then to the
+    /// [`ScheduleConfig::for_participants`] default). Exceeding it is
+    /// reported as a termination-budget violation, like the simulator's
+    /// event budget.
+    pub max_grants: Option<u64>,
+}
+
+impl Default for ShmConfig {
+    fn default() -> Self {
+        ShmConfig {
+            shards: 4,
+            preemption_bound: None,
+            max_grants: None,
+        }
+    }
+}
+
+/// The [`GateScheduler`] that closes the loop: builds the simulator-shaped
+/// observation, checks the oracles online, then lets an [`Adversary`] pick.
+struct OnlineAdversaryScheduler<'a> {
+    /// System size reported to strategies (`scenario.n()`, which may exceed
+    /// the participant count — absent processors appear `Idle`).
+    n: usize,
+    participants: &'a [ProcId],
+    adversary: &'a mut dyn Adversary,
+    oracles: Vec<Box<dyn Oracle>>,
+    /// The first oracle violation, once found (the episode stops there).
+    violation: Option<Violation>,
+    /// The simulator-shaped report the oracles consume, kept in sync with
+    /// the runner's progress (re-cloned only when the progress changed).
+    report: ExecutionReport,
+}
+
+impl OnlineAdversaryScheduler<'_> {
+    /// Sync the cached report with the runner's progress. Every progress
+    /// mutation grows one of the three collections (a first grant inserts an
+    /// interval; a return inserts an outcome *and* completes its interval in
+    /// the same harvest; a crash pushes onto `crashed`), so comparing
+    /// lengths detects all of them without cloning three maps per grant.
+    fn sync_report(&mut self, obs: &GateObservation<'_>) {
+        if self.report.outcomes.len() != obs.progress.outcomes.len()
+            || self.report.intervals.len() != obs.progress.intervals.len()
+            || self.report.crashed.len() != obs.progress.crashed.len()
+        {
+            self.report.outcomes = obs.progress.outcomes.clone();
+            self.report.intervals = obs.progress.intervals.clone();
+            self.report.crashed = obs.progress.crashed.clone();
+        }
+        self.report.events_executed = obs.grants_made;
+    }
+
+    /// Assemble the strategy-facing observation: gated participants are
+    /// `StepReady` with their gate-time local state, returned ones
+    /// `Finished`, crashed ones `Crashed`, non-participants `Idle`.
+    fn observation(&self, obs: &GateObservation<'_>) -> SystemObservation {
+        let mut processes: Vec<ProcessObservation> = (0..self.n)
+            .map(|index| ProcessObservation {
+                proc: ProcId(index),
+                phase: ProcessPhase::Idle,
+                local_state: None,
+            })
+            .collect();
+        for &proc in self.participants {
+            processes[proc.index()].phase = ProcessPhase::Finished;
+        }
+        for &proc in &obs.progress.crashed {
+            processes[proc.index()].phase = ProcessPhase::Crashed;
+        }
+        for entry in obs.waiting {
+            let process = &mut processes[entry.proc.index()];
+            process.phase = ProcessPhase::StepReady;
+            process.local_state = Some(entry.state.clone());
+        }
+        SystemObservation {
+            n: self.n,
+            events_executed: obs.grants_made,
+            crash_budget_left: obs.crash_budget_left,
+            processes,
+        }
+    }
+}
+
+impl GateScheduler for OnlineAdversaryScheduler<'_> {
+    fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand {
+        self.sync_report(obs);
+        let observation = self.observation(obs);
+        let ctx = OracleCtx {
+            report: &self.report,
+            observation: &observation,
+            participants: self.participants,
+            events_executed: obs.grants_made,
+        };
+        for oracle in &mut self.oracles {
+            if let Some(violation) = oracle.check(&ctx) {
+                self.violation = Some(violation);
+                return GateCommand::Stop;
+            }
+        }
+        let enabled: Vec<EnabledEvent> = obs
+            .waiting
+            .iter()
+            .map(|entry| EnabledEvent::Step(entry.proc))
+            .collect();
+        match self
+            .adversary
+            .decide(&observation, &EnabledEvents::from_slice(&enabled))
+        {
+            Decision::Schedule(index) => GateCommand::Run(index),
+            // The runner sanitizes illegal crashes to `Run(0)`, mirroring
+            // the simulator's tolerant replay semantics.
+            Decision::Crash(victim) => GateCommand::Crash(victim),
+        }
+    }
+}
+
+/// Drive one scenario on the concurrent backend under `adversary`, checking
+/// the scenario's oracles after every grant. Returns the violation (if any)
+/// and the number of grants executed.
+pub(crate) fn drive_shm(
+    scenario: &dyn Scenario,
+    sim_seed: u64,
+    adversary: &mut dyn Adversary,
+    config: &ShmConfig,
+) -> (Option<Violation>, u64) {
+    let participants = scenario.participants();
+    let k = participants.len();
+    let mut sched_config = ScheduleConfig::for_participants(k)
+        .with_crash_budget(scenario.n().div_ceil(2).saturating_sub(1));
+    if let Some(max_grants) = config.max_grants.or_else(|| scenario.max_events()) {
+        sched_config = sched_config.with_max_grants(max_grants);
+    }
+    let max_grants = sched_config.max_grants;
+
+    let registers = Arc::new(SharedRegisters::new(config.shards));
+    let mut scheduler = OnlineAdversaryScheduler {
+        n: scenario.n(),
+        participants: &participants,
+        adversary,
+        oracles: scenario.oracles(),
+        violation: None,
+        report: ExecutionReport::default(),
+    };
+    let report = run_scheduled(
+        &registers,
+        0,
+        sim_seed,
+        scenario.protocols(),
+        sched_config,
+        &mut scheduler,
+    );
+
+    let mut oracles = scheduler.oracles;
+    if let Some(violation) = scheduler.violation {
+        return (Some(violation), report.grants);
+    }
+    if report.budget_exhausted {
+        return (
+            Some(budget_violation(max_grants, report.grants)),
+            report.grants,
+        );
+    }
+    // The scheduler is never consulted after the final grant (the runner
+    // stops once nobody is waiting), so give the oracles one last look at
+    // the completed execution — the grant that retires the last participant
+    // is exactly where unique-leader and liveness violations surface.
+    let final_report = ExecutionReport {
+        outcomes: report.progress.outcomes.clone(),
+        intervals: report.progress.intervals.clone(),
+        crashed: report.progress.crashed.clone(),
+        events_executed: report.grants,
+        ..ExecutionReport::default()
+    };
+    let observation = SystemObservation {
+        n: scenario.n(),
+        events_executed: report.grants,
+        crash_budget_left: 0,
+        processes: (0..scenario.n())
+            .map(|index| {
+                let proc = ProcId(index);
+                let phase = if report.progress.crashed.contains(&proc) {
+                    ProcessPhase::Crashed
+                } else if report.progress.outcomes.contains_key(&proc) {
+                    ProcessPhase::Finished
+                } else {
+                    ProcessPhase::Idle
+                };
+                ProcessObservation {
+                    proc,
+                    phase,
+                    local_state: None,
+                }
+            })
+            .collect(),
+    };
+    let ctx = OracleCtx {
+        report: &final_report,
+        observation: &observation,
+        participants: &participants,
+        events_executed: report.grants,
+    };
+    for oracle in &mut oracles {
+        if let Some(violation) = oracle.check(&ctx) {
+            return (Some(violation), report.grants);
+        }
+    }
+    (None, report.grants)
+}
+
+/// Run one episode of `plan` against `scenario` on the concurrent backend:
+/// build the strategy (preemption-bounded if configured), record its
+/// decisions, evaluate the oracles online after every grant.
+pub fn run_episode_shm(
+    scenario: &dyn Scenario,
+    plan: &EpisodePlan,
+    config: &ShmConfig,
+) -> EpisodeOutcome {
+    let strategy = plan.strategy.build(plan.strategy_seed);
+    let bounded: Box<dyn Adversary> = match config.preemption_bound {
+        Some(bound) => Box::new(PreemptionBound::new(strategy, bound)),
+        None => strategy,
+    };
+    let mut recording = RecordingAdversary::new(bounded);
+    let (violation, grants) = drive_shm(scenario, plan.sim_seed, &mut recording, config);
+    match violation {
+        None => EpisodeOutcome::Clean { events: grants },
+        Some(violation) => EpisodeOutcome::Violated(Box::new(FoundViolation {
+            violation,
+            decisions: recording.into_trace(),
+            scenario: scenario.name(),
+            plan: *plan,
+        })),
+    }
+}
+
+/// Replay a decision trace against the scenario on the concurrent backend;
+/// returns the violation it reproduces (if any) and how many trace decisions
+/// were consumed before it fired. The concurrent twin of
+/// [`crate::explorer::replay`].
+pub fn replay_shm(
+    scenario: &dyn Scenario,
+    sim_seed: u64,
+    decisions: &DecisionTrace,
+    config: &ShmConfig,
+) -> (Option<Violation>, usize) {
+    let mut replayer = ReplayAdversary::new(decisions);
+    let (violation, _grants) = drive_shm(scenario, sim_seed, &mut replayer, config);
+    let consumed = replayer.consumed();
+    (violation, consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ElectionScenario;
+    use crate::strategies::StrategySpec;
+
+    fn plan(strategy: StrategySpec, sim_seed: u64) -> EpisodePlan {
+        EpisodePlan {
+            strategy,
+            sim_seed,
+            strategy_seed: 0,
+        }
+    }
+
+    #[test]
+    fn healthy_election_episodes_are_clean_on_the_concurrent_backend() {
+        let scenario = ElectionScenario { n: 4, k: 4 };
+        let config = ShmConfig::default();
+        for strategy in StrategySpec::library() {
+            for sim_seed in 0..2 {
+                match run_episode_shm(&scenario, &plan(strategy, sim_seed), &config) {
+                    EpisodeOutcome::Clean { events } => assert!(events > 0),
+                    EpisodeOutcome::Violated(found) => {
+                        panic!("healthy election violated on shm: {found}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preemption_bound_zero_is_the_sequential_schedule() {
+        // With zero preemptions, every strategy degrades to run-to-
+        // completion order and the election still elects exactly one leader.
+        let scenario = ElectionScenario { n: 4, k: 4 };
+        let config = ShmConfig {
+            preemption_bound: Some(0),
+            ..ShmConfig::default()
+        };
+        for sim_seed in 0..3 {
+            let outcome = run_episode_shm(
+                &scenario,
+                &plan(StrategySpec::SplitBrain { burst: 4 }, sim_seed),
+                &config,
+            );
+            assert!(matches!(outcome, EpisodeOutcome::Clean { .. }));
+        }
+    }
+
+    #[test]
+    fn tiny_grant_budgets_surface_as_termination_violations() {
+        let scenario = ElectionScenario { n: 4, k: 4 };
+        let config = ShmConfig {
+            max_grants: Some(3),
+            ..ShmConfig::default()
+        };
+        let outcome = run_episode_shm(
+            &scenario,
+            &plan(StrategySpec::SplitBrain { burst: 4 }, 0),
+            &config,
+        );
+        match outcome {
+            EpisodeOutcome::Violated(found) => {
+                assert_eq!(found.violation.oracle, crate::oracles::TERMINATION_BUDGET);
+            }
+            EpisodeOutcome::Clean { .. } => panic!("3 grants cannot finish an election"),
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! deterministic and results come back in job order, a hunt's outcome is
 //! bitwise independent of the thread count.
 
+use crate::concurrent::{run_episode_shm, ShmConfig};
 use crate::oracles::{budget_violation, OracleCtx, Violation};
 use crate::scenario::Scenario;
 use crate::strategies::StrategySpec;
@@ -19,6 +20,22 @@ use fle_sim::{
     Adversary, DecisionTrace, RecordingAdversary, ReplayAdversary, SimConfig, SimError, Simulator,
 };
 use std::fmt;
+
+/// Which execution substrate a hunt sweeps.
+///
+/// Episodes on both backends share the strategy library, the oracles, the
+/// seed grids and the [`DecisionTrace`] codec; only the meaning of a
+/// `Schedule(i)` decision differs (the i-th enabled simulator event versus
+/// the i-th gated participant thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExploreBackend {
+    /// The discrete-event simulator (`fle_sim::Simulator`).
+    #[default]
+    Sim,
+    /// The schedule-controlled concurrent backend
+    /// (`fle_runtime::SharedRegisters` behind `run_scheduled` gates).
+    Concurrent(ShmConfig),
+}
 
 /// The coordinates of one episode in the exploration grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,11 +214,13 @@ pub struct Explorer<'a> {
     sim_seeds: Vec<u64>,
     strategy_seeds: Vec<u64>,
     runner: BatchRunner,
+    backend: ExploreBackend,
 }
 
 impl<'a> Explorer<'a> {
     /// An explorer over `scenario` with the default attack library, sim
-    /// seeds `0..8`, strategy seeds `0..2`, and one worker per core.
+    /// seeds `0..8`, strategy seeds `0..2`, one worker per core, and the
+    /// simulator backend.
     pub fn new(scenario: &'a dyn Scenario) -> Self {
         Explorer {
             scenario,
@@ -209,7 +228,16 @@ impl<'a> Explorer<'a> {
             sim_seeds: (0..8).collect(),
             strategy_seeds: (0..2).collect(),
             runner: BatchRunner::new(),
+            backend: ExploreBackend::Sim,
         }
+    }
+
+    /// Hunt on a different execution substrate (default:
+    /// [`ExploreBackend::Sim`]).
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExploreBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Replace the attack-strategy list.
@@ -263,7 +291,11 @@ impl<'a> Explorer<'a> {
     pub fn hunt(&self) -> HuntReport {
         let plans = self.plans();
         let scenario = self.scenario;
-        let outcomes = self.runner.map(&plans, |plan| run_episode(scenario, plan));
+        let backend = self.backend;
+        let outcomes = self.runner.map(&plans, move |plan| match backend {
+            ExploreBackend::Sim => run_episode(scenario, plan),
+            ExploreBackend::Concurrent(config) => run_episode_shm(scenario, plan, &config),
+        });
         let mut report = HuntReport {
             episodes: plans.len(),
             ..HuntReport::default()

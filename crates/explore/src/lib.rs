@@ -18,7 +18,7 @@
 //!    episodes across cores with [`fle_bench::BatchRunner`] and records each
 //!    violating schedule as a [`fle_sim::DecisionTrace`] that
 //!    [`fle_sim::ReplayAdversary`] reproduces deterministically.
-//! 4. **The shrinker** ([`shrink`]): delta-debugs a violating trace to a
+//! 4. **The shrinker** ([`mod@shrink`]): delta-debugs a violating trace to a
 //!    minimal counterexample by dropping decision chunks and keeping every
 //!    edit after which the same oracle still fires.
 //!
@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod explorer;
 pub mod oracles;
 pub mod sabotage;
@@ -52,12 +53,14 @@ pub mod scenario;
 pub mod shrink;
 pub mod strategies;
 
+pub use concurrent::{replay_shm, run_episode_shm, ShmConfig};
 pub use explorer::{
-    replay, run_episode, EpisodeOutcome, EpisodePlan, Explorer, FoundViolation, HuntReport,
+    replay, run_episode, EpisodeOutcome, EpisodePlan, ExploreBackend, Explorer, FoundViolation,
+    HuntReport,
 };
 pub use oracles::{Oracle, OracleCtx, Violation};
 pub use scenario::{
     standard_scenarios, ElectionScenario, RenamingScenario, Scenario, SiftScenario,
 };
-pub use shrink::{shrink, ShrinkResult};
-pub use strategies::StrategySpec;
+pub use shrink::{shrink, shrink_shm, ShrinkResult};
+pub use strategies::{PreemptionBound, StrategySpec};

@@ -23,7 +23,6 @@
 use crate::oracles::{Oracle, SurvivorBoundOracle, UniqueLeaderOracle};
 use crate::scenario::Scenario;
 use fle_model::{Action, Key, LocalStateView, ProcId, Protocol, Response, Value};
-use fle_sim::Simulator;
 
 /// A protocol wrapper that drops matching entries from every `Propagate`
 /// action of the inner protocol — "skip the write" as a combinator.
@@ -109,16 +108,19 @@ impl Scenario for SabotagedElectionScenario {
         (0..self.k.min(self.n)).map(ProcId).collect()
     }
 
-    fn install(&self, sim: &mut Simulator) {
-        for p in self.participants() {
-            sim.add_participant(
-                p,
-                Box::new(DropWrites::new(
-                    fle_core::LeaderElection::new(p),
-                    is_round_write,
-                )),
-            );
-        }
+    fn protocols(&self) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
+        self.participants()
+            .into_iter()
+            .map(|p| {
+                (
+                    p,
+                    Box::new(DropWrites::new(
+                        fle_core::LeaderElection::new(p),
+                        is_round_write,
+                    )) as Box<dyn Protocol + Send>,
+                )
+            })
+            .collect()
     }
 
     fn oracles(&self) -> Vec<Box<dyn Oracle>> {
@@ -168,16 +170,19 @@ impl Scenario for SabotagedSiftScenario {
         (0..self.n).map(ProcId).collect()
     }
 
-    fn install(&self, sim: &mut Simulator) {
-        for p in self.participants() {
-            sim.add_participant(
-                p,
-                Box::new(DropWrites::new(
-                    fle_core::PoisonPill::with_bias(p, self.bias),
-                    is_priority_write,
-                )),
-            );
-        }
+    fn protocols(&self) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
+        self.participants()
+            .into_iter()
+            .map(|p| {
+                (
+                    p,
+                    Box::new(DropWrites::new(
+                        fle_core::PoisonPill::with_bias(p, self.bias),
+                        is_priority_write,
+                    )) as Box<dyn Protocol + Send>,
+                )
+            })
+            .collect()
     }
 
     fn oracles(&self) -> Vec<Box<dyn Oracle>> {
@@ -242,7 +247,7 @@ mod tests {
     fn sabotaged_scenarios_install_and_return() {
         // The mutants must still *terminate* under a benign scheduler —
         // sabotage breaks safety, not the state machines.
-        use fle_sim::{RandomAdversary, SimConfig};
+        use fle_sim::{RandomAdversary, SimConfig, Simulator};
         let election = SabotagedElectionScenario { n: 4, k: 4 };
         let mut sim = Simulator::new(SimConfig::new(4).with_seed(3));
         election.install(&mut sim);

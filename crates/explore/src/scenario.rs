@@ -13,15 +13,22 @@ use crate::oracles::{
     SurvivorBoundOracle, UniqueLeaderOracle,
 };
 use fle_core::{HeterogeneousPoisonPill, LeaderElection, PoisonPill, Renaming, RenamingConfig};
-use fle_model::ProcId;
+use fle_model::{ProcId, Protocol};
 use fle_sim::Simulator;
 
-/// A reproducible system-under-test: installs the protocol instances into a
-/// simulator and names the oracles that must hold over the execution.
+/// A reproducible system-under-test: builds fresh protocol instances for any
+/// backend and names the oracles that must hold over the execution.
+///
+/// A scenario is deliberately backend-agnostic: [`Scenario::protocols`]
+/// returns plain [`fle_model::Protocol`] state machines, which the explorer
+/// either installs into a discrete-event simulator
+/// ([`Scenario::install`], the default implementation) or hands to the
+/// schedule-controlled concurrent runner (`crate::concurrent`) — the same
+/// oracles guard both.
 ///
 /// Implementations must be `Sync` because the explorer shares one scenario
-/// across its worker threads (each worker builds its own simulators and
-/// oracles from it).
+/// across its worker threads (each worker builds its own protocol instances
+/// and oracles from it).
 pub trait Scenario: Sync {
     /// Human-readable scenario name for reports.
     fn name(&self) -> String;
@@ -32,14 +39,25 @@ pub trait Scenario: Sync {
     /// The processors that participate in the protocol.
     fn participants(&self) -> Vec<ProcId>;
 
+    /// Fresh protocol instances, one per participant — the backend-agnostic
+    /// system description.
+    fn protocols(&self) -> Vec<(ProcId, Box<dyn Protocol + Send>)>;
+
     /// Register the protocol instances with a freshly built simulator.
-    fn install(&self, sim: &mut Simulator);
+    /// The default installs exactly [`Scenario::protocols`].
+    fn install(&self, sim: &mut Simulator) {
+        for (proc, protocol) in self.protocols() {
+            sim.add_participant(proc, protocol);
+        }
+    }
 
     /// Fresh oracle instances guarding one episode.
     fn oracles(&self) -> Vec<Box<dyn Oracle>>;
 
     /// Optional override of the engine's event budget (`None` keeps the
-    /// default `O(n²)` budget of [`fle_sim::SimConfig`]).
+    /// default `O(n²)` budget of [`fle_sim::SimConfig`] on the simulator and
+    /// the [`fle_runtime::ScheduleConfig`] grant budget on the concurrent
+    /// backend).
     fn max_events(&self) -> Option<u64> {
         None
     }
@@ -67,10 +85,16 @@ impl Scenario for ElectionScenario {
         (0..self.k.min(self.n)).map(ProcId).collect()
     }
 
-    fn install(&self, sim: &mut Simulator) {
-        for p in self.participants() {
-            sim.add_participant(p, Box::new(LeaderElection::new(p)));
-        }
+    fn protocols(&self) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
+        self.participants()
+            .into_iter()
+            .map(|p| {
+                (
+                    p,
+                    Box::new(LeaderElection::new(p)) as Box<dyn Protocol + Send>,
+                )
+            })
+            .collect()
     }
 
     fn oracles(&self) -> Vec<Box<dyn Oracle>> {
@@ -138,18 +162,21 @@ impl Scenario for SiftScenario {
         (0..self.n).map(ProcId).collect()
     }
 
-    fn install(&self, sim: &mut Simulator) {
-        for p in self.participants() {
-            if self.heterogeneous {
-                sim.add_participant(p, Box::new(HeterogeneousPoisonPill::new(p)));
-            } else {
-                let pill = match self.bias {
-                    Some(bias) => PoisonPill::with_bias(p, bias),
-                    None => PoisonPill::new(p, self.n),
+    fn protocols(&self) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
+        self.participants()
+            .into_iter()
+            .map(|p| {
+                let protocol: Box<dyn Protocol + Send> = if self.heterogeneous {
+                    Box::new(HeterogeneousPoisonPill::new(p))
+                } else {
+                    match self.bias {
+                        Some(bias) => Box::new(PoisonPill::with_bias(p, bias)),
+                        None => Box::new(PoisonPill::new(p, self.n)),
+                    }
                 };
-                sim.add_participant(p, Box::new(pill));
-            }
-        }
+                (p, protocol)
+            })
+            .collect()
     }
 
     fn oracles(&self) -> Vec<Box<dyn Oracle>> {
@@ -179,11 +206,17 @@ impl Scenario for RenamingScenario {
         (0..self.k.min(self.n)).map(ProcId).collect()
     }
 
-    fn install(&self, sim: &mut Simulator) {
+    fn protocols(&self) -> Vec<(ProcId, Box<dyn Protocol + Send>)> {
         let config = RenamingConfig::new(self.n);
-        for p in self.participants() {
-            sim.add_participant(p, Box::new(Renaming::new(p, config)));
-        }
+        self.participants()
+            .into_iter()
+            .map(|p| {
+                (
+                    p,
+                    Box::new(Renaming::new(p, config)) as Box<dyn Protocol + Send>,
+                )
+            })
+            .collect()
     }
 
     fn oracles(&self) -> Vec<Box<dyn Oracle>> {

@@ -20,7 +20,9 @@
 //! can be serialized with [`DecisionTrace::to_compact_string`] and replayed
 //! from text alone.
 
+use crate::concurrent::{replay_shm, ShmConfig};
 use crate::explorer::{replay, FoundViolation};
+use crate::oracles::Violation;
 use crate::scenario::Scenario;
 use fle_sim::{Decision, DecisionTrace};
 
@@ -46,22 +48,50 @@ impl ShrinkResult {
 }
 
 /// Minimize `found` against its scenario with at most `max_replays`
-/// re-executions.
+/// re-executions, replaying on the **simulator**.
 ///
 /// The predicate for keeping a candidate is that the **same oracle** (by
 /// name) fires under replay with the scenario rebuilt from scratch and the
 /// original `sim_seed` — the exact reproduction setup a human would use.
 pub fn shrink(scenario: &dyn Scenario, found: &FoundViolation, max_replays: usize) -> ShrinkResult {
-    let oracle = found.violation.oracle;
     let sim_seed = found.plan.sim_seed;
+    shrink_with(found, max_replays, |trace| {
+        replay(scenario, sim_seed, trace)
+    })
+}
+
+/// Minimize `found` with at most `max_replays` re-executions, replaying on
+/// the **concurrent backend** (the counterexample must have been found
+/// there: grant indices only mean the same thing on the backend that
+/// recorded them). Same ddmin, same keep-predicate, different substrate.
+pub fn shrink_shm(
+    scenario: &dyn Scenario,
+    found: &FoundViolation,
+    max_replays: usize,
+    config: &ShmConfig,
+) -> ShrinkResult {
+    let sim_seed = found.plan.sim_seed;
+    shrink_with(found, max_replays, |trace| {
+        replay_shm(scenario, sim_seed, trace, config)
+    })
+}
+
+/// The backend-generic ddmin core: `replay_fn` re-executes a candidate trace
+/// and reports the violation it reproduces plus the decisions consumed.
+fn shrink_with(
+    found: &FoundViolation,
+    max_replays: usize,
+    mut replay_fn: impl FnMut(&DecisionTrace) -> (Option<Violation>, usize),
+) -> ShrinkResult {
+    let oracle = found.violation.oracle;
     let mut replays = 0usize;
 
     // Returns the number of decisions consumed before the violation when the
     // candidate still fails, `None` otherwise.
-    let fails = |decisions: &[Decision], replays: &mut usize| -> Option<usize> {
+    let mut fails = |decisions: &[Decision], replays: &mut usize| -> Option<usize> {
         *replays += 1;
         let trace: DecisionTrace = decisions.iter().copied().collect();
-        let (violation, consumed) = replay(scenario, sim_seed, &trace);
+        let (violation, consumed) = replay_fn(&trace);
         match violation {
             Some(v) if v.oracle == oracle => Some(consumed.min(decisions.len())),
             _ => None,
@@ -123,7 +153,7 @@ mod tests {
     use crate::strategies::StrategySpec;
     use fle_core::LeaderElection;
     use fle_model::ProcId;
-    use fle_sim::{ProcessPhase, Simulator};
+    use fle_sim::ProcessPhase;
 
     /// Fires as soon as processor 3 is crashed — a violation pinned to one
     /// specific decision, so minimization must keep exactly that decision.
@@ -162,10 +192,16 @@ mod tests {
             (0..8).map(ProcId).collect()
         }
 
-        fn install(&self, sim: &mut Simulator) {
-            for p in self.participants() {
-                sim.add_participant(p, Box::new(LeaderElection::new(p)));
-            }
+        fn protocols(&self) -> Vec<(ProcId, Box<dyn fle_model::Protocol + Send>)> {
+            self.participants()
+                .into_iter()
+                .map(|p| {
+                    (
+                        p,
+                        Box::new(LeaderElection::new(p)) as Box<dyn fle_model::Protocol + Send>,
+                    )
+                })
+                .collect()
         }
 
         fn oracles(&self) -> Vec<Box<dyn Oracle>> {

@@ -340,6 +340,79 @@ impl Adversary for SplitBrain {
     }
 }
 
+/// Caps how often an adversary may *preempt* — schedule an event advancing a
+/// different processor while the previously advanced processor still has an
+/// enabled event (the CHESS bounded-preemption heuristic: most concurrency
+/// bugs need only a handful of preemptions, so exhausting a small budget
+/// first concentrates the search).
+///
+/// While budget remains, the inner adversary's decisions pass through
+/// unchanged (each genuine preemption spends one unit). Once it is spent,
+/// the wrapper overrides *scheduling* decisions to keep running the last
+/// advanced processor for as long as it has an enabled event; switching to
+/// another processor when the last one has none (it finished, crashed or
+/// blocked) is free, as in CHESS. The inner adversary is consulted on every
+/// decision and its crash decisions pass through untouched even while
+/// pinned — CHESS bounds preemptions, not fault injection (a crash neither
+/// spends budget nor moves the pin).
+///
+/// The wrapper composes below [`fle_sim::RecordingAdversary`], so a recorded
+/// trace contains the *bounded* decisions and replays faithfully without the
+/// wrapper. It works against any [`EnabledEvents`] view — simulator events
+/// or the concurrent backend's schedule points alike.
+#[derive(Debug, Clone)]
+pub struct PreemptionBound<A> {
+    inner: A,
+    left: u32,
+    last: Option<ProcId>,
+}
+
+impl<A: Adversary> PreemptionBound<A> {
+    /// Allow `inner` at most `bound` preemptions.
+    pub fn new(inner: A, bound: u32) -> Self {
+        PreemptionBound {
+            inner,
+            left: bound,
+            last: None,
+        }
+    }
+
+    /// Preemptions still available.
+    pub fn left(&self) -> u32 {
+        self.left
+    }
+}
+
+impl<A: Adversary> Adversary for PreemptionBound<A> {
+    fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision {
+        let last_pos = self
+            .last
+            .and_then(|last| enabled.iter().position(|event| event.advances() == last));
+        let decision = self.inner.decide(observation, enabled);
+        let Decision::Schedule(index) = decision else {
+            // Crashes are fault injection, not preemption: pass through.
+            return decision;
+        };
+        if self.left == 0 {
+            if let Some(pos) = last_pos {
+                return Decision::Schedule(pos);
+            }
+        }
+        if let Some(event) = enabled.get(index % enabled.len().max(1)) {
+            let advanced = event.advances();
+            if last_pos.is_some() && self.last != Some(advanced) {
+                self.left = self.left.saturating_sub(1);
+            }
+            self.last = Some(advanced);
+        }
+        decision
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 /// A seeded weighted random walk over event categories.
 #[derive(Debug, Clone)]
 pub struct WeightedWalk {
@@ -569,6 +642,79 @@ mod tests {
             zero.decide(&obs, &EnabledEvents::from_slice(&enabled)),
             Decision::Schedule(_)
         ));
+    }
+
+    #[test]
+    fn preemption_bound_pins_the_last_processor_once_spent() {
+        /// Schedules 0, 1, 2, … in turn: every pick wants to preempt.
+        struct Cycle(usize);
+        impl Adversary for Cycle {
+            fn decide(
+                &mut self,
+                _observation: &SystemObservation,
+                enabled: &EnabledEvents<'_>,
+            ) -> Decision {
+                let pick = Decision::Schedule(self.0 % enabled.len());
+                self.0 += 1;
+                pick
+            }
+            fn name(&self) -> &'static str {
+                "cycle"
+            }
+        }
+
+        let obs = observation(vec![(ProcessPhase::StepReady, 0); 3]);
+        let enabled = step_events(3);
+        let view = EnabledEvents::from_slice(&enabled);
+        let mut bounded = PreemptionBound::new(Cycle(0), 1);
+        // First pick is free (no previous processor), the second spends the
+        // only preemption, after which the walk is pinned to processor 1.
+        assert_eq!(bounded.decide(&obs, &view), Decision::Schedule(0));
+        assert_eq!(bounded.decide(&obs, &view), Decision::Schedule(1));
+        assert_eq!(bounded.decide(&obs, &view), Decision::Schedule(1));
+        assert_eq!(bounded.decide(&obs, &view), Decision::Schedule(1));
+        assert_eq!(bounded.left(), 0);
+        assert_eq!(bounded.name(), "cycle");
+        // Once processor 1 has no enabled event, switching away is free.
+        let remaining = vec![EnabledEvent::Step(ProcId(0)), EnabledEvent::Step(ProcId(2))];
+        assert!(matches!(
+            bounded.decide(&obs, &EnabledEvents::from_slice(&remaining)),
+            Decision::Schedule(_)
+        ));
+        assert_eq!(bounded.left(), 0, "free switches never refund the budget");
+    }
+
+    #[test]
+    fn preemption_bound_lets_crashes_through_while_pinned() {
+        /// Schedules once (forming the pin), then always wants to crash 2.
+        struct ScheduleThenCrash(bool);
+        impl Adversary for ScheduleThenCrash {
+            fn decide(
+                &mut self,
+                _observation: &SystemObservation,
+                _enabled: &EnabledEvents<'_>,
+            ) -> Decision {
+                if !self.0 {
+                    self.0 = true;
+                    Decision::Schedule(0)
+                } else {
+                    Decision::Crash(ProcId(2))
+                }
+            }
+            fn name(&self) -> &'static str {
+                "schedule-then-crash"
+            }
+        }
+
+        let obs = observation(vec![(ProcessPhase::StepReady, 0); 3]);
+        let enabled = step_events(3);
+        let view = EnabledEvents::from_slice(&enabled);
+        // Budget 0: scheduling is pinned to processor 0 after the first
+        // grant, but fault injection is not preemption and passes through.
+        let mut bounded = PreemptionBound::new(ScheduleThenCrash(false), 0);
+        assert_eq!(bounded.decide(&obs, &view), Decision::Schedule(0));
+        assert_eq!(bounded.decide(&obs, &view), Decision::Crash(ProcId(2)));
+        assert_eq!(bounded.decide(&obs, &view), Decision::Crash(ProcId(2)));
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! * [`SharedMemory`] — the protocol ⇄ memory contract
 //!   (`propagate`/`collect`/`flip`/`choose`) that every synchronous execution
 //!   backend implements, with [`drive`] as the shared protocol driver,
+//! * [`ScheduledMemory`] — the schedule-gate extension of that contract:
+//!   backends that announce each operation as a [`SchedulePoint`] and block
+//!   until granted become adversarially schedulable (and hence replayable)
+//!   even when their concurrency comes from real threads; [`drive_scheduled`]
+//!   is the gated driver,
 //! * [`wire`] — the wire messages exchanged by the backends,
 //! * [`metrics`] — the complexity accounting shared by the simulator and the
 //!   threaded runtime (message complexity, communicate-call counts).
@@ -63,6 +68,7 @@ pub mod backend;
 pub mod ids;
 pub mod metrics;
 pub mod protocol;
+pub mod schedule;
 pub mod store;
 pub mod value;
 pub mod view;
@@ -73,6 +79,7 @@ pub use backend::{drive, SharedMemory};
 pub use ids::{splitmix64, ElectionContext, InstanceId, ProcId, Slot};
 pub use metrics::{ExecutionMetrics, ProcessMetrics};
 pub use protocol::{LocalStateView, Protocol};
+pub use schedule::{drive_scheduled, GateVerdict, SchedulePoint, ScheduledMemory};
 pub use store::{CollectCache, ReplicaStore};
 pub use value::{Key, Priority, ProcSet, Status, Value};
 pub use view::{BitRow, CollectedViews, View};

@@ -1,0 +1,398 @@
+//! Schedule control for concurrent backends: the gate half of the
+//! [`SharedMemory`] contract.
+//!
+//! The discrete-event simulator gives the adversary total control over
+//! interleavings because *it* owns the event loop. A concurrent backend does
+//! not: its interleavings come from real threads racing for locks, which is
+//! exactly the concurrency model shipped to users — and exactly the one the
+//! adversarial explorer could not reach. This module closes that gap with a
+//! *schedule gate*: a backend that implements [`ScheduledMemory`] announces
+//! every upcoming shared-memory operation as a [`SchedulePoint`] and blocks
+//! in [`ScheduledMemory::reach`] until an external controller grants it. A
+//! controller that only ever grants one processor at a time therefore
+//! serializes the execution into an adversary-chosen interleaving of the
+//! *real* backend's operations — same locks, same copy-on-write snapshots,
+//! same register bank — while staying deterministic enough to record, replay
+//! and delta-debug (see `fle_runtime::sched` and `fle_explore::concurrent`).
+//!
+//! [`drive_scheduled`] is the gated twin of [`crate::drive`]: it passes every
+//! action (including the final [`Action::Return`], whose visibility order
+//! matters to linearizability checks) through the gate, and translates a
+//! [`GateVerdict::Crashed`] verdict into the processor stopping silently —
+//! the shared-memory analogue of the adversary crashing a processor
+//! mid-protocol.
+//!
+//! # Determinism guarantee
+//!
+//! If (a) the controller's grant sequence is a deterministic function of the
+//! observable gate states, and (b) each processor's local computation and
+//! randomness are deterministic between gates (seeded RNGs), then the entire
+//! execution — every register state, coin flip and outcome — is a
+//! deterministic function of the grant sequence. This is what makes a
+//! recorded decision trace on the concurrent backend replayable.
+//!
+//! # Example
+//!
+//! A gate that grants everything immediately turns [`drive_scheduled`] back
+//! into [`crate::drive`]; one that refuses models a crash:
+//!
+//! ```
+//! use fle_model::{
+//!     drive_scheduled, Action, GateVerdict, LocalStateView, Outcome, Protocol, Response,
+//!     SchedulePoint, ScheduledMemory, SharedMemory,
+//! };
+//! use fle_model::{CollectedViews, InstanceId, Key, Value};
+//!
+//! struct Open<M>(M, Vec<SchedulePoint>);
+//!
+//! impl<M: SharedMemory> SharedMemory for Open<M> {
+//!     fn propagate(&mut self, entries: Vec<(Key, Value)>) {
+//!         self.0.propagate(entries)
+//!     }
+//!     fn collect(&mut self, instance: InstanceId) -> CollectedViews {
+//!         self.0.collect(instance)
+//!     }
+//!     fn flip(&mut self, prob_one: f64) -> bool {
+//!         self.0.flip(prob_one)
+//!     }
+//!     fn choose(&mut self, choices: &[u64]) -> u64 {
+//!         self.0.choose(choices)
+//!     }
+//! }
+//!
+//! impl<M: SharedMemory> ScheduledMemory for Open<M> {
+//!     fn reach(&mut self, point: SchedulePoint, _state: LocalStateView) -> GateVerdict {
+//!         self.1.push(point); // an always-open gate, logging the points
+//!         GateVerdict::Proceed
+//!     }
+//! }
+//!
+//! struct FlipOnce;
+//! impl Protocol for FlipOnce {
+//!     fn step(&mut self, response: Response) -> Action {
+//!         match response {
+//!             Response::Start => Action::Flip { prob_one: 1.0 },
+//!             _ => Action::Return(Outcome::Win),
+//!         }
+//!     }
+//!     fn adversary_view(&self) -> LocalStateView {
+//!         LocalStateView::new("flip-once", "run")
+//!     }
+//! }
+//!
+//! struct Coin;
+//! impl SharedMemory for Coin {
+//!     fn propagate(&mut self, _entries: Vec<(Key, Value)>) {}
+//!     fn collect(&mut self, _instance: InstanceId) -> CollectedViews {
+//!         CollectedViews::from_shared(Vec::new())
+//!     }
+//!     fn flip(&mut self, prob_one: f64) -> bool {
+//!         prob_one >= 1.0
+//!     }
+//!     fn choose(&mut self, _choices: &[u64]) -> u64 {
+//!         0
+//!     }
+//! }
+//!
+//! let mut gated = Open(Coin, Vec::new());
+//! let outcome = drive_scheduled(&mut FlipOnce, &mut gated);
+//! assert_eq!(outcome, Some(Outcome::Win));
+//! assert_eq!(gated.1, vec![SchedulePoint::Flip, SchedulePoint::Return]);
+//! ```
+
+use crate::action::{Action, Outcome, Response};
+use crate::backend::SharedMemory;
+use crate::protocol::{LocalStateView, Protocol};
+use std::fmt;
+
+/// The kind of shared-memory operation a processor is about to perform — the
+/// granularity at which an external controller may interleave processors.
+///
+/// One `SchedulePoint` is the concurrent backend's analogue of one
+/// schedulable event in the simulator: everything a processor does *between*
+/// two points is local computation the adversary cannot subdivide (matching
+/// the paper's model, where a step is "a local computation followed by one
+/// shared-memory operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulePoint {
+    /// About to merge register writes into the shared memory.
+    Propagate,
+    /// About to read register views.
+    Collect,
+    /// About to flip a coin (visible to the strong adversary afterwards).
+    Flip,
+    /// About to pick among explicit choices.
+    Choose,
+    /// About to return from the protocol — gated so the adversary controls
+    /// the order in which outcomes become visible (linearizability).
+    Return,
+}
+
+impl SchedulePoint {
+    /// The schedule point at which `action` executes.
+    pub fn of(action: &Action) -> SchedulePoint {
+        match action {
+            Action::Propagate { .. } => SchedulePoint::Propagate,
+            Action::Collect { .. } => SchedulePoint::Collect,
+            Action::Flip { .. } => SchedulePoint::Flip,
+            Action::Choose { .. } => SchedulePoint::Choose,
+            Action::Return(_) => SchedulePoint::Return,
+        }
+    }
+}
+
+impl fmt::Display for SchedulePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchedulePoint::Propagate => "propagate",
+            SchedulePoint::Collect => "collect",
+            SchedulePoint::Flip => "flip",
+            SchedulePoint::Choose => "choose",
+            SchedulePoint::Return => "return",
+        })
+    }
+}
+
+/// What the controller tells a processor blocked at a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Perform the announced operation and continue to the next gate.
+    Proceed,
+    /// Stop immediately without performing the operation: the adversary
+    /// crashed this processor. [`drive_scheduled`] returns `None`.
+    Crashed,
+}
+
+/// A [`SharedMemory`] whose operations pass through an external schedule
+/// gate.
+///
+/// # Contract
+///
+/// * [`ScheduledMemory::reach`] is called exactly once before each
+///   shared-memory operation (and once before returning), with the point the
+///   processor is about to execute and a fresh [`LocalStateView`] snapshot —
+///   the strong adversary's window into local state, per the paper's model.
+/// * `reach` may block for arbitrarily long (an asynchronous system has no
+///   speed guarantees); it must eventually return once the controller grants
+///   or crashes the processor.
+/// * After `GateVerdict::Crashed` the processor must not touch the shared
+///   memory again.
+pub trait ScheduledMemory: SharedMemory {
+    /// Announce that this processor is about to execute `point`, hand the
+    /// controller a snapshot of the local state the strong adversary may
+    /// inspect, and block until the gate opens.
+    fn reach(&mut self, point: SchedulePoint, state: LocalStateView) -> GateVerdict;
+}
+
+impl<M: ScheduledMemory + ?Sized> ScheduledMemory for &mut M {
+    fn reach(&mut self, point: SchedulePoint, state: LocalStateView) -> GateVerdict {
+        (**self).reach(point, state)
+    }
+}
+
+/// Drive `protocol` against `memory`, passing every action through the
+/// schedule gate: the gated twin of [`crate::drive`].
+///
+/// Returns `Some(outcome)` when the protocol returns normally and `None`
+/// when the gate crashed the processor (the processor then simply stops, as
+/// a crashed processor does — it never produces an outcome).
+pub fn drive_scheduled<P, M>(protocol: &mut P, mut memory: M) -> Option<Outcome>
+where
+    P: Protocol + ?Sized,
+    M: ScheduledMemory,
+{
+    let mut response = Response::Start;
+    loop {
+        let action = protocol.step(response);
+        let point = SchedulePoint::of(&action);
+        match memory.reach(point, protocol.adversary_view()) {
+            GateVerdict::Crashed => return None,
+            GateVerdict::Proceed => {}
+        }
+        match action {
+            Action::Return(outcome) => return Some(outcome),
+            action => {
+                response = memory
+                    .perform(action)
+                    .expect("only Action::Return yields no response");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ElectionContext, InstanceId, ProcId, Slot};
+    use crate::store::ReplicaStore;
+    use crate::value::{Key, Value};
+    use crate::view::CollectedViews;
+
+    /// A scripted gate over a single-replica memory: proceeds until the
+    /// scripted number of grants runs out, then crashes.
+    struct ScriptedGate {
+        store: ReplicaStore,
+        grants_left: usize,
+        points: Vec<SchedulePoint>,
+    }
+
+    impl ScriptedGate {
+        fn new(grants_left: usize) -> Self {
+            ScriptedGate {
+                store: ReplicaStore::new(),
+                grants_left,
+                points: Vec::new(),
+            }
+        }
+    }
+
+    impl SharedMemory for ScriptedGate {
+        fn propagate(&mut self, entries: Vec<(Key, Value)>) {
+            self.store.apply_all(&entries);
+        }
+
+        fn collect(&mut self, instance: InstanceId) -> CollectedViews {
+            CollectedViews::from_shared(vec![(ProcId(0), self.store.view_arc(instance))])
+        }
+
+        fn flip(&mut self, prob_one: f64) -> bool {
+            prob_one >= 0.5
+        }
+
+        fn choose(&mut self, choices: &[u64]) -> u64 {
+            choices.first().copied().unwrap_or(0)
+        }
+    }
+
+    impl ScheduledMemory for ScriptedGate {
+        fn reach(&mut self, point: SchedulePoint, _state: LocalStateView) -> GateVerdict {
+            self.points.push(point);
+            if self.grants_left == 0 {
+                return GateVerdict::Crashed;
+            }
+            self.grants_left -= 1;
+            GateVerdict::Proceed
+        }
+    }
+
+    /// Propagate a flag, collect it, flip, return Win iff flag and coin.
+    struct RoundTrip {
+        stage: u8,
+        saw_flag: bool,
+    }
+
+    impl Protocol for RoundTrip {
+        fn step(&mut self, response: Response) -> Action {
+            let instance = InstanceId::door(ElectionContext::Standalone);
+            match self.stage {
+                0 => {
+                    self.stage = 1;
+                    Action::Propagate {
+                        entries: vec![(Key::global(instance), Value::Flag(true))],
+                    }
+                }
+                1 => {
+                    self.stage = 2;
+                    Action::Collect { instance }
+                }
+                2 => {
+                    let views = response.expect_views();
+                    self.saw_flag = views.responses().iter().any(|(_, view)| {
+                        view.get(&Slot::Global).and_then(Value::as_flag) == Some(true)
+                    });
+                    self.stage = 3;
+                    Action::Flip { prob_one: 1.0 }
+                }
+                _ => {
+                    let coin = response.expect_coin();
+                    Action::Return(if self.saw_flag && coin {
+                        Outcome::Win
+                    } else {
+                        Outcome::Lose
+                    })
+                }
+            }
+        }
+
+        fn adversary_view(&self) -> LocalStateView {
+            LocalStateView::new("round-trip", "test").with_round(u64::from(self.stage))
+        }
+    }
+
+    #[test]
+    fn gated_drive_announces_every_point_in_order() {
+        let mut memory = ScriptedGate::new(usize::MAX);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        assert_eq!(
+            drive_scheduled(&mut protocol, &mut memory),
+            Some(Outcome::Win)
+        );
+        assert_eq!(
+            memory.points,
+            vec![
+                SchedulePoint::Propagate,
+                SchedulePoint::Collect,
+                SchedulePoint::Flip,
+                SchedulePoint::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn a_crash_verdict_stops_the_processor_before_the_operation() {
+        // Two grants: propagate and collect run, the flip is refused.
+        let mut memory = ScriptedGate::new(2);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        assert_eq!(drive_scheduled(&mut protocol, &mut memory), None);
+        // The crash arrived *at* the flip gate: three points announced, the
+        // flag round-tripped (stage 2 consumed the collect), no coin flipped.
+        assert_eq!(memory.points.len(), 3);
+        assert!(protocol.saw_flag);
+    }
+
+    #[test]
+    fn schedule_points_map_actions_and_display() {
+        assert_eq!(
+            SchedulePoint::of(&Action::Propagate {
+                entries: Vec::new()
+            }),
+            SchedulePoint::Propagate
+        );
+        assert_eq!(
+            SchedulePoint::of(&Action::Collect {
+                instance: InstanceId::Contended
+            }),
+            SchedulePoint::Collect
+        );
+        assert_eq!(
+            SchedulePoint::of(&Action::Flip { prob_one: 0.5 }),
+            SchedulePoint::Flip
+        );
+        assert_eq!(
+            SchedulePoint::of(&Action::Choose { choices: vec![1] }),
+            SchedulePoint::Choose
+        );
+        assert_eq!(
+            SchedulePoint::of(&Action::Return(Outcome::Win)),
+            SchedulePoint::Return
+        );
+        assert_eq!(SchedulePoint::Collect.to_string(), "collect");
+    }
+
+    #[test]
+    fn mutable_references_implement_the_trait() {
+        let mut memory = ScriptedGate::new(usize::MAX);
+        let by_ref: &mut ScriptedGate = &mut memory;
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        assert_eq!(drive_scheduled(&mut protocol, by_ref), Some(Outcome::Win));
+    }
+}

@@ -19,6 +19,13 @@
 //! a minority of nodes can be made unresponsive to exercise the `t < n/2`
 //! fault tolerance ([`RuntimeConfig::with_unresponsive`]).
 //!
+//! The concurrent backend can also run under **schedule control**
+//! ([`sched`], [`run_scheduled`]): participant threads park at
+//! [`fle_model::SchedulePoint`] gates and a pluggable [`GateScheduler`]
+//! chooses the interleaving, turning real-thread executions deterministic,
+//! adversary-drivable and replayable — the bridge `fle-explore` uses to hunt
+//! this backend with the same strategies and oracles as the simulator.
+//!
 //! # Example
 //!
 //! ```
@@ -42,13 +49,18 @@
 
 pub mod node;
 pub mod report;
+pub mod sched;
 pub mod shm;
 
 use crossbeam_channel::{unbounded, Sender};
 use fle_model::{ProcId, Protocol};
 use node::{Envelope, NodeResult, NodeRunner};
 pub use report::RuntimeReport;
-pub use shm::{run_concurrent, RegisterHandle, SharedRegisters};
+pub use sched::{
+    run_scheduled, FifoScheduler, GateCommand, GateObservation, GateScheduler, ScheduleConfig,
+    ScheduleController, ScheduledProgress, ScheduledReport, WaitingAt,
+};
+pub use shm::{run_concurrent, GatedRegisterHandle, RegisterHandle, SharedRegisters};
 use std::error::Error;
 use std::fmt;
 use std::thread;

@@ -1,0 +1,729 @@
+//! The schedule-controlled runner for the concurrent backend: real threads,
+//! adversary-chosen interleavings.
+//!
+//! [`run_concurrent`](crate::run_concurrent) lets the operating system
+//! interleave participant threads — realistic, but unrepeatable and outside
+//! any adversary's control. This module adds the other half: every
+//! participant runs through [`fle_model::drive_scheduled`], so each of its
+//! shared-memory operations (`propagate` / `collect` / `flip` / `choose`,
+//! plus the final return) blocks at a [`SchedulePoint`] gate until the
+//! [`ScheduleController`] grants it. The controller only ever grants **one**
+//! processor at a time and waits for it to reach its next gate before
+//! granting again, which serializes the execution into an explicit
+//! interleaving of real backend operations:
+//!
+//! * the *operations* are the genuine article — the same sharded locks and
+//!   copy-on-write snapshots of [`SharedRegisters`] that production traffic
+//!   exercises;
+//! * the *interleaving* is chosen by a pluggable [`GateScheduler`], which
+//!   observes exactly what the paper's strong adaptive adversary may observe
+//!   (who is enabled, each processor's [`LocalStateView`] including coins,
+//!   the crash budget) and picks who moves next or who crashes;
+//! * the whole run is **deterministic** in the scheduler's choices: with
+//!   seeded per-processor RNGs, replaying the same grant sequence reproduces
+//!   the same registers, coins and outcomes regardless of OS scheduling or
+//!   machine load — which is what makes decision-trace record/replay and
+//!   ddmin shrinking (in `fle-explore`) work on real threads.
+//!
+//! Quiescence is the key invariant: the controller waits until every live
+//! participant is parked at a gate before consulting the scheduler, so the
+//! picker always sees the complete set of enabled operations (the analogue
+//! of the simulator's enabled-event set) and never races a running thread.
+//!
+//! Bounded preemption — limiting how often the schedule may switch away
+//! from a thread that could continue (the CHESS heuristic) — is a property
+//! of the *picker*, not the runner: wrap any scheduler's decisions in a
+//! preemption counter (see `fle_explore`'s `PreemptionBound` adversary
+//! combinator) and the runner executes the bounded schedule unchanged.
+//!
+//! # Example
+//!
+//! Run an election fully sequentialized (processor 0 to completion, then 1,
+//! …) — the gated twin of `fle_sim::SimMemory::run_all`:
+//!
+//! ```
+//! use fle_runtime::{election_participants, FifoScheduler, ScheduleConfig, SharedRegisters};
+//! use std::sync::Arc;
+//!
+//! let registers = Arc::new(SharedRegisters::new(4));
+//! let report = fle_runtime::run_scheduled(
+//!     &registers,
+//!     0,
+//!     7,
+//!     election_participants(3),
+//!     ScheduleConfig::for_participants(3),
+//!     &mut FifoScheduler,
+//! );
+//! assert_eq!(report.progress.winners().len(), 1);
+//! assert!(!report.stopped);
+//! ```
+
+use crate::shm::{GatedRegisterHandle, SharedRegisters};
+use fle_model::{
+    drive_scheduled, GateVerdict, LocalStateView, Outcome, ProcId, Protocol, SchedulePoint,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Limits of one schedule-controlled run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleConfig {
+    /// Crashes the scheduler may spend (the paper's `t < n/2` budget).
+    pub crash_budget: usize,
+    /// Maximum number of grants before the runner stops the execution and
+    /// reports `budget_exhausted` — the liveness backstop for schedules that
+    /// never let the protocols finish.
+    pub max_grants: u64,
+}
+
+impl ScheduleConfig {
+    /// The default limits for `k` participants: the paper's maximal crash
+    /// budget `⌈k/2⌉ − 1` and a generous grant budget (protocols finish in
+    /// `O(k log* k)` operations per participant; the default leaves two
+    /// orders of magnitude of slack).
+    pub fn for_participants(k: usize) -> Self {
+        ScheduleConfig {
+            crash_budget: k.div_ceil(2).saturating_sub(1),
+            max_grants: 2_000 * (k as u64).max(1),
+        }
+    }
+
+    /// Override the crash budget.
+    #[must_use]
+    pub fn with_crash_budget(mut self, budget: usize) -> Self {
+        self.crash_budget = budget;
+        self
+    }
+
+    /// Override the grant budget.
+    #[must_use]
+    pub fn with_max_grants(mut self, max_grants: u64) -> Self {
+        self.max_grants = max_grants;
+        self
+    }
+}
+
+/// One participant parked at its gate, as the scheduler sees it.
+#[derive(Debug, Clone)]
+pub struct WaitingAt {
+    /// The parked processor.
+    pub proc: ProcId,
+    /// The shared-memory operation it is about to perform.
+    pub point: SchedulePoint,
+    /// The local state the strong adversary may inspect (round, coin, …),
+    /// snapshotted when the processor reached the gate.
+    pub state: LocalStateView,
+}
+
+/// Everything a [`GateScheduler`] may inspect before picking: the quiescent
+/// gate state (every live participant is parked in `waiting`, sorted by
+/// processor id) plus the execution's progress so far.
+#[derive(Debug)]
+pub struct GateObservation<'a> {
+    /// Number of participants in this run.
+    pub participants: usize,
+    /// Grants made so far (the concurrent backend's event counter).
+    pub grants_made: u64,
+    /// Remaining crash budget.
+    pub crash_budget_left: usize,
+    /// Live participants parked at their gates, ascending by processor id.
+    /// Never empty when the scheduler is consulted.
+    pub waiting: &'a [WaitingAt],
+    /// Outcomes, intervals and crashes accumulated so far.
+    pub progress: &'a ScheduledProgress,
+}
+
+/// A scheduler's decision at one quiescent point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateCommand {
+    /// Grant the `index`-th entry of [`GateObservation::waiting`] (indices
+    /// out of range wrap, so an edited replay stays a valid schedule).
+    Run(usize),
+    /// Crash the given processor. Ignored (treated as `Run(0)`) when the
+    /// budget is spent or the processor is not waiting, so schedulers can be
+    /// replayed tolerantly.
+    Crash(ProcId),
+    /// Abort the run: every remaining participant is crashed and the report
+    /// is marked `stopped`. Used by online safety oracles that already found
+    /// what they were looking for.
+    Stop,
+}
+
+/// Picks the next grant at every quiescent point of a scheduled run — the
+/// concurrent backend's analogue of `fle_sim::Adversary`.
+pub trait GateScheduler {
+    /// Choose the next command. `obs.waiting` is never empty.
+    fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand;
+}
+
+impl<S: GateScheduler + ?Sized> GateScheduler for &mut S {
+    fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand {
+        (**self).pick(obs)
+    }
+}
+
+/// Always grants the lowest-id waiting processor: runs participant 0 to
+/// completion, then 1, and so on — the fully sequential schedule that
+/// `fle_sim::SimMemory` executes, useful for differential tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoScheduler;
+
+impl GateScheduler for FifoScheduler {
+    fn pick(&mut self, _obs: &GateObservation<'_>) -> GateCommand {
+        GateCommand::Run(0)
+    }
+}
+
+/// Outcomes and adversary-relevant bookkeeping of an in-progress (or
+/// finished) scheduled run.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledProgress {
+    /// Outcome of every participant that returned.
+    pub outcomes: BTreeMap<ProcId, Outcome>,
+    /// `(first grant, return grant)` per participant — the
+    /// invocation/response intervals linearizability checks need. Both
+    /// bounds are 1-based post-increment grant counts, matching the
+    /// simulator's event-counter convention for its intervals.
+    pub intervals: BTreeMap<ProcId, (u64, Option<u64>)>,
+    /// Participants crashed by the scheduler (or by a stop).
+    pub crashed: Vec<ProcId>,
+}
+
+impl ScheduledProgress {
+    /// Participants that returned [`Outcome::Win`].
+    pub fn winners(&self) -> Vec<ProcId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| **o == Outcome::Win)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Names assigned by a renaming run, keyed by processor.
+    pub fn names(&self) -> BTreeMap<ProcId, usize> {
+        self.outcomes
+            .iter()
+            .filter_map(|(p, o)| match o {
+                Outcome::Name(u) => Some((*p, *u)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The result of one schedule-controlled run.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledReport {
+    /// Outcomes, intervals and crashes.
+    pub progress: ScheduledProgress,
+    /// Total grants executed.
+    pub grants: u64,
+    /// Whether the run was aborted ([`GateCommand::Stop`] or grant budget).
+    pub stopped: bool,
+    /// Whether the abort was caused by the grant budget running out.
+    pub budget_exhausted: bool,
+}
+
+/// The lifecycle of one participant slot, driven from both sides: the
+/// participant thread moves `Running → Waiting` (at a gate) and
+/// `Granted → Running` (through it), the controller moves
+/// `Waiting → Granted | Doomed`, and terminal states are `Done`/`Crashed`.
+#[derive(Debug)]
+enum SlotPhase {
+    /// Executing between gates (local computation or the granted operation).
+    Running,
+    /// Parked at a gate.
+    Waiting(SchedulePoint, LocalStateView),
+    /// Gate opened; the thread has not yet re-acquired the lock.
+    Granted,
+    /// Crash verdict pending; the thread has not yet acknowledged it.
+    Doomed,
+    /// Returned with the recorded outcome (taken by the harvester).
+    Done(Option<Outcome>),
+    /// Acknowledged a crash (or panicked).
+    Crashed,
+}
+
+#[derive(Debug)]
+struct Slot {
+    proc: ProcId,
+    phase: SlotPhase,
+    harvested: bool,
+}
+
+/// The gate shared by all participant threads of one scheduled run.
+///
+/// Constructed internally by [`run_scheduled`]; participant handles
+/// ([`GatedRegisterHandle`]) park at their gates and the runner's control
+/// loop grants them one at a time.
+#[derive(Debug)]
+pub struct ScheduleController {
+    inner: Mutex<Vec<Slot>>,
+    gate: Condvar,
+}
+
+const LOCK: &str = "no schedule-gate user panics while holding the lock";
+
+impl ScheduleController {
+    fn new(procs: &[ProcId]) -> Self {
+        ScheduleController {
+            inner: Mutex::new(
+                procs
+                    .iter()
+                    .map(|&proc| Slot {
+                        proc,
+                        phase: SlotPhase::Running,
+                        harvested: false,
+                    })
+                    .collect(),
+            ),
+            gate: Condvar::new(),
+        }
+    }
+
+    /// Called by participant `slot`'s thread before each operation: park at
+    /// the gate and block until the controller grants or crashes it.
+    pub(crate) fn reach(
+        &self,
+        slot: usize,
+        point: SchedulePoint,
+        state: LocalStateView,
+    ) -> GateVerdict {
+        let mut slots = self.inner.lock().expect(LOCK);
+        slots[slot].phase = SlotPhase::Waiting(point, state);
+        self.gate.notify_all();
+        loop {
+            match slots[slot].phase {
+                SlotPhase::Granted => {
+                    slots[slot].phase = SlotPhase::Running;
+                    return GateVerdict::Proceed;
+                }
+                SlotPhase::Doomed => {
+                    slots[slot].phase = SlotPhase::Crashed;
+                    self.gate.notify_all();
+                    return GateVerdict::Crashed;
+                }
+                _ => slots = self.gate.wait(slots).expect(LOCK),
+            }
+        }
+    }
+
+    /// Called by a participant thread after its protocol returned.
+    fn finished(&self, slot: usize, outcome: Outcome) {
+        let mut slots = self.inner.lock().expect(LOCK);
+        slots[slot].phase = SlotPhase::Done(Some(outcome));
+        self.gate.notify_all();
+    }
+
+    /// Last-resort transition used by the panic guard: a thread that dies
+    /// without reaching a terminal state counts as crashed, so the control
+    /// loop never waits on it forever.
+    fn abort(&self, slot: usize) {
+        let mut slots = self.inner.lock().expect(LOCK);
+        if !matches!(slots[slot].phase, SlotPhase::Done(_) | SlotPhase::Crashed) {
+            slots[slot].phase = SlotPhase::Crashed;
+            self.gate.notify_all();
+        }
+    }
+}
+
+/// Marks the slot crashed if the participant thread unwinds (a protocol
+/// panic) so the controller cannot deadlock on a dead thread.
+struct AbortGuard<'c> {
+    controller: &'c ScheduleController,
+    slot: usize,
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        self.controller.abort(self.slot);
+    }
+}
+
+/// Run one protocol instance on the concurrent backend under an explicit
+/// schedule: one OS thread per participant, every shared-memory operation
+/// gated, the interleaving chosen by `scheduler`.
+///
+/// Participants are sorted by processor id; `seed` feeds each participant's
+/// coin stream exactly as `fle_sim::SimMemory` would (`seed + proc·0x9e37`),
+/// so a [`FifoScheduler`] run is coin-for-coin comparable with the
+/// sequential simulator adapter. The registers written under `namespace` are
+/// left in place for inspection; retire them with
+/// [`SharedRegisters::retire`] when done.
+///
+/// The run is deterministic in `scheduler`'s decisions: same decisions, same
+/// seed → same outcomes, registers and report, independent of OS scheduling.
+pub fn run_scheduled(
+    registers: &Arc<SharedRegisters>,
+    namespace: u64,
+    seed: u64,
+    mut participants: Vec<(ProcId, Box<dyn Protocol + Send>)>,
+    config: ScheduleConfig,
+    scheduler: &mut dyn GateScheduler,
+) -> ScheduledReport {
+    participants.sort_by_key(|(proc, _)| *proc);
+    let procs: Vec<ProcId> = participants.iter().map(|(proc, _)| *proc).collect();
+    let controller = ScheduleController::new(&procs);
+    let mut report = ScheduledReport::default();
+
+    std::thread::scope(|scope| {
+        for (slot, (proc, mut protocol)) in participants.into_iter().enumerate() {
+            let controller = &controller;
+            let mut memory = GatedRegisterHandle::new(
+                registers.handle_seeded(namespace, proc, seed),
+                controller,
+                slot,
+            );
+            scope.spawn(move || {
+                let _guard = AbortGuard { controller, slot };
+                if let Some(outcome) = drive_scheduled(protocol.as_mut(), &mut memory) {
+                    controller.finished(slot, outcome);
+                }
+                // A crash verdict already moved the slot to Crashed.
+            });
+        }
+
+        let mut crash_budget_left = config.crash_budget;
+        let mut stopping = false;
+        loop {
+            // Wait for quiescence: every slot parked at a gate or terminal.
+            let mut slots = controller.inner.lock().expect(LOCK);
+            while slots.iter().any(|s| {
+                matches!(
+                    s.phase,
+                    SlotPhase::Running | SlotPhase::Granted | SlotPhase::Doomed
+                )
+            }) {
+                slots = controller.gate.wait(slots).expect(LOCK);
+            }
+
+            // Harvest terminal transitions into the progress report.
+            for slot in slots.iter_mut() {
+                if slot.harvested {
+                    continue;
+                }
+                match &mut slot.phase {
+                    SlotPhase::Done(outcome) => {
+                        let outcome = outcome.take().expect("outcomes are harvested once");
+                        report.progress.outcomes.insert(slot.proc, outcome);
+                        report
+                            .progress
+                            .intervals
+                            .entry(slot.proc)
+                            .or_insert((report.grants, None))
+                            .1 = Some(report.grants);
+                        slot.harvested = true;
+                    }
+                    SlotPhase::Crashed => {
+                        report.progress.crashed.push(slot.proc);
+                        slot.harvested = true;
+                    }
+                    _ => {}
+                }
+            }
+
+            // Collect the waiting set (slot order = ascending processor
+            // id), keeping slot indices in a parallel vector so the
+            // snapshot handed to the scheduler is cloned exactly once.
+            let mut slot_indices = Vec::new();
+            let mut waiting: Vec<WaitingAt> = Vec::new();
+            for (index, slot) in slots.iter().enumerate() {
+                if let SlotPhase::Waiting(point, state) = &slot.phase {
+                    slot_indices.push(index);
+                    waiting.push(WaitingAt {
+                        proc: slot.proc,
+                        point: *point,
+                        state: state.clone(),
+                    });
+                }
+            }
+            if waiting.is_empty() {
+                break; // every participant finished or crashed
+            }
+
+            if report.grants >= config.max_grants && !stopping {
+                report.budget_exhausted = true;
+                stopping = true;
+            }
+            let command = if stopping {
+                GateCommand::Stop
+            } else {
+                // Consult the scheduler outside the lock: it may be an
+                // arbitrarily expensive oracle-checking adversary, and every
+                // participant is parked, so nothing races the snapshot.
+                drop(slots);
+                let command = scheduler.pick(&GateObservation {
+                    participants: procs.len(),
+                    grants_made: report.grants,
+                    crash_budget_left,
+                    waiting: &waiting,
+                    progress: &report.progress,
+                });
+                slots = controller.inner.lock().expect(LOCK);
+                command
+            };
+
+            match command {
+                GateCommand::Stop => {
+                    report.stopped = true;
+                    stopping = true;
+                    for slot in slots.iter_mut() {
+                        if matches!(slot.phase, SlotPhase::Waiting(..)) {
+                            slot.phase = SlotPhase::Doomed;
+                        }
+                    }
+                    controller.gate.notify_all();
+                }
+                GateCommand::Crash(victim)
+                    if crash_budget_left > 0
+                        && waiting.iter().any(|entry| entry.proc == victim) =>
+                {
+                    crash_budget_left -= 1;
+                    let pos = waiting
+                        .iter()
+                        .position(|entry| entry.proc == victim)
+                        .expect("victim verified waiting above");
+                    slots[slot_indices[pos]].phase = SlotPhase::Doomed;
+                    controller.gate.notify_all();
+                }
+                command => {
+                    // Illegal crashes degrade to the oldest waiting grant,
+                    // mirroring the tolerant replay semantics of the
+                    // simulator's `ReplayAdversary`.
+                    let pick = match command {
+                        GateCommand::Run(pick) => pick % waiting.len(),
+                        _ => 0,
+                    };
+                    // Count the grant before recording the interval start so
+                    // both ends of an interval use the post-increment counter,
+                    // matching the simulator's convention — otherwise a loser
+                    // returning at grant g and a winner starting at grant g+1
+                    // would look concurrent to the linearizability check.
+                    report.grants += 1;
+                    report
+                        .progress
+                        .intervals
+                        .entry(waiting[pick].proc)
+                        .or_insert((report.grants, None));
+                    slots[slot_indices[pick]].phase = SlotPhase::Granted;
+                    controller.gate.notify_all();
+                }
+            }
+        }
+    });
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{election_participants, renaming_participants};
+    use std::collections::BTreeSet;
+
+    /// Round-robin over waiting participants, for interleaving tests.
+    struct RoundRobin {
+        next: usize,
+    }
+
+    impl GateScheduler for RoundRobin {
+        fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand {
+            let pick = self.next % obs.waiting.len();
+            self.next = self.next.wrapping_add(1);
+            GateCommand::Run(pick)
+        }
+    }
+
+    #[test]
+    fn fifo_schedule_elects_exactly_one_leader() {
+        let registers = Arc::new(SharedRegisters::new(2));
+        let report = run_scheduled(
+            &registers,
+            0,
+            3,
+            election_participants(4),
+            ScheduleConfig::for_participants(4),
+            &mut FifoScheduler,
+        );
+        assert_eq!(report.progress.winners().len(), 1);
+        assert_eq!(report.progress.outcomes.len(), 4);
+        assert!(report.progress.crashed.is_empty());
+        assert!(!report.stopped);
+        assert!(report.grants > 0);
+    }
+
+    #[test]
+    fn fifo_schedule_runs_participants_in_order() {
+        // Under FIFO, participant i's return grant precedes participant
+        // i+1's first grant: the run is genuinely sequential.
+        let registers = Arc::new(SharedRegisters::new(1));
+        let report = run_scheduled(
+            &registers,
+            0,
+            9,
+            election_participants(3),
+            ScheduleConfig::for_participants(3),
+            &mut FifoScheduler,
+        );
+        assert_eq!(
+            report.progress.intervals[&ProcId(0)].0,
+            1,
+            "interval bounds count grants post-increment, like the simulator"
+        );
+        for i in 0..2usize {
+            let (_, end) = report.progress.intervals[&ProcId(i)];
+            let (start, _) = report.progress.intervals[&ProcId(i + 1)];
+            assert!(
+                end.expect("finished") < start,
+                "participant {i} must finish strictly before {} starts",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_renaming_assigns_unique_tight_names() {
+        let registers = Arc::new(SharedRegisters::new(4));
+        let n = 5;
+        let report = run_scheduled(
+            &registers,
+            1,
+            11,
+            renaming_participants(n, n),
+            ScheduleConfig::for_participants(n),
+            &mut RoundRobin { next: 0 },
+        );
+        let names: BTreeSet<usize> = report.progress.names().values().copied().collect();
+        assert_eq!(names.len(), n);
+        assert!(names.iter().all(|&u| (1..=n).contains(&u)));
+    }
+
+    #[test]
+    fn identical_schedules_are_deterministic() {
+        let run = || {
+            let registers = Arc::new(SharedRegisters::new(3));
+            run_scheduled(
+                &registers,
+                0,
+                5,
+                election_participants(4),
+                ScheduleConfig::for_participants(4),
+                &mut RoundRobin { next: 0 },
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.progress.outcomes, b.progress.outcomes);
+        assert_eq!(a.progress.intervals, b.progress.intervals);
+        assert_eq!(a.grants, b.grants);
+    }
+
+    #[test]
+    fn crashes_remove_participants_and_respect_the_budget() {
+        /// Crashes processors 0 and 1 at the first opportunity, then FIFO.
+        struct CrashTwo;
+        impl GateScheduler for CrashTwo {
+            fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand {
+                for victim in [ProcId(0), ProcId(1)] {
+                    if obs.crash_budget_left > 0
+                        && obs.waiting.iter().any(|w| w.proc == victim)
+                        && !obs.progress.crashed.contains(&victim)
+                    {
+                        return GateCommand::Crash(victim);
+                    }
+                }
+                GateCommand::Run(0)
+            }
+        }
+        let registers = Arc::new(SharedRegisters::new(2));
+        // Budget 1: only the first crash lands, the second degrades.
+        let report = run_scheduled(
+            &registers,
+            0,
+            2,
+            election_participants(5),
+            ScheduleConfig::for_participants(5).with_crash_budget(1),
+            &mut CrashTwo,
+        );
+        assert_eq!(report.progress.crashed, vec![ProcId(0)]);
+        assert_eq!(report.progress.outcomes.len(), 4, "survivors all return");
+        assert_eq!(report.progress.winners().len(), 1);
+    }
+
+    #[test]
+    fn stop_crashes_everyone_and_marks_the_report() {
+        struct StopAfter(u64);
+        impl GateScheduler for StopAfter {
+            fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand {
+                if obs.grants_made >= self.0 {
+                    GateCommand::Stop
+                } else {
+                    GateCommand::Run(0)
+                }
+            }
+        }
+        let registers = Arc::new(SharedRegisters::new(2));
+        let report = run_scheduled(
+            &registers,
+            0,
+            1,
+            election_participants(4),
+            ScheduleConfig::for_participants(4),
+            &mut StopAfter(3),
+        );
+        assert!(report.stopped);
+        assert!(!report.budget_exhausted);
+        assert_eq!(report.grants, 3);
+        assert_eq!(
+            report.progress.outcomes.len() + report.progress.crashed.len(),
+            4
+        );
+        assert!(!report.progress.crashed.is_empty());
+    }
+
+    #[test]
+    fn grant_budget_exhaustion_stops_the_run() {
+        let registers = Arc::new(SharedRegisters::new(2));
+        let report = run_scheduled(
+            &registers,
+            0,
+            1,
+            election_participants(4),
+            ScheduleConfig::for_participants(4).with_max_grants(5),
+            &mut FifoScheduler,
+        );
+        assert!(report.stopped);
+        assert!(report.budget_exhausted);
+        assert_eq!(report.grants, 5);
+        assert!(!report.progress.crashed.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn panicking_protocols_propagate_instead_of_deadlocking() {
+        use fle_model::{Action, Response};
+        struct Bomb;
+        impl Protocol for Bomb {
+            fn step(&mut self, _response: Response) -> Action {
+                panic!("deliberate test panic");
+            }
+            fn adversary_view(&self) -> LocalStateView {
+                LocalStateView::new("bomb", "armed")
+            }
+        }
+        // Without the abort guard the control loop would wait forever on the
+        // dead thread; with it, the run completes and the scope re-raises
+        // the participant's panic (this test hanging = the guard is broken).
+        let registers = Arc::new(SharedRegisters::new(1));
+        let mut participants = election_participants(2);
+        participants.push((ProcId(2), Box::new(Bomb)));
+        let _ = run_scheduled(
+            &registers,
+            0,
+            4,
+            participants,
+            ScheduleConfig::for_participants(3),
+            &mut FifoScheduler,
+        );
+    }
+}

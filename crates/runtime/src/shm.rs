@@ -150,16 +150,28 @@ impl SharedRegisters {
     }
 
     /// A [`SharedMemory`] handle for processor `me` of `namespace`, with its
-    /// coin flips seeded from `seed`.
+    /// coin flips seeded from `seed` (mixed with the namespace, so parallel
+    /// instances sharing one bank draw independent streams).
     pub fn handle(self: &Arc<Self>, namespace: u64, me: ProcId, seed: u64) -> RegisterHandle {
+        self.handle_seeded(namespace, me, seed.wrapping_add(splitmix64(namespace)))
+    }
+
+    /// A handle whose coin stream ignores the namespace: seeded exactly like
+    /// `fle_sim::SimMemory` (`seed + me·0x9e37`). Used by the
+    /// schedule-controlled runner ([`crate::run_scheduled`]) so that a fully
+    /// sequentialized gated run draws the same coins as the sequential
+    /// simulator adapter and the two can be compared outcome-for-outcome.
+    pub fn handle_seeded(
+        self: &Arc<Self>,
+        namespace: u64,
+        me: ProcId,
+        seed: u64,
+    ) -> RegisterHandle {
         RegisterHandle {
             registers: Arc::clone(self),
             namespace,
             me,
-            rng: ChaCha8Rng::seed_from_u64(
-                seed.wrapping_add(splitmix64(namespace))
-                    .wrapping_add(me.index() as u64 * 0x9e37),
-            ),
+            rng: ChaCha8Rng::seed_from_u64(seed.wrapping_add(me.index() as u64 * 0x9e37)),
             metrics: ProcessMetrics::default(),
         }
     }
@@ -217,6 +229,66 @@ impl SharedMemory for RegisterHandle {
         } else {
             choices[self.rng.gen_range(0..choices.len())]
         }
+    }
+}
+
+/// A [`RegisterHandle`] whose every operation passes through a
+/// [`crate::sched::ScheduleController`] gate: the schedule-controlled face
+/// of the concurrent backend.
+///
+/// The handle performs the *same* operations as an ungated
+/// [`RegisterHandle`] — the same sharded locks, the same copy-on-write
+/// snapshots, the same coin stream — but announces each one as a
+/// [`fle_model::SchedulePoint`] first and blocks until the controller grants
+/// it, which is how `fle_runtime::run_scheduled` serializes real threads
+/// under an adversary-chosen interleaving. Constructed only by
+/// [`crate::run_scheduled`].
+#[derive(Debug)]
+pub struct GatedRegisterHandle<'c> {
+    inner: RegisterHandle,
+    controller: &'c crate::sched::ScheduleController,
+    slot: usize,
+}
+
+impl<'c> GatedRegisterHandle<'c> {
+    pub(crate) fn new(
+        inner: RegisterHandle,
+        controller: &'c crate::sched::ScheduleController,
+        slot: usize,
+    ) -> Self {
+        GatedRegisterHandle {
+            inner,
+            controller,
+            slot,
+        }
+    }
+}
+
+impl fle_model::SharedMemory for GatedRegisterHandle<'_> {
+    fn propagate(&mut self, entries: Vec<(Key, Value)>) {
+        self.inner.propagate(entries);
+    }
+
+    fn collect(&mut self, instance: InstanceId) -> CollectedViews {
+        self.inner.collect(instance)
+    }
+
+    fn flip(&mut self, prob_one: f64) -> bool {
+        self.inner.flip(prob_one)
+    }
+
+    fn choose(&mut self, choices: &[u64]) -> u64 {
+        self.inner.choose(choices)
+    }
+}
+
+impl fle_model::ScheduledMemory for GatedRegisterHandle<'_> {
+    fn reach(
+        &mut self,
+        point: fle_model::SchedulePoint,
+        state: fle_model::LocalStateView,
+    ) -> fle_model::GateVerdict {
+        self.controller.reach(self.slot, point, state)
     }
 }
 

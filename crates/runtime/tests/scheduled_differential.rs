@@ -1,0 +1,80 @@
+//! Differential tests for the schedule-controlled concurrent backend: a
+//! fully sequentialized gated run must agree with the deterministic
+//! sequential simulator adapter (`fle_sim::SimMemory`).
+//!
+//! Both backends execute the same protocol state machines in the same order
+//! (participant 0 to completion, then 1, …) with the same per-processor coin
+//! streams (`seed + proc·0x9e37` — see `SharedRegisters::handle_seeded`), so
+//! every coin flip, register write and outcome must coincide even though one
+//! side is a borrow-checked sequential loop and the other is real threads
+//! serialized at schedule gates. Any divergence means the gate layer changed
+//! the backend's semantics — exactly what it must never do.
+
+use fle_model::{Outcome, ProcId};
+use fle_runtime::{
+    election_participants, renaming_participants, run_scheduled, FifoScheduler, ScheduleConfig,
+    SharedRegisters,
+};
+use fle_sim::SimMemory;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn gated_sequential(
+    participants: Vec<(ProcId, Box<dyn fle_model::Protocol + Send>)>,
+    seed: u64,
+) -> BTreeMap<ProcId, Outcome> {
+    let registers = Arc::new(SharedRegisters::new(4));
+    let k = participants.len();
+    let report = run_scheduled(
+        &registers,
+        0,
+        seed,
+        participants,
+        ScheduleConfig::for_participants(k),
+        &mut FifoScheduler,
+    );
+    assert!(!report.stopped, "a sequential run always completes");
+    assert!(report.progress.crashed.is_empty());
+    report.progress.outcomes
+}
+
+#[test]
+fn gated_sequential_election_agrees_with_sim_memory() {
+    for n in [3usize, 4, 6] {
+        for seed in 0..4u64 {
+            let gated = gated_sequential(election_participants(n), seed);
+            let mut memory = SimMemory::new(n, seed);
+            let sequential = memory.run_all(election_participants(n));
+            assert_eq!(
+                gated, sequential,
+                "n={n} seed={seed}: the gated sequential run must match SimMemory outcome-for-outcome"
+            );
+            let winners: Vec<ProcId> = gated
+                .iter()
+                .filter(|(_, o)| **o == Outcome::Win)
+                .map(|(p, _)| *p)
+                .collect();
+            assert_eq!(winners.len(), 1, "n={n} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn gated_sequential_renaming_agrees_with_sim_memory() {
+    for seed in 0..4u64 {
+        let n = 5;
+        let gated = gated_sequential(renaming_participants(n, n), seed);
+        let mut memory = SimMemory::new(n, seed);
+        let sequential = memory.run_all(renaming_participants(n, n));
+        assert_eq!(gated, sequential, "seed={seed}");
+        let names: std::collections::BTreeSet<usize> = gated
+            .values()
+            .filter_map(|o| match o {
+                Outcome::Name(u) => Some(*u),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names.len(), n, "seed={seed}: names distinct");
+        assert!(names.iter().all(|&u| (1..=n).contains(&u)));
+    }
+}

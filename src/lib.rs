@@ -14,11 +14,11 @@
 //! |-------|----------|
 //! | [`model`] (`fle-model`) | protocol state-machine interface, the `SharedMemory` backend contract, register values, wire messages, complexity metrics |
 //! | [`sim`] (`fle-sim`) | deterministic discrete-event simulator: quorum `communicate`, adaptive adversaries, crash injection; sequential `SimMemory` adapter |
-//! | [`runtime`] (`fle-runtime`) | real-thread backends: message passing over crossbeam channels, and in-process concurrent `SharedRegisters` |
+//! | [`runtime`] (`fle-runtime`) | real-thread backends: message passing over crossbeam channels, in-process concurrent `SharedRegisters`, and the schedule-controlled runner (`run_scheduled`) |
 //! | [`core`] (`fle-core`) | PoisonPill, Heterogeneous PoisonPill, doorway, pre-round, the full election, renaming |
 //! | [`baselines`] (`fle-baselines`) | tournament-tree test-and-set (AGTV92), random-order renaming (AAG+10) |
 //! | [`service`] (`fle-service`) | sharded multi-instance election/renaming service over the pluggable backends |
-//! | [`explore`] (`fle-explore`) | adversarial schedule exploration: attack strategies, safety oracles, counterexample shrinking |
+//! | [`explore`] (`fle-explore`) | adversarial schedule exploration over both the simulator and the concurrent backend: attack strategies, safety oracles, counterexample shrinking |
 //! | [`analysis`] (`fle-analysis`) | statistics, `log*`/`log²`/`√n` reference curves, table rendering |
 //!
 //! # Quickstart
@@ -80,14 +80,18 @@ pub mod prelude {
         Doorway, ElectionConfig, HeterogeneousPoisonPill, LeaderElection, PoisonPill, PreRound,
         Renaming, RenamingConfig,
     };
-    pub use fle_explore::{shrink, Explorer, Oracle, Scenario, StrategySpec, Violation};
+    pub use fle_explore::{
+        replay_shm, shrink, shrink_shm, ExploreBackend, Explorer, Oracle, Scenario, ShmConfig,
+        StrategySpec, Violation,
+    };
     pub use fle_model::{
         drive, Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
         SharedMemory,
     };
     pub use fle_runtime::{
-        election_participants, renaming_participants, run_concurrent, run_threaded_leader_election,
-        run_threaded_renaming, RuntimeConfig, SharedRegisters, ThreadedRuntime,
+        election_participants, renaming_participants, run_concurrent, run_scheduled,
+        run_threaded_leader_election, run_threaded_renaming, FifoScheduler, GateScheduler,
+        RuntimeConfig, ScheduleConfig, SharedRegisters, ThreadedRuntime,
     };
     pub use fle_service::{
         BackendKind, ElectionService, InstanceResult, InstanceSpec, InstanceStatus, ServiceConfig,
