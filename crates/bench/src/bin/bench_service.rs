@@ -1,19 +1,22 @@
 //! Record the service-throughput baseline (`BENCH_service.json`) or run the
-//! CI service-smoke gate.
+//! CI service gates.
 //!
 //! * `cargo run --release -p fle-bench --bin bench_service` — sweep the
 //!   concurrent backend at shard counts {1, 4, num_cpus} (2000 four-processor
-//!   elections each, closed loop) and write `BENCH_service.json`.
-//! * `cargo run --release -p fle-bench --bin bench_service -- --smoke` — run
-//!   1000 concurrent instances with correctness assertions (zero lost or
-//!   duplicate outcomes, exactly one winner each) and gate on a >3x
-//!   throughput regression against the recording.
+//!   elections each, closed loop) plus an overload sweep at multiples of the
+//!   sustainable rate, and write `BENCH_service.json`.
+//! * `-- --smoke` — run 1000 concurrent instances with correctness
+//!   assertions (zero lost or duplicate outcomes, exactly one winner each)
+//!   and gate on a >3x throughput regression against the recording.
+//! * `-- --overload-smoke` — offer 2x the sustainable rate under the shed
+//!   policy and gate on the overload properties: nonzero shed, bounded queue
+//!   depth, intact admitted work, balanced accounting, goodput holding up.
 
 use fle_bench::service_load;
 
 fn main() {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    if smoke {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|arg| arg == "--smoke") {
         match service_load::smoke_check() {
             Ok((measured, recorded)) => {
                 println!(
@@ -25,6 +28,21 @@ fn main() {
             }
             Err(message) => {
                 eprintln!("service-smoke FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.iter().any(|arg| arg == "--overload-smoke") {
+        match service_load::overload_smoke_check() {
+            Ok((goodput, shed_fraction)) => {
+                println!(
+                    "overload-smoke OK: goodput {goodput:.0} instances/s at 2x offered load, \
+                     shed fraction {shed_fraction:.2}, queues bounded, admitted work intact"
+                );
+            }
+            Err(message) => {
+                eprintln!("overload-smoke FAILED: {message}");
                 std::process::exit(1);
             }
         }

@@ -1,0 +1,266 @@
+//! A fixed-footprint log-scaled latency histogram (HDR-style).
+//!
+//! The load generators used to keep every observed latency in a `Vec` and
+//! sort it for percentiles — O(n) memory and an O(n log n) sort per report,
+//! which is exactly what an overload benchmark (millions of samples) cannot
+//! afford. [`LogHistogram`] replaces that with a fixed array of buckets:
+//!
+//! * values `0..64` land in **exact** unit buckets;
+//! * larger values land in one of 64 sub-buckets per power-of-two *octave*
+//!   (the 6 bits below the leading bit), so every bucket's width is at most
+//!   `1/64` ≈ 1.6 % of its value — tail quantiles stay sharp at any scale.
+//!
+//! Recording is O(1) with no allocation, merging is bucket-wise addition,
+//! and the whole histogram is ~30 KiB regardless of sample count. Exact
+//! minimum and maximum are tracked on the side so `value_at_quantile(0.0)` /
+//! `(1.0)` are exact, and interior quantiles report their bucket's upper
+//! bound (a ≤ 1.6 % overestimate — conservative for latency SLOs).
+
+/// Exact unit buckets for values below `1 << PRECISION_BITS`.
+const PRECISION_BITS: u32 = 6;
+/// Sub-buckets per octave (and the count of exact buckets).
+const SUBS: usize = 1 << PRECISION_BITS;
+/// Octaves covering the rest of the `u64` range.
+const OCTAVES: usize = (u64::BITS - PRECISION_BITS) as usize;
+/// Total bucket count: 64 exact + 58 octaves × 64 sub-buckets.
+const BUCKETS: usize = SUBS + OCTAVES * SUBS;
+
+/// A log-scaled histogram of `u64` samples (latencies in microseconds,
+/// depths, counts — any nonnegative measure).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUBS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = (msb - PRECISION_BITS) as usize;
+    let sub = ((value >> (msb - PRECISION_BITS)) as usize) - SUBS;
+    SUBS + octave * SUBS + sub
+}
+
+/// The largest value that lands in `index` (inclusive upper bound).
+fn bucket_high(index: usize) -> u64 {
+    if index < SUBS {
+        return index as u64;
+    }
+    let octave = ((index - SUBS) / SUBS) as u32;
+    let sub = ((index - SUBS) % SUBS) as u64;
+    let low = (SUBS as u64 + sub) << octave;
+    low + ((1u64 << octave) - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0u64; BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("the vector is constructed with exactly BUCKETS entries"),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample. O(1), no allocation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th smallest sample, clamped to the exact
+    /// observed `[min, max]`. Within 1/64 ≈ 1.6 % of the true order
+    /// statistic; 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_high(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Add every sample of `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += *theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact order statistic the histogram approximates.
+    fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    #[test]
+    fn bucket_geometry_is_consistent() {
+        // Every bucket's inclusive upper bound maps back to that bucket, and
+        // the value one past it maps to a later bucket.
+        for index in 0..BUCKETS {
+            let high = bucket_high(index);
+            assert_eq!(bucket_index(high), index, "high of bucket {index}");
+            if let Some(next) = high.checked_add(1) {
+                assert!(bucket_index(next) > index, "bucket {index} is maximal");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut hist = LogHistogram::new();
+        for v in 0..64u64 {
+            hist.record(v);
+        }
+        for (i, q) in (1..=64).map(|i| (i, i as f64 / 64.0)) {
+            assert_eq!(hist.value_at_quantile(q), i as u64 - 1);
+        }
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 63);
+    }
+
+    #[test]
+    fn quantiles_track_the_sorted_reference_within_two_percent() {
+        // A skewed latency-like distribution spanning five orders of
+        // magnitude.
+        let mut samples: Vec<u64> = (0..10_000u64)
+            .map(|i| {
+                let base = fle_model::splitmix64(i) % 1000;
+                let spike = if i % 97 == 0 { 250_000 } else { 0 };
+                50 + base * base / 10 + spike
+            })
+            .collect();
+        let mut hist = LogHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0] {
+            let exact = reference_quantile(&samples, q);
+            let approx = hist.value_at_quantile(q);
+            assert!(
+                approx >= exact,
+                "q={q}: bucket upper bound {approx} below exact {exact}"
+            );
+            let error = (approx - exact) as f64 / exact.max(1) as f64;
+            assert!(error <= 0.02, "q={q}: {approx} vs {exact} ({error:.4})");
+        }
+        assert_eq!(hist.count(), 10_000);
+        assert_eq!(hist.max(), *samples.last().unwrap());
+        assert_eq!(hist.min(), samples[0]);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_the_exact_min_and_max() {
+        let mut hist = LogHistogram::new();
+        for v in [3, 17, 40_000, 1_000_000_007] {
+            hist.record(v);
+        }
+        assert_eq!(hist.value_at_quantile(0.0), 3);
+        assert_eq!(hist.value_at_quantile(1.0), 1_000_000_007);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for i in 0..1000u64 {
+            let v = fle_model::splitmix64(i) % 100_000;
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+            both.record(v);
+        }
+        left.merge(&right);
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.value_at_quantile(q), both.value_at_quantile(q));
+        }
+        assert_eq!(left.count(), both.count());
+        assert_eq!(left.mean(), both.mean());
+        assert_eq!(left.min(), both.min());
+        assert_eq!(left.max(), both.max());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LogHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.value_at_quantile(0.5), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.mean(), 0.0);
+    }
+}

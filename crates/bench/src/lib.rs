@@ -21,6 +21,7 @@
 pub mod baseline;
 pub mod batch;
 pub mod experiments;
+pub mod hist;
 pub mod json;
 pub mod service_load;
 
@@ -29,4 +30,8 @@ pub use experiments::{
     e1_poisonpill_survivors, e2_het_survivors, e3_election_time, e4_message_complexity,
     e5_fault_tolerance, e6_renaming, e7_lower_bound_check, e8_bias_ablation, AdversaryKind,
 };
-pub use service_load::{closed_loop, open_loop, LoadResult, LoadSpec};
+pub use hist::LogHistogram;
+pub use service_load::{
+    closed_loop, open_loop, open_loop_overload, overload_smoke_check, overload_sweep,
+    submit_with_retry, LoadResult, LoadSpec, OverloadResult, OverloadSpec,
+};

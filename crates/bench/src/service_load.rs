@@ -1,6 +1,6 @@
 //! Load generation against the sharded [`fle_service::ElectionService`].
 //!
-//! Two generator shapes, the standard pair for services:
+//! Three generator shapes:
 //!
 //! * **closed loop** ([`closed_loop`]) — `clients` threads, each submitting
 //!   its next instance only after the previous one completed; measures the
@@ -8,16 +8,31 @@
 //!   with per-instance latencies for tail percentiles.
 //! * **open loop** ([`open_loop`]) — a single submitter paces submissions at
 //!   a target rate regardless of completions, so queueing shows up as
-//!   latency rather than as throttled throughput.
+//!   latency rather than as throttled throughput. Transient `Overloaded`
+//!   refusals are retried with jittered exponential backoff
+//!   ([`submit_with_retry`]).
+//! * **overload** ([`open_loop_overload`]) — open loop *past* the service's
+//!   capacity with **no** retry: refusals are counted instead, measuring
+//!   goodput, admitted-work tail latency, and shed rate under the service's
+//!   admission control. [`overload_sweep`] runs it at multiples of the
+//!   measured sustainable rate for the `overload` section of
+//!   `BENCH_service.json`.
 //!
-//! Every run verifies correctness while it measures: exactly one result per
-//! submitted key (nothing lost, nothing duplicated) and exactly one winner
-//! per election instance. The standard recording ([`record_default`]) sweeps
-//! the concurrent backend at shard counts {1, 4, `num_cpus`} and writes
-//! `BENCH_service.json`; [`smoke_check`] is the CI gate over that recording.
+//! Latencies are aggregated in a fixed-footprint log-scaled histogram
+//! ([`crate::hist::LogHistogram`]) — O(1) recording, ≤ 1.6 % quantile error —
+//! instead of a sorted sample vector. Every run verifies correctness while
+//! it measures: exactly one result per admitted key (nothing lost, nothing
+//! duplicated), exactly one winner per election instance, and the service's
+//! accounting invariant `submitted = completed + failed + shed + drained`.
+//! The standard recording ([`record_default`]) sweeps the concurrent backend
+//! at shard counts {1, 4, `num_cpus`} and writes `BENCH_service.json`;
+//! [`smoke_check`] and [`overload_smoke_check`] are the CI gates.
 
+use crate::hist::LogHistogram;
 use crate::json::write_or_warn;
-use fle_service::{BackendKind, ElectionService, InstanceSpec, ServiceConfig, Ticket};
+use fle_service::{
+    BackendKind, ElectionService, InstanceSpec, OverloadPolicy, ServiceConfig, SubmitError, Ticket,
+};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -77,29 +92,20 @@ pub struct LoadResult {
     pub p95_micros: u64,
     /// 99th-percentile latency, microseconds.
     pub p99_micros: u64,
-    /// Worst observed latency, microseconds.
+    /// Worst observed latency, microseconds (exact).
     pub max_micros: u64,
 }
 
-fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
-    if sorted_micros.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
-    sorted_micros[rank.min(sorted_micros.len() - 1)]
-}
-
-fn summarize(spec: LoadSpec, wall: Duration, mut latencies_micros: Vec<u64>) -> LoadResult {
-    latencies_micros.sort_unstable();
+fn summarize(spec: LoadSpec, wall: Duration, latencies: &LogHistogram) -> LoadResult {
     let wall_secs = wall.as_secs_f64();
     LoadResult {
         spec,
         wall_secs,
         instances_per_sec: spec.instances as f64 / wall_secs.max(f64::MIN_POSITIVE),
-        p50_micros: percentile(&latencies_micros, 0.50),
-        p95_micros: percentile(&latencies_micros, 0.95),
-        p99_micros: percentile(&latencies_micros, 0.99),
-        max_micros: latencies_micros.last().copied().unwrap_or(0),
+        p50_micros: latencies.value_at_quantile(0.50),
+        p95_micros: latencies.value_at_quantile(0.95),
+        p99_micros: latencies.value_at_quantile(0.99),
+        max_micros: latencies.max(),
     }
 }
 
@@ -124,40 +130,69 @@ fn verify(expected_key: u64, n: usize, ticket: Ticket) -> u64 {
     u64::try_from(result.latency.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Submit, retrying transient [`SubmitError::Overloaded`] refusals with
+/// jittered exponential backoff (50 µs doubling to a 5 ms cap, plus a
+/// deterministic key-seeded jitter to decorrelate competing submitters).
+/// Gives up after `max_attempts`, returning the last refusal.
+///
+/// # Errors
+/// Whatever the final `submit` attempt returned.
+pub fn submit_with_retry(
+    service: &ElectionService,
+    spec: InstanceSpec,
+    max_attempts: u32,
+) -> Result<Ticket, SubmitError> {
+    let mut backoff_micros = 50u64;
+    let mut attempt = 0u32;
+    loop {
+        match service.submit(spec) {
+            Err(SubmitError::Overloaded) if attempt + 1 < max_attempts => {
+                let jitter =
+                    fle_model::splitmix64(spec.key ^ u64::from(attempt)) % backoff_micros.max(1);
+                std::thread::sleep(Duration::from_micros(backoff_micros + jitter));
+                backoff_micros = (backoff_micros * 2).min(5_000);
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Closed-loop load: `spec.clients` threads, each keeping one instance in
 /// flight, until `spec.instances` have completed.
 ///
 /// # Panics
 /// Panics on any correctness violation (lost/duplicate/cross-keyed result,
-/// no unique winner) — see the internal `verify` pass.
+/// no unique winner, accounting imbalance) — see the internal `verify` pass.
 pub fn closed_loop(spec: LoadSpec) -> LoadResult {
     let service = ElectionService::new(ServiceConfig::new(spec.shards, spec.backend));
     let start = Instant::now();
-    let latencies: Vec<u64> = std::thread::scope(|scope| {
+    let latencies: LogHistogram = std::thread::scope(|scope| {
         let service = &service;
         let handles: Vec<_> = (0..spec.clients)
             .map(|client| {
                 scope.spawn(move || {
                     // Client `c` owns keys c, c+clients, c+2·clients, …:
                     // disjoint by construction, so nothing is ever duplicated.
-                    let mut latencies = Vec::new();
+                    let mut latencies = LogHistogram::new();
                     let mut index = client;
                     while index < spec.instances {
                         let key = spec.base_key + index as u64;
                         let ticket = service
                             .submit(InstanceSpec::election(key, spec.n))
                             .expect("disjoint fresh keys are always accepted");
-                        latencies.push(verify(key, spec.n, ticket));
+                        latencies.record(verify(key, spec.n, ticket));
                         index += spec.clients;
                     }
                     latencies
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|handle| handle.join().expect("client threads do not panic"))
-            .collect()
+        let mut merged = LogHistogram::new();
+        for handle in handles {
+            merged.merge(&handle.join().expect("client threads do not panic"));
+        }
+        merged
     });
     let wall = start.elapsed();
     let stats = service.shutdown();
@@ -165,16 +200,25 @@ pub fn closed_loop(spec: LoadSpec) -> LoadResult {
         stats.completed, spec.instances as u64,
         "the service must complete exactly the submitted instances"
     );
-    assert_eq!(latencies.len(), spec.instances, "one result per instance");
-    summarize(spec, wall, latencies)
+    assert_eq!(
+        latencies.count(),
+        spec.instances as u64,
+        "one result per instance"
+    );
+    stats
+        .check_invariant()
+        .expect("the service accounting must balance");
+    summarize(spec, wall, &latencies)
 }
 
 /// Open-loop load: submit every instance at a fixed target rate (per
 /// second), then drain all tickets. Queueing delay shows up in the latency
-/// percentiles instead of throttling the submission rate.
+/// percentiles instead of throttling the submission rate; transient
+/// `Overloaded` refusals are retried with backoff ([`submit_with_retry`]).
 ///
 /// # Panics
-/// Panics on the same correctness violations as [`closed_loop`].
+/// Panics on the same correctness violations as [`closed_loop`], and when a
+/// submission is still refused after exhausting its retries.
 pub fn open_loop(spec: LoadSpec, rate_per_sec: f64) -> LoadResult {
     assert!(rate_per_sec > 0.0, "the target rate must be positive");
     let service = ElectionService::new(ServiceConfig::new(spec.shards, spec.backend));
@@ -190,20 +234,188 @@ pub fn open_loop(spec: LoadSpec, rate_per_sec: f64) -> LoadResult {
         }
         let key = spec.base_key + index as u64;
         tickets.push(
-            service
-                .submit(InstanceSpec::election(key, spec.n))
-                .expect("fresh keys are always accepted"),
+            submit_with_retry(&service, InstanceSpec::election(key, spec.n), 16)
+                .expect("fresh keys are admitted within the retry budget"),
         );
     }
-    let latencies: Vec<u64> = tickets
-        .into_iter()
-        .enumerate()
-        .map(|(index, ticket)| verify(spec.base_key + index as u64, spec.n, ticket))
-        .collect();
+    let mut latencies = LogHistogram::new();
+    for (index, ticket) in tickets.into_iter().enumerate() {
+        latencies.record(verify(spec.base_key + index as u64, spec.n, ticket));
+    }
     let wall = start.elapsed();
     let stats = service.shutdown();
     assert_eq!(stats.completed, spec.instances as u64);
-    summarize(spec, wall, latencies)
+    stats
+        .check_invariant()
+        .expect("the service accounting must balance");
+    summarize(spec, wall, &latencies)
+}
+
+/// One overload configuration: open-loop past capacity, no retries.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSpec {
+    /// Service shards (worker threads).
+    pub shards: usize,
+    /// Bound of each shard's admission queue.
+    pub queue_capacity: usize,
+    /// System size of each instance.
+    pub n: usize,
+    /// Submission attempts to offer.
+    pub instances: usize,
+    /// The overload policy under test.
+    pub policy: OverloadPolicy,
+    /// Base for the per-instance keys/seeds.
+    pub base_key: u64,
+}
+
+impl OverloadSpec {
+    /// The standard overload shape: `shards` workers with short queues of
+    /// 32, four-processor elections, [`OverloadPolicy::Shed`].
+    pub fn shed(shards: usize, instances: usize, n: usize) -> Self {
+        OverloadSpec {
+            shards,
+            queue_capacity: 32,
+            n,
+            instances,
+            policy: OverloadPolicy::Shed,
+            base_key: 0,
+        }
+    }
+}
+
+/// The measurement of one overload run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadResult {
+    /// The configuration measured.
+    pub spec: OverloadSpec,
+    /// The offered submission rate, per second.
+    pub offered_per_sec: f64,
+    /// Offered rate as a multiple of the measured sustainable rate.
+    pub multiplier: f64,
+    /// Submission attempts made.
+    pub offered: u64,
+    /// Submissions admitted to a queue.
+    pub admitted: u64,
+    /// Admitted instances that completed correctly.
+    pub completed: u64,
+    /// Submissions refused at the door (`Overloaded`).
+    pub refused: u64,
+    /// Admitted jobs later dropped (displaced by `DropOldest`, expired, or
+    /// drained at shutdown).
+    pub dropped: u64,
+    /// Completed instances per second of wall clock — the *goodput*.
+    pub goodput_per_sec: f64,
+    /// Fraction of offered work not completed (refused + dropped).
+    pub shed_fraction: f64,
+    /// Median admitted-work latency, microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile admitted-work latency, microseconds.
+    pub p99_micros: u64,
+    /// Highest queue depth any shard reached (must stay ≤ capacity).
+    pub max_queue_depth: usize,
+}
+
+/// Open-loop load *past* capacity with **no** retry: a refusal is a counted
+/// shed, not an error. Measures what admission control is for — bounded
+/// queues, bounded admitted-work latency, and goodput that holds up while
+/// excess load is turned away.
+///
+/// # Panics
+/// Panics when an *admitted* instance is lost, duplicated, or mis-elected,
+/// or when the service accounting imbalances — shedding must never corrupt
+/// admitted work.
+pub fn open_loop_overload(spec: OverloadSpec, rate_per_sec: f64) -> OverloadResult {
+    assert!(rate_per_sec > 0.0, "the offered rate must be positive");
+    let config = ServiceConfig::new(spec.shards, BackendKind::Concurrent)
+        .with_queue_capacity(spec.queue_capacity)
+        .with_overload_policy(spec.policy);
+    let service = ElectionService::new(config);
+    let gap = Duration::from_secs_f64(1.0 / rate_per_sec);
+    let start = Instant::now();
+    let mut tickets: Vec<(u64, Ticket)> = Vec::new();
+    let mut refused = 0u64;
+    for index in 0..spec.instances {
+        let due = start + gap * index as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let key = spec.base_key + index as u64;
+        match service.submit(InstanceSpec::election(key, spec.n)) {
+            Ok(ticket) => tickets.push((key, ticket)),
+            Err(SubmitError::Overloaded) => refused += 1,
+            Err(error) => panic!("unexpected refusal for fresh key {key}: {error}"),
+        }
+    }
+    let admitted = tickets.len() as u64;
+    let mut latencies = LogHistogram::new();
+    let mut dropped = 0u64;
+    for (key, ticket) in tickets {
+        match ticket.wait() {
+            Ok(result) => {
+                assert_eq!(result.key, key, "results must not cross instances");
+                assert_eq!(result.outcomes.len(), spec.n);
+                assert!(result.winner().is_some(), "instance {key}");
+                latencies.record(u64::try_from(result.latency.as_micros()).unwrap_or(u64::MAX));
+            }
+            // An admitted-then-dropped job (displaced, expired, or drained)
+            // is a counted shed; losing the *channel* would be a bug caught
+            // by `wait` returning ServiceShutdown only after real shutdown.
+            Err(SubmitError::Overloaded | SubmitError::DeadlineExceeded(_)) => dropped += 1,
+            Err(error) => panic!("admitted instance {key} failed: {error}"),
+        }
+    }
+    let wall = start.elapsed();
+    let stats = service.shutdown();
+    stats
+        .check_invariant()
+        .expect("shedding must not unbalance the accounting");
+    assert_eq!(stats.submitted, admitted, "admission accounting");
+    assert_eq!(stats.completed, latencies.count(), "completion accounting");
+    assert_eq!(stats.rejected, refused, "refusal accounting");
+    let completed = latencies.count();
+    let offered = spec.instances as u64;
+    OverloadResult {
+        spec,
+        offered_per_sec: rate_per_sec,
+        multiplier: 0.0, // stamped by the caller when a sustainable rate is known
+        offered,
+        admitted,
+        completed,
+        refused,
+        dropped,
+        goodput_per_sec: completed as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        shed_fraction: (offered - completed) as f64 / offered.max(1) as f64,
+        p50_micros: latencies.value_at_quantile(0.50),
+        p99_micros: latencies.value_at_quantile(0.99),
+        max_queue_depth: stats.max_queue_depth,
+    }
+}
+
+/// Measure the sustainable rate (closed loop), then offer multiples of it
+/// open-loop under [`OverloadPolicy::Shed`]: the overload section of the
+/// standard recording. Returns the sustainable rate and one result per
+/// multiplier.
+pub fn overload_sweep(
+    shards: usize,
+    instances: usize,
+    n: usize,
+    multipliers: &[f64],
+) -> (f64, Vec<OverloadResult>) {
+    let sustainable = closed_loop(LoadSpec::concurrent(shards, instances, n)).instances_per_sec;
+    let results = multipliers
+        .iter()
+        .enumerate()
+        .map(|(index, &multiplier)| {
+            let mut spec = OverloadSpec::shed(shards, instances, n);
+            // Disjoint key ranges per sweep point (one service per point,
+            // but disjointness keeps the latency seeds independent too).
+            spec.base_key = 1_000_000 * (index as u64 + 1);
+            let mut result = open_loop_overload(spec, sustainable * multiplier);
+            result.multiplier = multiplier;
+            result
+        })
+        .collect();
+    (sustainable, results)
 }
 
 /// Single-threaded reference: the same instances run back-to-back on the
@@ -211,19 +423,22 @@ pub fn open_loop(spec: LoadSpec, rate_per_sec: f64) -> LoadResult {
 /// The machine-independent yardstick for [`smoke_check`].
 pub fn sequential_reference(spec: LoadSpec) -> f64 {
     let registers = std::sync::Arc::new(fle_runtime::SharedRegisters::new(16));
-    let backend = spec.backend.build(&registers);
+    let backend = spec.backend.build(&registers, None);
+    let none = fle_model::CancelToken::none();
     let start = Instant::now();
     for index in 0..spec.instances {
         let key = spec.base_key + index as u64;
-        let outcomes = backend.run_instance(&InstanceSpec::election(key, spec.n));
+        let outcomes = backend
+            .run(&InstanceSpec::election(key, spec.n), &none)
+            .expect("an uncancelled run completes");
         assert_eq!(outcomes.values().filter(|o| o.is_win()).count(), 1);
         registers.retire(key);
     }
     spec.instances as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Render load results as the `BENCH_service.json` document.
-pub fn to_json(points: &[LoadResult]) -> String {
+/// Render load + overload results as the `BENCH_service.json` document.
+pub fn to_json(points: &[LoadResult], overload: &[OverloadResult]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"service_instances_per_sec\",\n");
     out.push_str(
         "  \"workload\": \"closed-loop election storm: `instances` independent n-processor \
@@ -233,7 +448,8 @@ pub fn to_json(points: &[LoadResult]) -> String {
         "  \"methodology\": \"clients = 2 x shards closed-loop threads, each keeping one \
          instance in flight; every run asserts exactly one result per key and one winner per \
          instance; latency is submit-to-completion including queueing; concurrent backend = \
-         namespaced shared registers, threads per instance = n\",\n",
+         namespaced shared registers, threads per instance = n; percentiles from a log-scaled \
+         histogram (<= 1.6% bucket error)\",\n",
     );
     out.push_str("  \"points\": [\n");
     for (index, p) in points.iter().enumerate() {
@@ -255,6 +471,42 @@ pub fn to_json(points: &[LoadResult]) -> String {
             p.max_micros,
         );
     }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"overload_methodology\": \"open-loop at multiples of the measured sustainable \
+         rate, shed policy, queue capacity 32 per shard, no retry: refusals count as shed; \
+         goodput = completed/s; latency percentiles cover admitted work only; accounting \
+         invariant submitted = completed + failed + shed + drained asserted every run\",\n",
+    );
+    // NOTE: entries here must not contain the bare key `\"shards\":` — the
+    // line-oriented closed-loop parser above matches on it.
+    out.push_str("  \"overload\": [\n");
+    for (index, o) in overload.iter().enumerate() {
+        let comma = if index + 1 < overload.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"policy\": \"{}\", \"worker_shards\": {}, \"queue_capacity\": {}, \
+             \"multiplier\": {:.2}, \"offered_per_sec\": {:.1}, \"goodput_per_sec\": {:.1}, \
+             \"offered\": {}, \"admitted\": {}, \"completed\": {}, \"refused\": {}, \
+             \"dropped\": {}, \"shed_fraction\": {:.3}, \"p50_micros\": {}, \
+             \"p99_micros\": {}, \"max_queue_depth\": {}}}{comma}",
+            o.spec.policy.label(),
+            o.spec.shards,
+            o.spec.queue_capacity,
+            o.multiplier,
+            o.offered_per_sec,
+            o.goodput_per_sec,
+            o.offered,
+            o.admitted,
+            o.completed,
+            o.refused,
+            o.dropped,
+            o.shed_fraction,
+            o.p50_micros,
+            o.p99_micros,
+            o.max_queue_depth,
+        );
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -264,15 +516,18 @@ pub fn service_bench_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json")
 }
 
-/// Measure the given specs and write the document at `path`.
-pub fn record(path: &Path, specs: &[LoadSpec]) -> Vec<LoadResult> {
+/// Measure the given specs plus an overload sweep and write the document at
+/// `path`.
+pub fn record(path: &Path, specs: &[LoadSpec], overload_shards: usize) -> Vec<LoadResult> {
     let points: Vec<LoadResult> = specs.iter().map(|&spec| closed_loop(spec)).collect();
-    write_or_warn(path, &to_json(&points));
+    let (_, overload) = overload_sweep(overload_shards, 800, 4, &[0.5, 1.0, 2.0, 4.0]);
+    write_or_warn(path, &to_json(&points, &overload));
     points
 }
 
 /// The standard recording: the concurrent backend at shard counts
-/// {1, 4, `num_cpus`} (deduplicated), 2000 four-processor elections each.
+/// {1, 4, `num_cpus`} (deduplicated), 2000 four-processor elections each,
+/// plus the overload sweep at 4 shards.
 pub fn record_default() -> Vec<LoadResult> {
     let cpus = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
     let mut shard_counts = vec![1usize, 4, cpus];
@@ -282,7 +537,7 @@ pub fn record_default() -> Vec<LoadResult> {
         .into_iter()
         .map(|shards| LoadSpec::concurrent(shards, 2000, 4))
         .collect();
-    record(&service_bench_path(), &specs)
+    record(&service_bench_path(), &specs, 4)
 }
 
 /// Extract `instances_per_sec` for one shard count from a recorded
@@ -316,8 +571,8 @@ pub const SMOKE_MIN_SEQUENTIAL_FRACTION: f64 = 1.0 / 3.0;
 
 /// The CI service-smoke gate: run [`SMOKE_INSTANCES`] concurrent-backend
 /// instances (correctness asserted throughout — zero lost or duplicate
-/// outcomes, one winner each), then compare throughput with the recorded
-/// `BENCH_service.json`.
+/// outcomes, one winner each, balanced accounting), then compare throughput
+/// with the recorded `BENCH_service.json`.
 ///
 /// Mirrors the baseline smoke gate's two-signal design: fail only when the
 /// absolute throughput fell more than [`SMOKE_REGRESSION_FACTOR`]× below the
@@ -356,6 +611,52 @@ pub fn smoke_check() -> Result<(f64, f64), String> {
     Ok((measured, recorded))
 }
 
+/// The CI overload-smoke gate: offer **2× the sustainable rate** (measured
+/// in the same run) under [`OverloadPolicy::Shed`] and verify that the
+/// service sheds instead of degrading:
+///
+/// * something was refused (the queues actually filled),
+/// * admitted work stayed intact — zero lost/duplicate results, one winner
+///   each (asserted inside [`open_loop_overload`]),
+/// * no queue ever grew past its capacity,
+/// * the accounting invariant balanced, and
+/// * goodput stayed above a third of the sustainable rate (the service kept
+///   serving while turning work away).
+///
+/// # Errors
+/// Returns a description of the first violated property.
+pub fn overload_smoke_check() -> Result<(f64, f64), String> {
+    let shards = 2;
+    let sustainable = closed_loop(LoadSpec::concurrent(shards, 400, 4)).instances_per_sec;
+    let mut spec = OverloadSpec::shed(shards, 600, 4);
+    spec.base_key = 10_000_000;
+    let mut result = open_loop_overload(spec, sustainable * 2.0);
+    result.multiplier = 2.0;
+    if result.refused == 0 {
+        return Err(format!(
+            "expected shedding at 2x the sustainable rate ({sustainable:.0}/s), but all \
+             {} submissions were admitted — the queues never filled",
+            result.offered
+        ));
+    }
+    if result.max_queue_depth > spec.queue_capacity {
+        return Err(format!(
+            "queue depth {} exceeded the configured capacity {}",
+            result.max_queue_depth, spec.queue_capacity
+        ));
+    }
+    if result.completed == 0 {
+        return Err("the service completed nothing under overload".to_string());
+    }
+    if result.goodput_per_sec * 3.0 < sustainable {
+        return Err(format!(
+            "goodput collapsed under overload: {:.0}/s vs sustainable {sustainable:.0}/s",
+            result.goodput_per_sec
+        ));
+    }
+    Ok((result.goodput_per_sec, result.shed_fraction))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,22 +685,59 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips_through_the_smoke_parser() {
-        let points = vec![closed_loop(LoadSpec::concurrent(1, 16, 3))];
-        let json = to_json(&points);
-        assert!(json.contains("\"benchmark\": \"service_instances_per_sec\""));
-        let parsed = recorded_instances_per_sec(&json, 1).expect("parseable");
-        assert!((parsed - points[0].instances_per_sec).abs() < 1.0);
-        assert_eq!(recorded_instances_per_sec(&json, 99), None);
+    fn retry_with_backoff_eventually_admits_against_a_tiny_queue() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent)
+            .with_queue_capacity(1)
+            .with_overload_policy(OverloadPolicy::Shed);
+        let service = ElectionService::new(config);
+        let tickets: Vec<Ticket> = (0..30)
+            .map(|key| {
+                submit_with_retry(&service, InstanceSpec::election(key, 3), 64)
+                    .expect("backoff outlasts a queue of one")
+            })
+            .collect();
+        for (key, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.wait().unwrap().key, key as u64);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 30);
+        stats.check_invariant().unwrap();
     }
 
     #[test]
-    fn percentiles_are_order_statistics() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&sorted, 0.0), 1);
-        assert_eq!(percentile(&sorted, 0.50), 51);
-        assert_eq!(percentile(&sorted, 1.0), 100);
-        assert_eq!(percentile(&[], 0.5), 0);
+    fn overload_sheds_but_never_corrupts_admitted_work() {
+        // A rate far past anything 1 shard with a queue of 2 can serve.
+        let mut spec = OverloadSpec::shed(1, 200, 3);
+        spec.queue_capacity = 2;
+        let result = open_loop_overload(spec, 50_000.0);
+        assert!(result.refused > 0, "the tiny queue must fill");
+        assert!(result.completed > 0, "the service keeps serving");
+        assert!(result.max_queue_depth <= 2, "depth bounded by capacity");
+        assert_eq!(
+            result.offered,
+            result.admitted + result.refused,
+            "every offer is admitted or refused"
+        );
+        assert!(result.shed_fraction > 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_smoke_parser() {
+        let points = vec![closed_loop(LoadSpec::concurrent(1, 16, 3))];
+        let mut spec = OverloadSpec::shed(1, 40, 3);
+        spec.queue_capacity = 2;
+        spec.base_key = 500_000;
+        let overload = vec![open_loop_overload(spec, 20_000.0)];
+        let json = to_json(&points, &overload);
+        assert!(json.contains("\"benchmark\": \"service_instances_per_sec\""));
+        assert!(json.contains("\"overload\": ["));
+        assert!(json.contains("\"policy\": \"shed\""));
+        let parsed = recorded_instances_per_sec(&json, 1).expect("parseable");
+        assert!(
+            (parsed - points[0].instances_per_sec).abs() < 1.0,
+            "the overload section must not shadow the closed-loop points"
+        );
+        assert_eq!(recorded_instances_per_sec(&json, 99), None);
     }
 
     #[test]

@@ -51,7 +51,8 @@ use crate::scenario::Scenario;
 use crate::strategies::PreemptionBound;
 use fle_model::ProcId;
 use fle_runtime::{
-    run_scheduled, GateCommand, GateObservation, GateScheduler, ScheduleConfig, SharedRegisters,
+    run_scheduled_faulty, FaultPlan, GateCommand, GateObservation, GateScheduler, ScheduleConfig,
+    SharedRegisters,
 };
 use fle_sim::{
     Adversary, Decision, DecisionTrace, EnabledEvent, EnabledEvents, ExecutionReport,
@@ -74,6 +75,14 @@ pub struct ShmConfig {
     /// reported as a termination-budget violation, like the simulator's
     /// event budget.
     pub max_grants: Option<u64>,
+    /// Deterministic fault injection under every episode (`None` = fault
+    /// free): a [`fle_runtime::FaultyMemory`] decorator between the gated
+    /// register bank and each participant. The whole exploration stack —
+    /// strategies, oracles, recorded traces, replay, ddmin — works unchanged
+    /// against the service-under-faults; episodes stay a pure function of
+    /// `(scenario, sim_seed, decisions, plan)` because the fault stream is
+    /// seeded by the plan, not the clock.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ShmConfig {
@@ -82,6 +91,7 @@ impl Default for ShmConfig {
             shards: 4,
             preemption_bound: None,
             max_grants: None,
+            faults: None,
         }
     }
 }
@@ -211,13 +221,14 @@ pub(crate) fn drive_shm(
         violation: None,
         report: ExecutionReport::default(),
     };
-    let report = run_scheduled(
+    let report = run_scheduled_faulty(
         &registers,
         0,
         sim_seed,
         scenario.protocols(),
         sched_config,
         &mut scheduler,
+        config.faults,
     );
 
     let mut oracles = scheduler.oracles;
@@ -365,6 +376,46 @@ mod tests {
                 &config,
             );
             assert!(matches!(outcome, EpisodeOutcome::Clean { .. }));
+        }
+    }
+
+    #[test]
+    fn benign_faults_are_masked_and_fail_stop_crashes_are_caught() {
+        use fle_runtime::{CrashSpec, FaultPlan};
+        let scenario = ElectionScenario { n: 4, k: 4 };
+        // Delays and transient collect failures are masked: still clean.
+        let benign = ShmConfig {
+            faults: Some(
+                FaultPlan::new(1)
+                    .with_delays(300, 30)
+                    .with_collect_failures(300, 2),
+            ),
+            ..ShmConfig::default()
+        };
+        let outcome = run_episode_shm(
+            &scenario,
+            &plan(StrategySpec::SplitBrain { burst: 4 }, 0),
+            &benign,
+        );
+        assert!(matches!(outcome, EpisodeOutcome::Clean { .. }));
+
+        // Fail-stopping every participant after two ops leaves everyone a
+        // loser: the election-liveness oracle must fire.
+        let crashing = ShmConfig {
+            faults: Some(FaultPlan::new(2).with_crash(CrashSpec::lose_all(2))),
+            ..ShmConfig::default()
+        };
+        match run_episode_shm(
+            &scenario,
+            &plan(StrategySpec::SplitBrain { burst: 4 }, 0),
+            &crashing,
+        ) {
+            EpisodeOutcome::Violated(found) => {
+                assert_eq!(found.violation.oracle, crate::oracles::ELECTION_LIVENESS);
+            }
+            EpisodeOutcome::Clean { .. } => {
+                panic!("a fail-stop of every participant must violate liveness")
+            }
         }
     }
 

@@ -11,6 +11,7 @@ const SHM: ExploreBackend = ExploreBackend::Concurrent(ShmConfig {
     shards: 4,
     preemption_bound: None,
     max_grants: None,
+    faults: None,
 });
 
 #[test]

@@ -29,6 +29,9 @@ use crate::ids::InstanceId;
 use crate::protocol::Protocol;
 use crate::value::{Key, Value};
 use crate::view::CollectedViews;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One processor's synchronous handle onto the replicated shared memory.
 ///
@@ -99,6 +102,105 @@ where
     loop {
         match protocol.step(response) {
             Action::Return(outcome) => return outcome,
+            action => {
+                response = memory
+                    .perform(action)
+                    .expect("only Action::Return yields no response");
+            }
+        }
+    }
+}
+
+/// A cooperative cancellation signal threaded through backends.
+///
+/// A token is either *inert* ([`CancelToken::none`], the default: never
+/// cancels, checks compile to a no-op branch) or *armed*
+/// ([`CancelToken::new`]): it trips when [`CancelToken::cancel`] is called on
+/// any clone, or — if [`CancelToken::with_deadline`] attached one — when the
+/// deadline passes. Backends poll [`CancelToken::is_cancelled`] at operation
+/// boundaries; a protocol step in progress always finishes, so cancellation
+/// never tears a shared-memory operation in half.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// An armed token that cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: None,
+        }
+    }
+
+    /// The inert token: never cancellable, zero polling cost.
+    pub fn none() -> Self {
+        CancelToken::default()
+    }
+
+    /// Attach an absolute deadline; the token reports cancelled once the
+    /// deadline has passed, even if nobody called [`CancelToken::cancel`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether this token can ever report cancelled (armed flag or deadline).
+    pub fn is_cancellable(&self) -> bool {
+        self.flag.is_some() || self.deadline.is_some()
+    }
+
+    /// Trip the token: every clone observes the cancellation. A no-op on an
+    /// inert token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has been tripped or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Acquire) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+/// [`drive`], but polling `cancel` before every protocol step.
+///
+/// Returns `None` when the token trips mid-run; the shared memory is left in
+/// whatever state the completed prefix of operations produced (callers that
+/// namespace their registers should retire the namespace).
+pub fn drive_cancellable<P, M>(
+    protocol: &mut P,
+    mut memory: M,
+    cancel: &CancelToken,
+) -> Option<Outcome>
+where
+    P: Protocol + ?Sized,
+    M: SharedMemory,
+{
+    let mut response = Response::Start;
+    loop {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        match protocol.step(response) {
+            Action::Return(outcome) => return Some(outcome),
             action => {
                 response = memory
                     .perform(action)
@@ -248,6 +350,52 @@ mod tests {
             Some(Response::Chosen(7))
         );
         assert_eq!(memory.perform(Action::Return(Outcome::Win)), None);
+    }
+
+    #[test]
+    fn inert_token_never_cancels_and_drive_cancellable_completes() {
+        let cancel = CancelToken::none();
+        assert!(!cancel.is_cancellable());
+        assert!(!cancel.is_cancelled());
+        cancel.cancel(); // no-op
+        assert!(!cancel.is_cancelled());
+
+        let mut memory = TestMemory::new(vec![true]);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        assert_eq!(
+            drive_cancellable(&mut protocol, &mut memory, &cancel),
+            Some(Outcome::Win)
+        );
+    }
+
+    #[test]
+    fn tripped_token_stops_the_drive_loop() {
+        let cancel = CancelToken::new();
+        assert!(cancel.is_cancellable());
+        cancel.clone().cancel(); // clones share the flag
+        assert!(cancel.is_cancelled());
+
+        let mut memory = TestMemory::new(vec![true]);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        assert_eq!(drive_cancellable(&mut protocol, &mut memory, &cancel), None);
+        assert!(memory.calls.is_empty(), "no operation may start");
+    }
+
+    #[test]
+    fn passed_deadline_reports_cancelled() {
+        let cancel = CancelToken::new().with_deadline(Instant::now());
+        assert!(cancel.is_cancellable());
+        assert!(cancel.is_cancelled());
+        let future = CancelToken::none()
+            .with_deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        assert!(future.is_cancellable());
+        assert!(!future.is_cancelled());
     }
 
     #[test]

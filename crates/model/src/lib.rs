@@ -75,7 +75,7 @@ pub mod view;
 pub mod wire;
 
 pub use action::{Action, Outcome, Response};
-pub use backend::{drive, SharedMemory};
+pub use backend::{drive, drive_cancellable, CancelToken, SharedMemory};
 pub use ids::{splitmix64, ElectionContext, InstanceId, ProcId, Slot};
 pub use metrics::{ExecutionMetrics, ProcessMetrics};
 pub use protocol::{LocalStateView, Protocol};

@@ -47,23 +47,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faulty;
 pub mod node;
 pub mod report;
 pub mod sched;
 pub mod shm;
 
-use crossbeam_channel::{unbounded, Sender};
-use fle_model::{ProcId, Protocol};
+use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
+pub use faulty::{
+    drive_faulty, drive_scheduled_faulty, run_concurrent_cancellable, run_concurrent_faulty,
+    CrashMode, CrashSpec, CrashVictim, FaultPlan, FaultStats, FaultyMemory,
+};
+use fle_model::{CancelToken, ProcId, Protocol};
 use node::{Envelope, NodeResult, NodeRunner};
 pub use report::RuntimeReport;
 pub use sched::{
-    run_scheduled, FifoScheduler, GateCommand, GateObservation, GateScheduler, ScheduleConfig,
-    ScheduleController, ScheduledProgress, ScheduledReport, WaitingAt,
+    run_scheduled, run_scheduled_faulty, FifoScheduler, GateCommand, GateObservation,
+    GateScheduler, ScheduleConfig, ScheduleController, ScheduledProgress, ScheduledReport,
+    WaitingAt,
 };
 pub use shm::{run_concurrent, GatedRegisterHandle, RegisterHandle, SharedRegisters};
 use std::error::Error;
 use std::fmt;
 use std::thread;
+use std::time::Duration;
 
 /// Configuration of a threaded execution.
 #[derive(Debug, Clone)]
@@ -78,6 +85,10 @@ pub struct RuntimeConfig {
     /// Nodes that never answer requests (they model crashed/partitioned
     /// replicas). Must stay below `⌈n/2⌉` for quorums to keep forming.
     pub unresponsive: Vec<ProcId>,
+    /// Cooperative cancellation: when the token trips, the coordinator stops
+    /// waiting for outcomes and shuts every node down. Defaults to the inert
+    /// token (never cancels).
+    pub cancel: CancelToken,
 }
 
 impl RuntimeConfig {
@@ -92,6 +103,7 @@ impl RuntimeConfig {
             seed: 0,
             max_delay_micros: 0,
             unresponsive: Vec::new(),
+            cancel: CancelToken::none(),
         }
     }
 
@@ -113,6 +125,14 @@ impl RuntimeConfig {
     #[must_use]
     pub fn with_unresponsive(mut self, nodes: impl IntoIterator<Item = ProcId>) -> Self {
         self.unresponsive = nodes.into_iter().collect();
+        self
+    }
+
+    /// Attach a cancellation token; when it trips mid-run the runtime shuts
+    /// down and reports whatever outcomes had already landed.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -251,12 +271,27 @@ impl ThreadedRuntime {
         drop(done_tx);
 
         // Wait until every participant has reported an outcome, then stop all
-        // nodes (they keep serving replica requests until told to stop).
+        // nodes (they keep serving replica requests until told to stop). A
+        // cancellable run polls its token between waits; on cancellation the
+        // shutdown broadcast below wakes every node, wherever it is blocked.
+        let cancel = &self.config.cancel;
+        let cancellable = cancel.is_cancellable();
         let mut finished = 0usize;
         while finished < participant_ids.len() {
-            match done_rx.recv() {
-                Ok(_) => finished += 1,
-                Err(_) => break,
+            if cancellable {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                match done_rx.recv_timeout(Duration::from_micros(500)) {
+                    Ok(_) => finished += 1,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                match done_rx.recv() {
+                    Ok(_) => finished += 1,
+                    Err(_) => break,
+                }
             }
         }
         for sender in &senders {

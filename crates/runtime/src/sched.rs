@@ -58,6 +58,9 @@
 //! assert!(!report.stopped);
 //! ```
 
+use crate::faulty::{
+    drive_scheduled_faulty, merge_shared, FaultPlan, FaultStats, FaultyMemory, SharedFaultStats,
+};
 use crate::shm::{GatedRegisterHandle, SharedRegisters};
 use fle_model::{
     drive_scheduled, GateVerdict, LocalStateView, Outcome, ProcId, Protocol, SchedulePoint,
@@ -222,6 +225,9 @@ pub struct ScheduledReport {
     pub stopped: bool,
     /// Whether the abort was caused by the grant budget running out.
     pub budget_exhausted: bool,
+    /// Injected-fault counters, merged over all participants. All zero when
+    /// the run used no [`FaultPlan`].
+    pub faults: FaultStats,
 }
 
 /// The lifecycle of one participant slot, driven from both sides: the
@@ -357,27 +363,69 @@ pub fn run_scheduled(
     registers: &Arc<SharedRegisters>,
     namespace: u64,
     seed: u64,
+    participants: Vec<(ProcId, Box<dyn Protocol + Send>)>,
+    config: ScheduleConfig,
+    scheduler: &mut dyn GateScheduler,
+) -> ScheduledReport {
+    run_scheduled_faulty(
+        registers,
+        namespace,
+        seed,
+        participants,
+        config,
+        scheduler,
+        None,
+    )
+}
+
+/// [`run_scheduled`] with each participant's gated handle wrapped in a
+/// [`FaultyMemory`] when `plan` is given: the adversary-chosen interleaving
+/// *and* the injected faults are both deterministic, so exploration
+/// strategies, record/replay and ddmin shrinking work unchanged on runs
+/// under faults. `ScheduledReport::faults` carries the merged counters.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheduled_faulty(
+    registers: &Arc<SharedRegisters>,
+    namespace: u64,
+    seed: u64,
     mut participants: Vec<(ProcId, Box<dyn Protocol + Send>)>,
     config: ScheduleConfig,
     scheduler: &mut dyn GateScheduler,
+    plan: Option<FaultPlan>,
 ) -> ScheduledReport {
     participants.sort_by_key(|(proc, _)| *proc);
     let procs: Vec<ProcId> = participants.iter().map(|(proc, _)| *proc).collect();
     let controller = ScheduleController::new(&procs);
+    let fault_totals: SharedFaultStats = Mutex::new(FaultStats::default());
     let mut report = ScheduledReport::default();
 
     std::thread::scope(|scope| {
         for (slot, (proc, mut protocol)) in participants.into_iter().enumerate() {
             let controller = &controller;
-            let mut memory = GatedRegisterHandle::new(
+            let fault_totals = &fault_totals;
+            let gated = GatedRegisterHandle::new(
                 registers.handle_seeded(namespace, proc, seed),
                 controller,
                 slot,
             );
             scope.spawn(move || {
                 let _guard = AbortGuard { controller, slot };
-                if let Some(outcome) = drive_scheduled(protocol.as_mut(), &mut memory) {
-                    controller.finished(slot, outcome);
+                match plan {
+                    None => {
+                        let mut memory = gated;
+                        if let Some(outcome) = drive_scheduled(protocol.as_mut(), &mut memory) {
+                            controller.finished(slot, outcome);
+                        }
+                    }
+                    Some(plan) => {
+                        let mut memory =
+                            FaultyMemory::new(gated, proc, plan.for_namespace(namespace));
+                        let outcome = drive_scheduled_faulty(protocol.as_mut(), &mut memory);
+                        merge_shared(fault_totals, &memory.stats());
+                        if let Some(outcome) = outcome {
+                            controller.finished(slot, outcome);
+                        }
+                    }
                 }
                 // A crash verdict already moved the slot to Crashed.
             });
@@ -512,6 +560,10 @@ pub fn run_scheduled(
         }
     });
 
+    report.faults = match fault_totals.lock() {
+        Ok(guard) => *guard,
+        Err(poisoned) => *poisoned.into_inner(),
+    };
     report
 }
 

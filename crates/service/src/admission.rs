@@ -1,0 +1,289 @@
+//! Bounded admission queues with pluggable overload policies.
+//!
+//! Each shard of the service owns one `AdmissionQueue`: a bounded FIFO
+//! between `submit` callers and the shard's worker thread. What happens when
+//! the queue is full is the [`OverloadPolicy`]:
+//!
+//! * [`OverloadPolicy::Shed`] — refuse immediately. The caller gets
+//!   `SubmitError::Overloaded` and can retry with backoff; the queue never
+//!   grows past its capacity and latency of admitted work stays bounded.
+//! * [`OverloadPolicy::Block`] — apply backpressure: the submitting thread
+//!   waits for space (optionally up to a timeout, after which the submission
+//!   is refused like a shed). Queue depth stays bounded by slowing producers
+//!   to the service's pace.
+//! * [`OverloadPolicy::DropOldest`] — admit the new job by displacing the
+//!   oldest *queued* (not yet started) one, whose ticket resolves to
+//!   `Overloaded`. Freshest-first under pressure.
+//!
+//! The queue also tracks its high-water mark so overload benchmarks can
+//! assert depth stayed ≤ capacity, and it distinguishes *closed* (service
+//! shutting down) from *full* so callers can tell the two refusals apart.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a full admission queue does with a new submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse immediately: `submit` returns `SubmitError::Overloaded`.
+    Shed,
+    /// Block the submitter until space frees up — for at most `timeout` when
+    /// one is given, then refuse like [`OverloadPolicy::Shed`].
+    Block {
+        /// Longest a submitter may be held; `None` blocks indefinitely.
+        timeout: Option<Duration>,
+    },
+    /// Admit the new job by dropping the oldest still-queued one (its ticket
+    /// resolves to `SubmitError::Overloaded`).
+    DropOldest,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy::Block { timeout: None }
+    }
+}
+
+impl OverloadPolicy {
+    /// A short label for reports and JSON documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverloadPolicy::Shed => "shed",
+            OverloadPolicy::Block { .. } => "block",
+            OverloadPolicy::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub(crate) enum AdmitError<T> {
+    /// The queue was full (Shed, or Block that timed out); the job is handed
+    /// back to the caller.
+    Overloaded(T),
+    /// The queue is closed (service shutting down).
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    open: bool,
+    max_depth: usize,
+}
+
+/// A bounded MPSC queue between submitters and one shard worker.
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a job is pushed or the queue closes (worker waits).
+    not_empty: Condvar,
+    /// Signalled when a job is popped or the queue closes (Block waiters).
+    not_full: Condvar,
+    capacity: usize,
+    policy: OverloadPolicy,
+}
+
+const LOCK: &str = "no queue user panics while holding the lock";
+
+impl<T> AdmissionQueue<T> {
+    pub(crate) fn new(capacity: usize, policy: OverloadPolicy) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                open: true,
+                max_depth: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    /// Admit `item` under the queue's policy.
+    ///
+    /// `Ok(None)`: admitted. `Ok(Some(old))`: admitted by displacing `old`
+    /// (DropOldest). `Err`: refused — full ([`AdmitError::Overloaded`]) or
+    /// shutting down ([`AdmitError::Closed`]), with the item handed back.
+    pub(crate) fn push(&self, item: T) -> Result<Option<T>, AdmitError<T>> {
+        let mut inner = self.inner.lock().expect(LOCK);
+        if !inner.open {
+            return Err(AdmitError::Closed(item));
+        }
+        if inner.queue.len() >= self.capacity {
+            match self.policy {
+                OverloadPolicy::Shed => return Err(AdmitError::Overloaded(item)),
+                OverloadPolicy::DropOldest => {
+                    let displaced = inner.queue.pop_front();
+                    inner.queue.push_back(item);
+                    self.not_empty.notify_all();
+                    return Ok(displaced);
+                }
+                OverloadPolicy::Block { timeout } => {
+                    let deadline = timeout.map(|t| Instant::now() + t);
+                    while inner.open && inner.queue.len() >= self.capacity {
+                        inner = match deadline {
+                            None => self.not_full.wait(inner).expect(LOCK),
+                            Some(deadline) => {
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    return Err(AdmitError::Overloaded(item));
+                                }
+                                self.not_full
+                                    .wait_timeout(inner, deadline - now)
+                                    .expect(LOCK)
+                                    .0
+                            }
+                        };
+                    }
+                    if !inner.open {
+                        return Err(AdmitError::Closed(item));
+                    }
+                }
+            }
+        }
+        inner.queue.push_back(item);
+        inner.max_depth = inner.max_depth.max(inner.queue.len());
+        self.not_empty.notify_all();
+        Ok(None)
+    }
+
+    /// Worker side: block for the next job; `None` once the queue is closed
+    /// and empty.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect(LOCK);
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                self.not_full.notify_all();
+                return Some(item);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect(LOCK);
+        }
+    }
+
+    /// Close the queue and drain every not-yet-started job. Subsequent
+    /// pushes fail with [`AdmitError::Closed`]; blocked pushers are woken
+    /// and refused; the worker's next `pop` after the drain returns `None`.
+    /// Idempotent (a second close returns an empty drain).
+    pub(crate) fn close(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect(LOCK);
+        inner.open = false;
+        let drained = inner.queue.drain(..).collect();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        drained
+    }
+
+    /// Current queue depth.
+    #[cfg(test)]
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect(LOCK).queue.len()
+    }
+
+    /// High-water mark of the queue depth since construction.
+    pub(crate) fn max_depth(&self) -> usize {
+        self.inner.lock().expect(LOCK).max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let queue = AdmissionQueue::new(4, OverloadPolicy::Shed);
+        for i in 0..4 {
+            assert!(queue.push(i).is_ok());
+        }
+        assert_eq!(queue.depth(), 4);
+        assert_eq!(queue.max_depth(), 4);
+        for i in 0..4 {
+            assert_eq!(queue.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn shed_refuses_when_full_and_hands_the_item_back() {
+        let queue = AdmissionQueue::new(2, OverloadPolicy::Shed);
+        queue.push(1).unwrap();
+        queue.push(2).unwrap();
+        match queue.push(3) {
+            Err(AdmitError::Overloaded(item)) => assert_eq!(item, 3),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(queue.max_depth(), 2, "depth never exceeds capacity");
+    }
+
+    #[test]
+    fn drop_oldest_displaces_the_front() {
+        let queue = AdmissionQueue::new(2, OverloadPolicy::DropOldest);
+        queue.push(1).unwrap();
+        queue.push(2).unwrap();
+        assert_eq!(queue.push(3).unwrap(), Some(1), "oldest is displaced");
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+    }
+
+    #[test]
+    fn block_with_timeout_refuses_eventually() {
+        let queue = AdmissionQueue::new(
+            1,
+            OverloadPolicy::Block {
+                timeout: Some(Duration::from_millis(5)),
+            },
+        );
+        queue.push(1).unwrap();
+        let started = Instant::now();
+        assert!(matches!(queue.push(2), Err(AdmitError::Overloaded(2))));
+        assert!(started.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn block_waits_for_a_pop() {
+        let queue = Arc::new(AdmissionQueue::new(
+            1,
+            OverloadPolicy::Block { timeout: None },
+        ));
+        queue.push(1).unwrap();
+        let popper = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                queue.pop()
+            })
+        };
+        // Blocks until the popper makes room.
+        queue.push(2).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_and_wakes_everyone() {
+        let queue = Arc::new(AdmissionQueue::new(
+            1,
+            OverloadPolicy::Block { timeout: None },
+        ));
+        queue.push(1).unwrap();
+        let blocked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(2))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(queue.close(), vec![1]);
+        assert!(matches!(
+            blocked.join().unwrap(),
+            Err(AdmitError::Closed(2))
+        ));
+        assert!(matches!(queue.push(3), Err(AdmitError::Closed(3))));
+        assert_eq!(queue.pop(), None, "closed and empty");
+        assert!(queue.close().is_empty(), "second close finds nothing");
+    }
+}

@@ -1,8 +1,9 @@
 //! The pluggable execution backends an instance can run on.
 //!
 //! A backend takes an [`InstanceSpec`] and runs one complete protocol
-//! instance — every participant to its outcome. The three implementations
-//! cover the repo's three execution substrates:
+//! instance — every participant to its outcome — under a cooperative
+//! [`CancelToken`] (the service's in-flight deadline enforcement). The three
+//! implementations cover the repo's three execution substrates:
 //!
 //! * [`SimBackend`] — the deterministic discrete-event simulator: each
 //!   instance is a fresh [`fle_sim::Simulator`] run under a seeded fair
@@ -12,15 +13,26 @@
 //! * [`ConcurrentBackend`] — the in-process shared-memory backend: every
 //!   participant is a thread hammering one namespaced
 //!   [`fle_runtime::SharedRegisters`] bank, so thousands of instances share
-//!   (and contend on) the same sharded registers.
+//!   (and contend on) the same sharded registers. With a
+//!   [`FaultPlan`] attached ([`BackendKind::build`]'s `faults` argument) the
+//!   bank is wrapped in a [`fle_runtime::FaultyMemory`] per participant:
+//!   seeded delays, transient collect failures, and crash injection.
+//!
+//! Fault plans apply **only** to the concurrent backend: the sim's memory is
+//! the event queue itself (the adversary already plays the faults) and the
+//! threaded backend's memory is its node runners, neither of which the
+//! decorator can wrap. The other backends silently ignore the plan.
 //!
 //! Isolation: the sim and threaded backends isolate instances by
 //! construction (each run owns its replicas); the concurrent backend
 //! namespaces every register access by `spec.key`.
 
 use crate::{InstanceSpec, Workload};
-use fle_model::{Outcome, ProcId, Protocol};
-use fle_runtime::{run_concurrent, RuntimeConfig, SharedRegisters, ThreadedRuntime};
+use fle_model::{CancelToken, Outcome, ProcId, Protocol};
+use fle_runtime::{
+    run_concurrent_cancellable, run_concurrent_faulty, FaultPlan, RuntimeConfig, SharedRegisters,
+    ThreadedRuntime,
+};
 use fle_sim::{RandomAdversary, SimConfig, Simulator};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -47,14 +59,19 @@ impl BackendKind {
         }
     }
 
-    /// Build the backend, attaching the service's shared register bank
-    /// (used only by [`BackendKind::Concurrent`]).
-    pub fn build(self, registers: &Arc<SharedRegisters>) -> Box<dyn InstanceBackend> {
+    /// Build the backend, attaching the service's shared register bank and
+    /// optional fault plan (both used only by [`BackendKind::Concurrent`]).
+    pub fn build(
+        self,
+        registers: &Arc<SharedRegisters>,
+        faults: Option<&FaultPlan>,
+    ) -> Box<dyn InstanceBackend> {
         match self {
             BackendKind::Sim => Box::new(SimBackend),
             BackendKind::Threaded => Box::new(ThreadedBackend),
             BackendKind::Concurrent => Box::new(ConcurrentBackend {
                 registers: Arc::clone(registers),
+                faults: faults.copied(),
             }),
         }
     }
@@ -71,8 +88,10 @@ pub trait InstanceBackend: Send + Sync {
     /// A short label for reports.
     fn name(&self) -> &'static str;
 
-    /// Run every participant of `spec` to its outcome.
-    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome>;
+    /// Run every participant of `spec` to its outcome, or return `None` when
+    /// `cancel` trips first (the instance missed its deadline mid-run; the
+    /// service retires its namespace).
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>>;
 }
 
 /// The protocol state machines of an instance, one per participant.
@@ -90,20 +109,36 @@ pub(crate) fn protocols(spec: &InstanceSpec) -> Vec<(ProcId, Box<dyn Protocol + 
 #[derive(Debug, Default)]
 pub struct SimBackend;
 
+/// How many simulator events run between cancellation polls.
+const SIM_CANCEL_STRIDE: u64 = 64;
+
 impl InstanceBackend for SimBackend {
     fn name(&self) -> &'static str {
         "sim"
     }
 
-    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome> {
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>> {
         let mut sim = Simulator::new(SimConfig::new(spec.n).with_seed(spec.seed));
         for (proc, protocol) in protocols(spec) {
             sim.add_participant(proc, protocol);
         }
-        let report = sim
-            .run(&mut RandomAdversary::with_seed(spec.seed.rotate_left(17)))
-            .expect("a fairly scheduled instance terminates");
-        report.outcomes
+        let mut adversary = RandomAdversary::with_seed(spec.seed.rotate_left(17));
+        let mut events = 0u64;
+        loop {
+            if cancel.is_cancellable()
+                && events.is_multiple_of(SIM_CANCEL_STRIDE)
+                && cancel.is_cancelled()
+            {
+                return None;
+            }
+            let progressed = sim
+                .step_once(&mut adversary)
+                .expect("a fairly scheduled instance terminates");
+            if !progressed {
+                return Some(sim.finish().outcomes);
+            }
+            events += 1;
+        }
     }
 }
 
@@ -116,20 +151,29 @@ impl InstanceBackend for ThreadedBackend {
         "threaded"
     }
 
-    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome> {
-        let config = RuntimeConfig::new(spec.n).with_seed(spec.seed);
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>> {
+        let config = RuntimeConfig::new(spec.n)
+            .with_seed(spec.seed)
+            .with_cancel(cancel.clone());
         let report = ThreadedRuntime::new(config)
             .run(protocols(spec))
             .expect("a fault-free threaded instance terminates");
-        report.outcomes
+        // The coordinator stops waiting when the token trips; whatever
+        // outcomes the report holds are then partial — discard them.
+        if cancel.is_cancelled() {
+            None
+        } else {
+            Some(report.outcomes)
+        }
     }
 }
 
 /// In-process concurrent backend: participants are threads over one shared,
-/// namespaced register bank.
+/// namespaced register bank, optionally behind a fault-injection decorator.
 #[derive(Debug)]
 pub struct ConcurrentBackend {
     pub(crate) registers: Arc<SharedRegisters>,
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 impl InstanceBackend for ConcurrentBackend {
@@ -137,8 +181,26 @@ impl InstanceBackend for ConcurrentBackend {
         "concurrent"
     }
 
-    fn run_instance(&self, spec: &InstanceSpec) -> BTreeMap<ProcId, Outcome> {
-        run_concurrent(&self.registers, spec.key, spec.seed, protocols(spec)).outcomes
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>> {
+        match self.faults {
+            Some(plan) if !plan.is_noop() => run_concurrent_faulty(
+                &self.registers,
+                spec.key,
+                spec.seed,
+                protocols(spec),
+                &plan,
+                cancel,
+            )
+            .map(|(report, _faults)| report.outcomes),
+            _ => run_concurrent_cancellable(
+                &self.registers,
+                spec.key,
+                spec.seed,
+                protocols(spec),
+                cancel,
+            )
+            .map(|report| report.outcomes),
+        }
     }
 }
 
@@ -154,9 +216,9 @@ mod tests {
             BackendKind::Threaded,
             BackendKind::Concurrent,
         ] {
-            let backend = kind.build(&registers);
+            let backend = kind.build(&registers, None);
             let spec = InstanceSpec::election(42, 4).with_seed(7);
-            let outcomes = backend.run_instance(&spec);
+            let outcomes = backend.run(&spec, &CancelToken::none()).unwrap();
             assert_eq!(outcomes.len(), 4, "{kind}");
             let winners = outcomes.values().filter(|o| o.is_win()).count();
             assert_eq!(winners, 1, "{kind}");
@@ -171,9 +233,9 @@ mod tests {
             BackendKind::Threaded,
             BackendKind::Concurrent,
         ] {
-            let backend = kind.build(&registers);
+            let backend = kind.build(&registers, None);
             let spec = InstanceSpec::renaming(43, 4).with_seed(3);
-            let outcomes = backend.run_instance(&spec);
+            let outcomes = backend.run(&spec, &CancelToken::none()).unwrap();
             let names: std::collections::BTreeSet<usize> = outcomes
                 .values()
                 .filter_map(|o| match o {
@@ -189,8 +251,41 @@ mod tests {
     #[test]
     fn sim_backend_is_reproducible() {
         let registers = Arc::new(SharedRegisters::new(1));
-        let backend = BackendKind::Sim.build(&registers);
+        let backend = BackendKind::Sim.build(&registers, None);
         let spec = InstanceSpec::election(1, 6).with_seed(99);
-        assert_eq!(backend.run_instance(&spec), backend.run_instance(&spec));
+        let none = CancelToken::none();
+        assert_eq!(backend.run(&spec, &none), backend.run(&spec, &none));
+    }
+
+    #[test]
+    fn every_backend_honors_a_pre_tripped_cancel_token() {
+        let registers = Arc::new(SharedRegisters::new(2));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        for kind in [
+            BackendKind::Sim,
+            BackendKind::Threaded,
+            BackendKind::Concurrent,
+        ] {
+            let backend = kind.build(&registers, None);
+            let spec = InstanceSpec::election(44, 4);
+            assert!(
+                backend.run(&spec, &cancel).is_none(),
+                "{kind}: a cancelled run returns no outcomes"
+            );
+        }
+    }
+
+    #[test]
+    fn a_faulty_concurrent_backend_still_elects_a_winner() {
+        let registers = Arc::new(SharedRegisters::new(2));
+        let plan = FaultPlan::new(3)
+            .with_delays(200, 50)
+            .with_collect_failures(200, 2);
+        let backend = BackendKind::Concurrent.build(&registers, Some(&plan));
+        let spec = InstanceSpec::election(45, 4);
+        let outcomes = backend.run(&spec, &CancelToken::none()).unwrap();
+        let winners = outcomes.values().filter(|o| o.is_win()).count();
+        assert_eq!(winners, 1, "delays and transient failures are masked");
     }
 }

@@ -12,13 +12,35 @@
 //! Design:
 //!
 //! * **Sharding** — `instance key → shard` via a splitmix64 hash; each shard
-//!   owns a FIFO of submitted instances and one worker thread, so two
-//!   instances on different shards run genuinely in parallel while a shard's
-//!   own instances are serialized (per-key FIFO fairness).
+//!   owns a bounded FIFO of submitted instances and one worker thread, so
+//!   two instances on different shards run genuinely in parallel while a
+//!   shard's own instances are serialized (per-key FIFO fairness).
 //! * **Tickets** — [`ElectionService::submit`] is asynchronous: it enqueues
 //!   and returns a [`Ticket`]; [`Ticket::wait`] blocks for that instance's
 //!   [`InstanceResult`]. [`ElectionService::submit_wait`] is the synchronous
 //!   convenience.
+//! * **Admission control** — every shard queue is bounded
+//!   ([`ServiceConfig::queue_capacity`]); a full queue applies the
+//!   configured [`OverloadPolicy`]: shed (refuse with
+//!   [`SubmitError::Overloaded`]), block the submitter (backpressure, with
+//!   optional timeout), or drop the oldest queued job. Instances may carry a
+//!   **deadline** ([`InstanceSpec::with_deadline`]), enforced both in-queue
+//!   (expired jobs are skipped) and in-flight (a [`fle_model::CancelToken`]
+//!   threaded through [`backend::InstanceBackend::run`]); either way the
+//!   ticket resolves to [`SubmitError::DeadlineExceeded`].
+//! * **Crash containment** — each instance runs under `catch_unwind`: a
+//!   panicking instance (a protocol bug, or an injected
+//!   [`fle_runtime::CrashMode::Panic`] fault) poisons only itself — its
+//!   ticket resolves to [`SubmitError::InstanceFailed`], its status reports
+//!   [`InstanceStatus::Failed`], its register namespace is retired — and the
+//!   shard worker keeps draining its queue. Per-shard [`FailStats`] count
+//!   the containments.
+//! * **Fault injection** — [`ServiceConfig::with_fault_plan`] slides a
+//!   [`fle_runtime::FaultyMemory`] under every instance of the *concurrent*
+//!   backend: seeded deterministic delays, transient collect failures and
+//!   crash-at-op-k, for robustness tests and overload benchmarks. (The sim
+//!   and threaded backends ignore the plan: their memory is not the
+//!   decorator-friendly register bank.)
 //! * **Epoch-based retirement** — finished instances stay queryable via
 //!   [`ElectionService::status`] for a bounded number of *epochs* (an epoch
 //!   closes after [`ServiceConfig::epoch_size`] completions on that shard);
@@ -46,20 +68,25 @@
 //! }
 //! let stats = service.shutdown();
 //! assert_eq!(stats.completed, 16);
+//! stats.check_invariant().expect("no instance is lost or double-counted");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod backend;
 
+pub use admission::OverloadPolicy;
 pub use backend::{BackendKind, ConcurrentBackend, InstanceBackend, SimBackend, ThreadedBackend};
 
+use admission::{AdmissionQueue, AdmitError};
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use fle_model::{Outcome, ProcId};
-use fle_runtime::SharedRegisters;
+use fle_model::{CancelToken, Outcome, ProcId};
+use fle_runtime::{FaultPlan, SharedRegisters};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -78,11 +105,20 @@ pub struct ServiceConfig {
     /// Closed epochs a finished instance stays queryable before its record
     /// and registers are purged.
     pub retained_epochs: u64,
+    /// Bound of each shard's admission queue (jobs queued, not running).
+    pub queue_capacity: usize,
+    /// What a full shard queue does with new submissions.
+    pub overload: OverloadPolicy,
+    /// Optional deterministic fault injection under every instance of the
+    /// concurrent backend.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ServiceConfig {
     /// A service with `shards` workers on the given backend and default
-    /// retirement settings (epochs of 64 completions, 2 epochs retained).
+    /// retirement settings (epochs of 64 completions, 2 epochs retained),
+    /// queues of 1024 jobs with blocking backpressure, and no fault
+    /// injection.
     ///
     /// # Panics
     /// Panics if `shards == 0`.
@@ -94,6 +130,9 @@ impl ServiceConfig {
             register_shards: (shards * 4).max(16),
             epoch_size: 64,
             retained_epochs: 2,
+            queue_capacity: 1024,
+            overload: OverloadPolicy::default(),
+            fault_plan: None,
         }
     }
 
@@ -115,6 +154,27 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_retained_epochs(mut self, retained_epochs: u64) -> Self {
         self.retained_epochs = retained_epochs;
+        self
+    }
+
+    /// Bound each shard's admission queue (0 is clamped to 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+
+    /// Choose what a full shard queue does with new submissions.
+    #[must_use]
+    pub fn with_overload_policy(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Inject deterministic faults under every concurrent-backend instance.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -143,6 +203,10 @@ pub struct InstanceSpec {
     pub seed: u64,
     /// The protocol family to run.
     pub workload: Workload,
+    /// Submit-to-completion budget. Expired in queue → skipped; expired in
+    /// flight → cancelled. Either way the ticket resolves to
+    /// [`SubmitError::DeadlineExceeded`]. `None` = no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl InstanceSpec {
@@ -154,6 +218,7 @@ impl InstanceSpec {
             participants: n,
             seed: key,
             workload: Workload::Election,
+            deadline: None,
         }
     }
 
@@ -176,6 +241,13 @@ impl InstanceSpec {
     #[must_use]
     pub fn with_participants(mut self, participants: usize) -> Self {
         self.participants = participants;
+        self
+    }
+
+    /// Give the instance a submit-to-completion deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -217,24 +289,40 @@ impl InstanceResult {
     }
 }
 
-/// Why a submission was rejected.
+/// Why a submission was rejected, or why a ticket resolved without a result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The key is already queued, running, or finished within the retention
     /// window.
-    Duplicate(u64),
+    DuplicateKey(u64),
     /// The spec is malformed (zero system, participants out of range).
     InvalidSpec(String),
-    /// The service has been shut down.
-    Stopped,
+    /// The shard's queue is full and the overload policy refused the job
+    /// (shed, block timeout, or — on a ticket — displaced by a newer job
+    /// under [`OverloadPolicy::DropOldest`]).
+    Overloaded,
+    /// The instance's deadline passed before it finished (in queue or in
+    /// flight).
+    DeadlineExceeded(u64),
+    /// The instance panicked; the failure was contained to this instance.
+    InstanceFailed(u64),
+    /// The service shut down before the instance ran.
+    ServiceShutdown,
 }
 
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::Duplicate(key) => write!(f, "instance {key} already exists"),
+            SubmitError::DuplicateKey(key) => write!(f, "instance {key} already exists"),
             SubmitError::InvalidSpec(reason) => write!(f, "invalid instance spec: {reason}"),
-            SubmitError::Stopped => write!(f, "the service is shut down"),
+            SubmitError::Overloaded => write!(f, "the shard queue is full"),
+            SubmitError::DeadlineExceeded(key) => {
+                write!(f, "instance {key} missed its deadline")
+            }
+            SubmitError::InstanceFailed(key) => {
+                write!(f, "instance {key} panicked (contained to this instance)")
+            }
+            SubmitError::ServiceShutdown => write!(f, "the service is shut down"),
         }
     }
 }
@@ -255,6 +343,9 @@ pub enum InstanceStatus {
         /// The unique winner, for election workloads.
         winner: Option<ProcId>,
     },
+    /// Panicked or was cancelled in flight; retained like a completion, then
+    /// retired.
+    Failed,
 }
 
 /// A claim on one submitted instance's result.
@@ -262,25 +353,68 @@ pub enum InstanceStatus {
 pub struct Ticket {
     /// The instance's key.
     pub key: u64,
-    rx: Receiver<InstanceResult>,
+    rx: Receiver<Result<InstanceResult, SubmitError>>,
 }
 
 impl Ticket {
-    /// Block until the instance completes.
+    /// Block until the instance resolves.
     ///
     /// # Errors
-    /// Returns [`SubmitError::Stopped`] if the service shut down before the
-    /// instance ran.
+    /// [`SubmitError::ServiceShutdown`] when the service shut down with the
+    /// instance still queued, [`SubmitError::DeadlineExceeded`] when its
+    /// deadline passed first, [`SubmitError::InstanceFailed`] when it
+    /// panicked, and [`SubmitError::Overloaded`] when a
+    /// [`OverloadPolicy::DropOldest`] queue displaced it.
     pub fn wait(self) -> Result<InstanceResult, SubmitError> {
-        self.rx.recv().map_err(|_| SubmitError::Stopped)
+        match self.rx.recv() {
+            Ok(resolution) => resolution,
+            Err(_) => Err(SubmitError::ServiceShutdown),
+        }
     }
 }
 
-/// Aggregate counters returned by [`ElectionService::shutdown`].
+/// Per-shard failure-containment counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailStats {
+    /// Instance panics contained by the worker's `catch_unwind`.
+    pub panics: u64,
+    /// Instances cancelled in flight by their deadline.
+    pub cancelled_in_flight: u64,
+    /// Instances whose deadline had already passed when dequeued.
+    pub expired_in_queue: u64,
+}
+
+impl FailStats {
+    fn merge(&mut self, other: &FailStats) {
+        self.panics += other.panics;
+        self.cancelled_in_flight += other.cancelled_in_flight;
+        self.expired_in_queue += other.expired_in_queue;
+    }
+}
+
+/// Aggregate counters returned by [`ElectionService::shutdown`] (and
+/// snapshotted by [`ElectionService::stats`]).
+///
+/// Every *admitted* submission ends in exactly one of four ways, which is
+/// the conservation law [`ServiceStats::check_invariant`] asserts:
+/// `submitted = completed + failed + shed + drained`. Refused submissions
+/// (`rejected`) never enter the pipeline and are counted separately.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
+    /// Submissions admitted to a shard queue.
+    pub submitted: u64,
     /// Instances completed across all shards.
     pub completed: u64,
+    /// Instances that panicked or were cancelled in flight.
+    pub failed: u64,
+    /// Admitted jobs that never ran: displaced by
+    /// [`OverloadPolicy::DropOldest`] or expired in queue.
+    pub shed: u64,
+    /// Admitted jobs failed by shutdown before they started.
+    pub drained: u64,
+    /// Submissions refused at the door (`Overloaded` from a shed or a block
+    /// timeout). Not part of `submitted`.
+    pub rejected: u64,
     /// Finished instances whose records and registers were purged.
     pub retired: u64,
     /// Epochs closed across all shards.
@@ -288,6 +422,32 @@ pub struct ServiceStats {
     /// Namespaces still live in the concurrent register bank (0 unless the
     /// retention window still covers recent instances).
     pub live_register_namespaces: usize,
+    /// Highest queue depth any shard reached (≤ queue capacity, always).
+    pub max_queue_depth: usize,
+    /// Failure-containment counters, merged over all shards.
+    pub fail: FailStats,
+}
+
+impl ServiceStats {
+    /// Check the conservation law `submitted = completed + failed + shed +
+    /// drained`. Holds at every quiescent point (in particular after
+    /// [`ElectionService::shutdown`]); a violation means the service lost or
+    /// double-counted an instance.
+    ///
+    /// # Errors
+    /// Returns a description of the imbalance.
+    pub fn check_invariant(&self) -> Result<(), String> {
+        let accounted = self.completed + self.failed + self.shed + self.drained;
+        if self.submitted == accounted {
+            Ok(())
+        } else {
+            Err(format!(
+                "instance accounting imbalance: submitted {} ≠ completed {} + failed {} + \
+                 shed {} + drained {} = {}",
+                self.submitted, self.completed, self.failed, self.shed, self.drained, accounted
+            ))
+        }
+    }
 }
 
 /// The lifecycle phase of a tracked instance.
@@ -296,6 +456,7 @@ enum Phase {
     Queued,
     Running,
     Done { winner: Option<ProcId> },
+    Failed,
 }
 
 /// Per-shard bookkeeping shared between `submit`, `status` and the worker.
@@ -306,20 +467,27 @@ struct ShardState {
     retire_queue: VecDeque<(u64, u64)>,
     epoch: u64,
     completed_in_epoch: usize,
+    submitted: u64,
     completed: u64,
+    failed: u64,
+    shed: u64,
+    drained: u64,
+    rejected: u64,
     retired: u64,
+    fail: FailStats,
 }
 
 struct Job {
     spec: InstanceSpec,
     submitted: Instant,
-    reply: Sender<InstanceResult>,
+    deadline: Option<Instant>,
+    reply: Sender<Result<InstanceResult, SubmitError>>,
 }
 
 /// The sharded multi-instance service. See the crate docs for the design.
 pub struct ElectionService {
     config: ServiceConfig,
-    senders: Vec<Sender<Job>>,
+    queues: Vec<Arc<AdmissionQueue<Job>>>,
     workers: Vec<JoinHandle<()>>,
     states: Vec<Arc<Mutex<ShardState>>>,
     registers: Arc<SharedRegisters>,
@@ -330,28 +498,29 @@ impl ElectionService {
     /// register bank (used by the concurrent backend).
     pub fn new(config: ServiceConfig) -> Self {
         let registers = Arc::new(SharedRegisters::new(config.register_shards));
-        let mut senders = Vec::with_capacity(config.shards);
+        let mut queues = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         let mut states = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
-            let (tx, rx) = unbounded::<Job>();
+            let queue = Arc::new(AdmissionQueue::new(config.queue_capacity, config.overload));
             let state = Arc::new(Mutex::new(ShardState::default()));
+            let worker_queue = Arc::clone(&queue);
             let worker_state = Arc::clone(&state);
             let worker_registers = Arc::clone(&registers);
             let worker_config = config.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("fle-service-shard-{shard}"))
                 .spawn(move || {
-                    shard_worker(rx, worker_state, worker_registers, worker_config);
+                    shard_worker(worker_queue, worker_state, worker_registers, worker_config);
                 })
                 .expect("spawning a shard worker never fails on supported platforms");
-            senders.push(tx);
+            queues.push(queue);
             workers.push(handle);
             states.push(state);
         }
         ElectionService {
             config,
-            senders,
+            queues,
             workers,
             states,
             registers,
@@ -370,15 +539,20 @@ impl ElectionService {
     }
 
     fn shard_of(&self, key: u64) -> usize {
-        (fle_model::splitmix64(key) as usize) % self.senders.len()
+        (fle_model::splitmix64(key) as usize) % self.queues.len()
     }
 
     /// Enqueue an instance; returns a [`Ticket`] for its result.
     ///
+    /// Under [`OverloadPolicy::Block`] this call applies backpressure: it
+    /// parks the submitting thread until its shard has queue space (or the
+    /// policy's timeout passes).
+    ///
     /// # Errors
     /// [`SubmitError::InvalidSpec`] for malformed specs,
-    /// [`SubmitError::Duplicate`] when the key is live or retained, and
-    /// [`SubmitError::Stopped`] when the service is shutting down.
+    /// [`SubmitError::DuplicateKey`] when the key is live or retained,
+    /// [`SubmitError::Overloaded`] when the shard queue refused the job, and
+    /// [`SubmitError::ServiceShutdown`] when the service is shutting down.
     pub fn submit(&self, spec: InstanceSpec) -> Result<Ticket, SubmitError> {
         if spec.n == 0 {
             return Err(SubmitError::InvalidSpec(
@@ -393,23 +567,53 @@ impl ElectionService {
         }
         let shard = self.shard_of(spec.key);
         {
+            // Reserve the key and count the admission attempt before the
+            // queue sees the job, so a racing duplicate is refused even
+            // while this submission is still blocked on backpressure.
             let mut state = lock(&self.states[shard]);
             if state.phases.contains_key(&spec.key) {
-                return Err(SubmitError::Duplicate(spec.key));
+                return Err(SubmitError::DuplicateKey(spec.key));
             }
             state.phases.insert(spec.key, Phase::Queued);
+            state.submitted += 1;
         }
+        let submitted = Instant::now();
         let (reply, rx) = unbounded();
         let job = Job {
             spec,
-            submitted: Instant::now(),
+            submitted,
+            deadline: spec.deadline.map(|d| submitted + d),
             reply,
         };
-        if self.senders[shard].send(job).is_err() {
-            lock(&self.states[shard]).phases.remove(&spec.key);
-            return Err(SubmitError::Stopped);
+        match self.queues[shard].push(job) {
+            Ok(None) => Ok(Ticket { key: spec.key, rx }),
+            Ok(Some(displaced)) => {
+                // DropOldest: the displaced job was admitted, so it ends as
+                // shed — its ticket resolves to Overloaded.
+                {
+                    let mut state = lock(&self.states[shard]);
+                    state.phases.remove(&displaced.spec.key);
+                    state.shed += 1;
+                }
+                let _ = displaced.reply.send(Err(SubmitError::Overloaded));
+                Ok(Ticket { key: spec.key, rx })
+            }
+            Err(refusal) => {
+                let (error, key) = match &refusal {
+                    AdmitError::Overloaded(job) => (SubmitError::Overloaded, job.spec.key),
+                    AdmitError::Closed(job) => (SubmitError::ServiceShutdown, job.spec.key),
+                };
+                let mut state = lock(&self.states[shard]);
+                state.phases.remove(&key);
+                // The job never entered the pipeline: undo the admission
+                // count and book the refusal separately.
+                state.submitted -= 1;
+                if matches!(error, SubmitError::Overloaded) {
+                    state.rejected += 1;
+                }
+                Err(error)
+            }
         }
-        Ok(Ticket { key: spec.key, rx })
     }
 
     /// Submit and block for the result.
@@ -422,8 +626,8 @@ impl ElectionService {
     }
 
     /// What the service currently knows about `key`. Finished instances
-    /// answer [`InstanceStatus::Done`] until their epoch is retired, then
-    /// [`InstanceStatus::Unknown`].
+    /// answer [`InstanceStatus::Done`] (or [`InstanceStatus::Failed`]) until
+    /// their epoch is retired, then [`InstanceStatus::Unknown`].
     pub fn status(&self, key: u64) -> InstanceStatus {
         let state = lock(&self.states[self.shard_of(key)]);
         match state.phases.get(&key) {
@@ -431,29 +635,78 @@ impl ElectionService {
             Some(Phase::Queued) => InstanceStatus::Queued,
             Some(Phase::Running) => InstanceStatus::Running,
             Some(Phase::Done { winner }) => InstanceStatus::Done { winner: *winner },
+            Some(Phase::Failed) => InstanceStatus::Failed,
         }
     }
 
-    /// Drain the queues, stop every worker and return aggregate counters.
-    /// Instances already queued are still executed.
-    pub fn shutdown(self) -> ServiceStats {
-        drop(self.senders);
-        for worker in self.workers {
-            worker
-                .join()
-                .expect("shard workers propagate panics to shutdown");
-        }
+    /// A snapshot of the aggregate counters. Exact at quiescence (nothing
+    /// queued or running); transiently, an admitted-but-unfinished instance
+    /// is counted in `submitted` only.
+    pub fn stats(&self) -> ServiceStats {
         let mut stats = ServiceStats {
             live_register_namespaces: self.registers.live_namespaces(),
             ..ServiceStats::default()
         };
         for state in &self.states {
             let state = lock(state);
+            stats.submitted += state.submitted;
             stats.completed += state.completed;
+            stats.failed += state.failed;
+            stats.shed += state.shed;
+            stats.drained += state.drained;
+            stats.rejected += state.rejected;
             stats.retired += state.retired;
             stats.epochs_closed += state.epoch;
+            stats.fail.merge(&state.fail);
+        }
+        for queue in &self.queues {
+            stats.max_queue_depth = stats.max_queue_depth.max(queue.max_depth());
         }
         stats
+    }
+
+    /// Stop the service: in-flight instances finish, queued-but-unstarted
+    /// jobs are failed promptly (their tickets resolve to
+    /// [`SubmitError::ServiceShutdown`] and count as `drained`), workers are
+    /// joined, and the final counters are returned.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    /// Close every queue (failing unstarted jobs) and join the workers.
+    /// Idempotent: the second call finds closed queues and no workers.
+    fn close_and_join(&mut self) {
+        for (shard, queue) in self.queues.iter().enumerate() {
+            let drained = queue.close();
+            if drained.is_empty() {
+                continue;
+            }
+            {
+                let mut state = lock(&self.states[shard]);
+                for job in &drained {
+                    state.phases.remove(&job.spec.key);
+                    state.drained += 1;
+                }
+            }
+            for job in drained {
+                let _ = job.reply.send(Err(SubmitError::ServiceShutdown));
+            }
+        }
+        for worker in std::mem::take(&mut self.workers) {
+            worker
+                .join()
+                .expect("shard workers contain instance panics and never die");
+        }
+    }
+}
+
+impl Drop for ElectionService {
+    /// Dropping the service without [`ElectionService::shutdown`] still
+    /// fails queued jobs promptly and joins the workers (in-flight work
+    /// finishes first).
+    fn drop(&mut self) {
+        self.close_and_join();
     }
 }
 
@@ -463,59 +716,127 @@ fn lock(state: &Arc<Mutex<ShardState>>) -> std::sync::MutexGuard<'_, ShardState>
         .expect("shard bookkeeping never panics while locked")
 }
 
-/// One shard's worker loop: execute jobs FIFO, record completions, close
-/// epochs and purge retired instances (records + registers).
+/// Record a terminal event (`phase` entry stays queryable until retirement)
+/// and advance the epoch machinery.
+fn record_terminal(
+    state: &mut ShardState,
+    config: &ServiceConfig,
+    registers: &SharedRegisters,
+    key: u64,
+    phase: Phase,
+) {
+    let epoch = state.epoch;
+    state.phases.insert(key, phase);
+    state.retire_queue.push_back((epoch, key));
+    state.completed_in_epoch += 1;
+    if state.completed_in_epoch >= config.epoch_size {
+        state.epoch += 1;
+        state.completed_in_epoch = 0;
+        // Everything that finished more than `retained_epochs` closed epochs
+        // ago leaves the status table and the register bank.
+        while let Some(&(done_epoch, old_key)) = state.retire_queue.front() {
+            if done_epoch + config.retained_epochs > state.epoch {
+                break;
+            }
+            state.retire_queue.pop_front();
+            state.phases.remove(&old_key);
+            registers.retire(old_key);
+            state.retired += 1;
+        }
+    }
+}
+
+/// One shard's worker loop: execute jobs FIFO under deadline and panic
+/// containment, record completions, close epochs and purge retired
+/// instances (records + registers).
 fn shard_worker(
-    rx: Receiver<Job>,
+    queue: Arc<AdmissionQueue<Job>>,
     state: Arc<Mutex<ShardState>>,
     registers: Arc<SharedRegisters>,
     config: ServiceConfig,
 ) {
-    let backend = config.backend.build(&registers);
-    while let Ok(job) = rx.recv() {
+    let backend = config.backend.build(&registers, config.fault_plan.as_ref());
+    while let Some(job) = queue.pop() {
         let key = job.spec.key;
-        lock(&state).phases.insert(key, Phase::Running);
-        let outcomes = backend.run_instance(&job.spec);
-        let result = InstanceResult {
-            key,
-            outcomes,
-            latency: job.submitted.elapsed(),
-        };
-        let winner = result.winner();
-        // Record completion *before* releasing the ticket, so a caller that
-        // has seen its result also sees `Done` in `status` (until retired).
+
+        // Skip jobs whose deadline passed while they queued.
+        if job
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
         {
-            let mut state = lock(&state);
-            let epoch = state.epoch;
-            state.phases.insert(key, Phase::Done { winner });
-            state.retire_queue.push_back((epoch, key));
-            state.completed += 1;
-            state.completed_in_epoch += 1;
-            if state.completed_in_epoch >= config.epoch_size {
-                state.epoch += 1;
-                state.completed_in_epoch = 0;
-                // Everything that finished more than `retained_epochs`
-                // closed epochs ago leaves the status table and the
-                // register bank.
-                while let Some(&(done_epoch, old_key)) = state.retire_queue.front() {
-                    if done_epoch + config.retained_epochs > state.epoch {
-                        break;
-                    }
-                    state.retire_queue.pop_front();
-                    state.phases.remove(&old_key);
-                    registers.retire(old_key);
-                    state.retired += 1;
+            {
+                let mut state = lock(&state);
+                state.phases.remove(&key);
+                state.shed += 1;
+                state.fail.expired_in_queue += 1;
+            }
+            let _ = job.reply.send(Err(SubmitError::DeadlineExceeded(key)));
+            continue;
+        }
+
+        lock(&state).phases.insert(key, Phase::Running);
+        let cancel = match job.deadline {
+            Some(deadline) => CancelToken::new().with_deadline(deadline),
+            None => CancelToken::none(),
+        };
+        // Contain instance panics (protocol bugs, injected crashes): the
+        // panic poisons only this instance; the worker keeps draining.
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| backend.run(&job.spec, &cancel)));
+        match run {
+            Ok(Some(outcomes)) => {
+                let result = InstanceResult {
+                    key,
+                    outcomes,
+                    latency: job.submitted.elapsed(),
+                };
+                let winner = result.winner();
+                // Record completion *before* releasing the ticket, so a
+                // caller that has seen its result also sees `Done` in
+                // `status` (until retired).
+                {
+                    let mut state = lock(&state);
+                    state.completed += 1;
+                    record_terminal(&mut state, &config, &registers, key, Phase::Done { winner });
                 }
+                let _ = job.reply.send(Ok(result));
+            }
+            Ok(None) => {
+                // The deadline tripped mid-run; the namespace may hold a
+                // partial execution's registers — retire it now.
+                registers.retire(key);
+                {
+                    let mut state = lock(&state);
+                    state.failed += 1;
+                    state.fail.cancelled_in_flight += 1;
+                    record_terminal(&mut state, &config, &registers, key, Phase::Failed);
+                }
+                let _ = job.reply.send(Err(SubmitError::DeadlineExceeded(key)));
+            }
+            Err(_panic) => {
+                registers.retire(key);
+                {
+                    let mut state = lock(&state);
+                    state.failed += 1;
+                    state.fail.panics += 1;
+                    record_terminal(&mut state, &config, &registers, key, Phase::Failed);
+                }
+                let _ = job.reply.send(Err(SubmitError::InstanceFailed(key)));
             }
         }
-        // The ticket may have been dropped; ignore a dead receiver.
-        let _ = job.reply.send(result);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fle_runtime::CrashSpec;
+
+    /// A fault plan that slows every concurrent instance down to tens of
+    /// milliseconds — long enough that work submitted behind it is
+    /// deterministically still queued when the test acts.
+    fn slow_plan() -> FaultPlan {
+        FaultPlan::new(11).with_delays(1000, 4_000)
+    }
 
     #[test]
     fn submit_validates_specs() {
@@ -537,13 +858,13 @@ mod tests {
         let ticket = service.submit(InstanceSpec::election(7, 4)).unwrap();
         assert!(matches!(
             service.submit(InstanceSpec::election(7, 4)),
-            Err(SubmitError::Duplicate(7))
+            Err(SubmitError::DuplicateKey(7))
         ));
         ticket.wait().unwrap();
         // Still within the retention window: a resubmit stays rejected.
         assert!(matches!(
             service.submit(InstanceSpec::election(7, 4)),
-            Err(SubmitError::Duplicate(7))
+            Err(SubmitError::DuplicateKey(7))
         ));
         service.shutdown();
     }
@@ -583,11 +904,12 @@ mod tests {
             "retired namespaces leave no registers behind"
         );
         // A retired key may be reused.
-        assert!(service.submit(InstanceSpec::election(0, 3)).is_ok());
+        service.submit_wait(InstanceSpec::election(0, 3)).unwrap();
         let stats = service.shutdown();
         assert_eq!(stats.completed, 5);
         assert!(stats.retired >= 2);
         assert!(stats.epochs_closed >= 2);
+        stats.check_invariant().unwrap();
     }
 
     #[test]
@@ -606,6 +928,8 @@ mod tests {
         assert_eq!(seen.len(), 200, "no lost results");
         let stats = service.shutdown();
         assert_eq!(stats.completed, 200);
+        assert_eq!(stats.submitted, 200);
+        stats.check_invariant().unwrap();
     }
 
     #[test]
@@ -622,18 +946,232 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_drains_queued_instances() {
-        let service = ElectionService::new(ServiceConfig::new(2, BackendKind::Sim));
-        let tickets: Vec<Ticket> = (0..32)
+    fn shutdown_finishes_in_flight_work_but_fails_queued_tickets_promptly() {
+        // One shard; the fault plan makes the first instance take tens of
+        // milliseconds, so the two behind it are still queued at shutdown.
+        let config = ServiceConfig::new(1, BackendKind::Concurrent).with_fault_plan(slow_plan());
+        let service = ElectionService::new(config);
+        let first = service.submit(InstanceSpec::election(0, 4)).unwrap();
+        let queued: Vec<Ticket> = (1..3)
             .map(|key| service.submit(InstanceSpec::election(key, 4)).unwrap())
             .collect();
+        std::thread::sleep(Duration::from_millis(5)); // let the worker pop job 0
         let stats = service.shutdown();
-        assert_eq!(stats.completed, 32, "queued work is finished, not dropped");
-        for ticket in tickets {
-            assert!(
-                ticket.wait().is_ok(),
-                "results stay claimable after shutdown"
+        assert!(
+            first.wait().is_ok(),
+            "in-flight work is finished, not dropped"
+        );
+        for ticket in queued {
+            assert_eq!(
+                ticket.wait().unwrap_err(),
+                SubmitError::ServiceShutdown,
+                "queued-but-unstarted tickets resolve promptly"
             );
         }
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.drained, 2);
+        assert_eq!(stats.submitted, 3);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn shed_policy_refuses_when_the_queue_is_full() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent)
+            .with_fault_plan(slow_plan())
+            .with_queue_capacity(1)
+            .with_overload_policy(OverloadPolicy::Shed);
+        let service = ElectionService::new(config);
+        let running = service.submit(InstanceSpec::election(0, 4)).unwrap();
+        std::thread::sleep(Duration::from_millis(5)); // worker pops job 0
+        let queued = service.submit(InstanceSpec::election(1, 4)).unwrap();
+        assert_eq!(
+            service.submit(InstanceSpec::election(2, 4)).unwrap_err(),
+            SubmitError::Overloaded
+        );
+        // The refused key never entered the pipeline and may be resubmitted
+        // once there is room.
+        assert_eq!(service.status(2), InstanceStatus::Unknown);
+        assert!(running.wait().is_ok());
+        assert!(queued.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, 2);
+        assert!(stats.max_queue_depth <= 1);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn block_policy_times_out_into_overloaded() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent)
+            .with_fault_plan(slow_plan())
+            .with_queue_capacity(1)
+            .with_overload_policy(OverloadPolicy::Block {
+                timeout: Some(Duration::from_millis(5)),
+            });
+        let service = ElectionService::new(config);
+        let running = service.submit(InstanceSpec::election(0, 4)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let queued = service.submit(InstanceSpec::election(1, 4)).unwrap();
+        let started = Instant::now();
+        assert_eq!(
+            service.submit(InstanceSpec::election(2, 4)).unwrap_err(),
+            SubmitError::Overloaded
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(5),
+            "backpressure"
+        );
+        assert!(running.wait().is_ok());
+        assert!(queued.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, 1);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn drop_oldest_displaces_the_queued_job() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent)
+            .with_fault_plan(slow_plan())
+            .with_queue_capacity(1)
+            .with_overload_policy(OverloadPolicy::DropOldest);
+        let service = ElectionService::new(config);
+        let running = service.submit(InstanceSpec::election(0, 4)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let displaced = service.submit(InstanceSpec::election(1, 4)).unwrap();
+        let fresh = service.submit(InstanceSpec::election(2, 4)).unwrap();
+        assert_eq!(
+            displaced.wait().unwrap_err(),
+            SubmitError::Overloaded,
+            "the displaced ticket resolves immediately"
+        );
+        assert!(running.wait().is_ok());
+        assert!(fresh.wait().is_ok(), "the freshest job runs");
+        let stats = service.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.submitted, 3);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn deadlines_expire_in_queue() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent).with_fault_plan(slow_plan());
+        let service = ElectionService::new(config);
+        let running = service.submit(InstanceSpec::election(0, 4)).unwrap();
+        // Queued behind tens of milliseconds of work with a 1 ms budget.
+        let doomed = service
+            .submit(InstanceSpec::election(1, 4).with_deadline(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(doomed.wait().unwrap_err(), SubmitError::DeadlineExceeded(1));
+        assert!(running.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.fail.expired_in_queue, 1);
+        assert_eq!(stats.shed, 1);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn deadlines_cancel_in_flight_and_retire_the_namespace() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent).with_fault_plan(slow_plan());
+        let service = ElectionService::new(config);
+        let doomed = service
+            .submit(InstanceSpec::election(0, 4).with_deadline(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(doomed.wait().unwrap_err(), SubmitError::DeadlineExceeded(0));
+        assert_eq!(service.status(0), InstanceStatus::Failed);
+        assert_eq!(
+            service.registers().live_namespaces(),
+            0,
+            "a cancelled instance's partial registers are retired"
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.fail.cancelled_in_flight, 1);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn a_panicking_instance_is_contained_to_itself() {
+        // Poison exactly one key: processor 0 panics at its second operation
+        // of instance 13, and only there.
+        let plan =
+            FaultPlan::new(5).with_crash(CrashSpec::panic_proc(ProcId(0), 2).only_namespace(13));
+        let config = ServiceConfig::new(1, BackendKind::Concurrent).with_fault_plan(plan);
+        let service = ElectionService::new(config);
+
+        let poisoned = service.submit(InstanceSpec::election(13, 4)).unwrap();
+        assert_eq!(
+            poisoned.wait().unwrap_err(),
+            SubmitError::InstanceFailed(13)
+        );
+        assert_eq!(service.status(13), InstanceStatus::Failed);
+        assert_eq!(
+            service.registers().live_namespaces(),
+            0,
+            "the panicked instance's namespace is retired"
+        );
+
+        // The worker survived: subsequent instances on the same shard
+        // complete normally.
+        for key in 0..5 {
+            let result = service.submit_wait(InstanceSpec::election(key, 4)).unwrap();
+            assert!(result.winner().is_some(), "instance {key}");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.fail.panics, 1);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.submitted, 6);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn racing_submitters_on_one_key_admit_exactly_one() {
+        for kind in [
+            BackendKind::Sim,
+            BackendKind::Threaded,
+            BackendKind::Concurrent,
+        ] {
+            let service = Arc::new(ElectionService::new(ServiceConfig::new(2, kind)));
+            let barrier = Arc::new(std::sync::Barrier::new(8));
+            let racers: Vec<_> = (0..8)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        service.submit(InstanceSpec::election(99, 4))
+                    })
+                })
+                .collect();
+            let mut tickets = Vec::new();
+            let mut duplicates = 0;
+            for racer in racers {
+                match racer.join().unwrap() {
+                    Ok(ticket) => tickets.push(ticket),
+                    Err(SubmitError::DuplicateKey(99)) => duplicates += 1,
+                    Err(other) => panic!("{kind}: unexpected error {other}"),
+                }
+            }
+            assert_eq!(tickets.len(), 1, "{kind}: exactly one admission");
+            assert_eq!(duplicates, 7, "{kind}: the other seven see DuplicateKey");
+            assert!(tickets.pop().unwrap().wait().is_ok(), "{kind}");
+            let service = Arc::into_inner(service).expect("all racers joined");
+            let stats = service.shutdown();
+            assert_eq!(stats.submitted, 1, "{kind}");
+            stats.check_invariant().unwrap();
+        }
+    }
+
+    #[test]
+    fn dropping_the_service_fails_queued_tickets() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent).with_fault_plan(slow_plan());
+        let service = ElectionService::new(config);
+        let first = service.submit(InstanceSpec::election(0, 4)).unwrap();
+        let queued = service.submit(InstanceSpec::election(1, 4)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        drop(service);
+        assert!(first.wait().is_ok());
+        assert_eq!(queued.wait().unwrap_err(), SubmitError::ServiceShutdown);
     }
 }

@@ -8,8 +8,9 @@
 #![warn(missing_docs)]
 
 use std::sync::mpsc;
+use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 /// The sending half of an unbounded channel.
 #[derive(Debug)]
@@ -53,6 +54,17 @@ impl<T> Receiver<T> {
         self.0.try_recv()
     }
 
+    /// Block until a message arrives, every sender is gone, or `timeout`
+    /// elapses.
+    ///
+    /// # Errors
+    /// Returns [`RecvTimeoutError::Timeout`] when no message arrived in time
+    /// and [`RecvTimeoutError::Disconnected`] when the channel is
+    /// disconnected and drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
     /// Iterate over messages until the channel disconnects.
     pub fn iter(&self) -> mpsc::Iter<'_, T> {
         self.0.iter()
@@ -77,6 +89,22 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.try_recv().unwrap(), 2);
         assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 7);
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
     }
 
     #[test]

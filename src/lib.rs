@@ -85,17 +85,19 @@ pub mod prelude {
         StrategySpec, Violation,
     };
     pub use fle_model::{
-        drive, Action, ElectionContext, LocalStateView, Outcome, ProcId, Protocol, Response,
-        SharedMemory,
+        drive, drive_cancellable, Action, CancelToken, ElectionContext, LocalStateView, Outcome,
+        ProcId, Protocol, Response, SharedMemory,
     };
     pub use fle_runtime::{
-        election_participants, renaming_participants, run_concurrent, run_scheduled,
-        run_threaded_leader_election, run_threaded_renaming, FifoScheduler, GateScheduler,
-        RuntimeConfig, ScheduleConfig, SharedRegisters, ThreadedRuntime,
+        election_participants, renaming_participants, run_concurrent, run_concurrent_cancellable,
+        run_concurrent_faulty, run_scheduled, run_scheduled_faulty, run_threaded_leader_election,
+        run_threaded_renaming, CrashMode, CrashSpec, CrashVictim, FaultPlan, FaultStats,
+        FaultyMemory, FifoScheduler, GateScheduler, RuntimeConfig, ScheduleConfig, SharedRegisters,
+        ThreadedRuntime,
     };
     pub use fle_service::{
-        BackendKind, ElectionService, InstanceResult, InstanceSpec, InstanceStatus, ServiceConfig,
-        Ticket, Workload,
+        BackendKind, ElectionService, FailStats, InstanceResult, InstanceSpec, InstanceStatus,
+        OverloadPolicy, ServiceConfig, ServiceStats, SubmitError, Ticket, Workload,
     };
     pub use fle_sim::{
         Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, DecisionTrace,
