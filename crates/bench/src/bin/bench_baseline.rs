@@ -10,8 +10,59 @@
 //! *and* the same-run production-vs-naive ratio confirms it is a code
 //! regression rather than a slower machine (the CI smoke-perf gate;
 //! generous thresholds, loud not flaky).
+//!
+//! `--parallel` measures the partitioned-engine sweep (one giant k-of-n
+//! election at n ∈ {4096, 65536, 262144}, partition counts {1, 2, num_cpus})
+//! and splices a `parallel` section into `BENCH_baseline.json`, preserving
+//! the recorded sequential points byte-for-byte.
+//!
+//! `--parallel-smoke` runs the CI parallel gate: an n = 4096 election at
+//! p = 2 must match p = 1 exactly (outcomes, metrics, event count); the
+//! measured efficiency is printed but never gates.
 
 fn main() {
+    if std::env::args().any(|arg| arg == "--parallel-smoke") {
+        match fle_bench::parallel::parallel_smoke_check() {
+            Ok((speedup, efficiency)) => {
+                println!(
+                    "parallel-smoke OK: p=2 report identical to p=1; \
+                     speedup {speedup:.2}x, efficiency {efficiency:.2} (not gated)"
+                );
+            }
+            Err(message) => {
+                eprintln!("parallel-smoke FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--parallel") {
+        println!("partitioned-engine throughput (canonical super-round schedule)\n");
+        let points = fle_bench::parallel::measure_parallel_default();
+        println!(
+            "{:>8} {:>6} {:>10} {:>4} {:>16} {:>9} {:>11}",
+            "n", "k", "events", "p", "events/s", "speedup", "efficiency"
+        );
+        for point in &points {
+            for sample in &point.samples {
+                println!(
+                    "{:>8} {:>6} {:>10} {:>4} {:>16.0} {:>8.2}x {:>11.2}",
+                    point.n,
+                    point.k,
+                    point.events,
+                    sample.partitions,
+                    sample.events_per_sec,
+                    point.speedup(sample),
+                    point.efficiency(sample),
+                );
+            }
+        }
+        fle_bench::parallel::record_parallel_preserving(
+            &fle_bench::baseline::baseline_path(),
+            &points,
+        );
+        return;
+    }
     if std::env::args().any(|arg| arg == "--smoke") {
         match fle_bench::baseline::smoke_check() {
             Ok((measured, recorded)) => {

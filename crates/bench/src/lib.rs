@@ -23,6 +23,7 @@ pub mod batch;
 pub mod experiments;
 pub mod hist;
 pub mod json;
+pub mod parallel;
 pub mod service_load;
 
 pub use batch::BatchRunner;
@@ -31,6 +32,10 @@ pub use experiments::{
     e5_fault_tolerance, e6_renaming, e7_lower_bound_check, e8_bias_ablation, AdversaryKind,
 };
 pub use hist::LogHistogram;
+pub use parallel::{
+    measure_parallel_default, measure_parallel_point, parallel_smoke_check,
+    record_parallel_preserving, ParallelPoint, PartitionSample,
+};
 pub use service_load::{
     closed_loop, open_loop, open_loop_overload, overload_smoke_check, overload_sweep,
     submit_with_retry, LoadResult, LoadSpec, OverloadResult, OverloadSpec,

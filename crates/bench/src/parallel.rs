@@ -1,0 +1,354 @@
+//! The partitioned-simulator throughput benchmark: one giant election,
+//! partitioned across worker threads.
+//!
+//! Measures k-of-n leader elections driven by the canonical super-round
+//! schedule of [`fle_sim::ParallelSimulator`] (crash-free
+//! [`fle_sim::RoundCrashPlan`]), in events per second, at several partition
+//! counts. Because canonical-mode reports are *identical for every partition
+//! count* (the differential tests pin this), the ratios are pure cost
+//! measurements of the same execution — scaling efficiency is
+//! `events_per_sec(p) / (p × events_per_sec(1))`.
+//!
+//! The results extend `BENCH_baseline.json` with a `parallel` section;
+//! [`record_parallel_preserving`] performs line-oriented surgery that keeps
+//! the recorded sequential `points` byte-for-byte intact, so the historical
+//! engine trajectory is never disturbed by re-running the parallel sweep on
+//! a different machine.
+//!
+//! [`parallel_smoke_check`] is the CI gate: a small run at p = 2 must
+//! produce *exactly* the outcomes, metrics and event count of p = 1 (hard
+//! failure), while the measured efficiency is only reported (single-core CI
+//! runners cannot meaningfully gate on speedup).
+
+use crate::json::write_or_warn;
+use fle_core::LeaderElection;
+use fle_model::ProcId;
+use fle_sim::{ParallelSimulator, RoundCrashPlan, SimConfig};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Throughput at one partition count.
+#[derive(Debug, Clone)]
+pub struct PartitionSample {
+    /// Partition count (== worker threads used, up to the core count).
+    pub partitions: usize,
+    /// Events per second.
+    pub events_per_sec: f64,
+}
+
+/// The parallel benchmark at one system size.
+#[derive(Debug, Clone)]
+pub struct ParallelPoint {
+    /// System size (replica count).
+    pub n: usize,
+    /// Number of contenders (processors `0..k` participate).
+    pub k: usize,
+    /// Seeds measured per partition count.
+    pub trials: u64,
+    /// Total events across all trials (identical at every partition count).
+    pub events: u64,
+    /// One sample per measured partition count, ascending.
+    pub samples: Vec<PartitionSample>,
+}
+
+impl ParallelPoint {
+    /// Throughput at p = 1, the scaling reference.
+    pub fn base_events_per_sec(&self) -> f64 {
+        self.samples
+            .iter()
+            .find(|s| s.partitions == 1)
+            .map_or(f64::NAN, |s| s.events_per_sec)
+    }
+
+    /// `events_per_sec(p) / (p × events_per_sec(1))` for one sample.
+    pub fn efficiency(&self, sample: &PartitionSample) -> f64 {
+        sample.events_per_sec / (sample.partitions as f64 * self.base_events_per_sec())
+    }
+
+    /// `events_per_sec(p) / events_per_sec(1)` for one sample.
+    pub fn speedup(&self, sample: &PartitionSample) -> f64 {
+        sample.events_per_sec / self.base_events_per_sec()
+    }
+}
+
+/// Run `trials` seeded canonical-mode elections of `k` contenders among `n`
+/// processors over `partitions` partitions; returns `(seconds, events)`.
+pub fn run_parallel_elections(n: usize, k: usize, partitions: usize, trials: u64) -> (f64, u64) {
+    let plan = RoundCrashPlan::none();
+    let mut events = 0u64;
+    let start = Instant::now();
+    for seed in 0..trials {
+        let config = SimConfig::new(n)
+            .with_seed(seed)
+            .with_partitions(partitions);
+        let mut sim = ParallelSimulator::new(config);
+        for i in 0..k {
+            sim.add_participant(ProcId(i), Box::new(LeaderElection::new(ProcId(i))));
+        }
+        let report = sim.run_canonical(&plan).expect("election terminates");
+        assert_eq!(report.winners().len(), 1, "one leader per election");
+        events += report.events_executed;
+    }
+    (start.elapsed().as_secs_f64(), events)
+}
+
+/// The partition counts to measure: `{1, 2, num_cpus}`, deduplicated and
+/// ascending. On a single-core machine this is `{1, 2}` — recorded honestly;
+/// p = 2 then measures pure partitioning overhead, not speedup.
+pub fn partition_counts() -> Vec<usize> {
+    let cpus = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Measure one system size at every partition count of
+/// [`partition_counts`].
+pub fn measure_parallel_point(n: usize, k: usize, trials: u64) -> ParallelPoint {
+    let mut samples = Vec::new();
+    let mut events = 0u64;
+    for partitions in partition_counts() {
+        let (secs, total) = run_parallel_elections(n, k, partitions, trials);
+        if events == 0 {
+            events = total;
+        } else {
+            assert_eq!(
+                events, total,
+                "canonical runs must be partition-count independent"
+            );
+        }
+        samples.push(PartitionSample {
+            partitions,
+            events_per_sec: total as f64 / secs,
+        });
+    }
+    ParallelPoint {
+        n,
+        k,
+        trials,
+        events,
+        samples,
+    }
+}
+
+/// The standard parallel sweep: one giant election per size class. The
+/// contender counts keep each measurement in the seconds range while the
+/// replica count (and with it the per-call quorum traffic) grows to the
+/// hundreds of thousands.
+pub fn measure_parallel_default() -> Vec<ParallelPoint> {
+    vec![
+        measure_parallel_point(4096, 64, 2),
+        measure_parallel_point(65536, 48, 1),
+        measure_parallel_point(262_144, 24, 1),
+    ]
+}
+
+/// Render the `parallel` section lines of `BENCH_baseline.json`.
+pub fn parallel_section_json(points: &[ParallelPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "  \"parallel_workload\": \"k-of-n leader election, canonical super-round schedule, \
+         crash-free, partitioned engine\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"parallel_methodology\": \"wall clock over `trials` seeded canonical runs; reports \
+         are identical at every partition count (differential-tested), so ratios are pure cost; \
+         efficiency = events_per_sec(p) / (p * events_per_sec(1)); measured partition counts \
+         are {{1, 2, num_cpus}} of the recording machine ({} cores)\",",
+        std::thread::available_parallelism().map_or(1, |w| w.get())
+    );
+    out.push_str("  \"parallel\": [\n");
+    for (index, point) in points.iter().enumerate() {
+        let comma = if index + 1 < points.len() { "," } else { "" };
+        let mut samples = String::new();
+        for (j, sample) in point.samples.iter().enumerate() {
+            let inner_comma = if j + 1 < point.samples.len() {
+                ", "
+            } else {
+                ""
+            };
+            let _ = write!(
+                samples,
+                "{{\"p\": {}, \"events_per_sec\": {:.1}, \"speedup\": {:.2}, \
+                 \"efficiency\": {:.2}}}{inner_comma}",
+                sample.partitions,
+                sample.events_per_sec,
+                point.speedup(sample),
+                point.efficiency(sample),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {}, \"k\": {}, \"trials\": {}, \"events\": {}, \
+             \"partitions\": [{samples}]}}{comma}",
+            point.n, point.k, point.trials, point.events,
+        );
+    }
+    out.push_str("  ]\n");
+    out
+}
+
+/// Splice a `parallel` section into an existing `BENCH_baseline.json`
+/// document, keeping every line up to and including the sequential
+/// `"points"` array byte-for-byte intact. Any previous `parallel*` section
+/// is replaced.
+pub fn splice_parallel_section(existing: &str, points: &[ParallelPoint]) -> String {
+    let mut out = String::new();
+    // Copy the document head verbatim: everything through the line that
+    // closes the sequential points array (`  ],`or `  ]`).
+    let mut lines = existing.lines();
+    let mut in_points = false;
+    for line in lines.by_ref() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"points\"") {
+            in_points = true;
+        }
+        if in_points && (trimmed == "]," || trimmed == "]") {
+            out.push_str("  ],\n");
+            break;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&parallel_section_json(points));
+    out.push_str("}\n");
+    out
+}
+
+/// Read `path`, splice the parallel section in
+/// ([`splice_parallel_section`]), and write it back.
+pub fn record_parallel_preserving(path: &Path, points: &[ParallelPoint]) {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|error| {
+        panic!(
+            "cannot read {} to extend it with the parallel section \
+             (run the sequential baseline first): {error}",
+            path.display()
+        )
+    });
+    write_or_warn(path, &splice_parallel_section(&existing, points));
+}
+
+/// The CI parallel-smoke gate.
+///
+/// Runs one n = 4096 election at p = 1 and at p = 2 and **fails** if any
+/// report field that canonical mode promises to be partition-count
+/// independent differs: outcomes, crash list, event count, total messages,
+/// max communicate calls. The p = 2 efficiency is returned for logging but
+/// never gates — CI runners are routinely single-core.
+///
+/// # Errors
+/// A description of the first mismatching field.
+pub fn parallel_smoke_check() -> Result<(f64, f64), String> {
+    let (n, k, seed) = (4096usize, 32usize, 7u64);
+    let mut reports = Vec::new();
+    let mut rates = Vec::new();
+    for partitions in [1usize, 2] {
+        let config = SimConfig::new(n)
+            .with_seed(seed)
+            .with_partitions(partitions);
+        let mut sim = ParallelSimulator::new(config);
+        for i in 0..k {
+            sim.add_participant(ProcId(i), Box::new(LeaderElection::new(ProcId(i))));
+        }
+        let start = Instant::now();
+        let report = sim
+            .run_canonical(&RoundCrashPlan::none())
+            .map_err(|error| format!("p={partitions} run failed: {error}"))?;
+        rates.push(report.events_executed as f64 / start.elapsed().as_secs_f64());
+        reports.push(report);
+    }
+    let (a, b) = (&reports[0], &reports[1]);
+    if a.outcomes != b.outcomes {
+        return Err("p=2 outcomes differ from p=1".to_string());
+    }
+    if a.crashed != b.crashed {
+        return Err("p=2 crash list differs from p=1".to_string());
+    }
+    if a.events_executed != b.events_executed {
+        return Err(format!(
+            "p=2 executed {} events, p=1 executed {}",
+            b.events_executed, a.events_executed
+        ));
+    }
+    if a.metrics.total_messages() != b.metrics.total_messages() {
+        return Err("p=2 message totals differ from p=1".to_string());
+    }
+    if a.metrics.max_communicate_calls() != b.metrics.max_communicate_calls() {
+        return Err("p=2 communicate-call maxima differ from p=1".to_string());
+    }
+    let efficiency = rates[1] / (2.0 * rates[0]);
+    Ok((rates[1] / rates[0], efficiency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_measurements_agree_across_partition_counts() {
+        let point = measure_parallel_point(64, 16, 2);
+        assert!(point.events > 0);
+        assert!(point.samples.len() >= 2);
+        assert_eq!(point.samples[0].partitions, 1);
+        for sample in &point.samples {
+            assert!(sample.events_per_sec > 0.0);
+        }
+        assert!(point.base_events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn splice_preserves_the_sequential_points_verbatim() {
+        let existing = "{\n  \"benchmark\": \"election_events_per_sec\",\n  \"points\": [\n    \
+                        {\"n\": 16, \"incremental_events_per_sec\": 123.4, \"speedup\": null}\n  \
+                        ]\n}\n";
+        let point = ParallelPoint {
+            n: 4096,
+            k: 64,
+            trials: 1,
+            events: 1000,
+            samples: vec![
+                PartitionSample {
+                    partitions: 1,
+                    events_per_sec: 10.0,
+                },
+                PartitionSample {
+                    partitions: 2,
+                    events_per_sec: 15.0,
+                },
+            ],
+        };
+        let spliced = splice_parallel_section(existing, &[point]);
+        assert!(
+            spliced
+                .contains("{\"n\": 16, \"incremental_events_per_sec\": 123.4, \"speedup\": null}"),
+            "sequential point must survive verbatim: {spliced}"
+        );
+        assert!(spliced.contains("\"parallel\": ["));
+        assert!(spliced.contains("\"p\": 2"));
+        assert!(spliced.contains("\"efficiency\": 0.75"));
+        assert!(spliced.trim_end().ends_with('}'));
+        // Splicing twice replaces, not duplicates.
+        let twice = splice_parallel_section(&spliced, &[]);
+        assert_eq!(twice.matches("parallel_workload").count(), 1);
+        // The sequential smoke parser still reads the spliced document.
+        assert_eq!(
+            crate::baseline::recorded_events_per_sec(&spliced, 16),
+            Some(123.4)
+        );
+    }
+
+    #[test]
+    fn smoke_check_passes_on_identical_partitioned_runs() {
+        // The real smoke runs n = 4096; the unit test only checks the
+        // comparison logic wiring, so keep it cheap by calling the pieces.
+        let (secs1, events1) = run_parallel_elections(128, 8, 1, 1);
+        let (secs2, events2) = run_parallel_elections(128, 8, 2, 1);
+        assert!(secs1 > 0.0 && secs2 > 0.0);
+        assert_eq!(events1, events2);
+    }
+}

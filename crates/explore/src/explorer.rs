@@ -13,6 +13,7 @@
 
 use crate::concurrent::{run_episode_shm, ShmConfig};
 use crate::oracles::{budget_violation, OracleCtx, Violation};
+use crate::partitioned::{run_episode_partitioned, PartitionedConfig};
 use crate::scenario::Scenario;
 use crate::strategies::StrategySpec;
 use fle_bench::BatchRunner;
@@ -35,6 +36,11 @@ pub enum ExploreBackend {
     /// The schedule-controlled concurrent backend
     /// (`fle_runtime::SharedRegisters` behind `run_scheduled` gates).
     Concurrent(ShmConfig),
+    /// The partitioned parallel simulator
+    /// (`fle_sim::ParallelSimulator`): one adversary per partition, oracles
+    /// checked at every super-round barrier, violations replayed by plan
+    /// rather than by decision trace (see [`crate::partitioned`]).
+    Partitioned(PartitionedConfig),
 }
 
 /// The coordinates of one episode in the exploration grid.
@@ -295,6 +301,7 @@ impl<'a> Explorer<'a> {
         let outcomes = self.runner.map(&plans, move |plan| match backend {
             ExploreBackend::Sim => run_episode(scenario, plan),
             ExploreBackend::Concurrent(config) => run_episode_shm(scenario, plan, &config),
+            ExploreBackend::Partitioned(config) => run_episode_partitioned(scenario, plan, &config),
         });
         let mut report = HuntReport {
             episodes: plans.len(),

@@ -48,6 +48,7 @@
 pub mod concurrent;
 pub mod explorer;
 pub mod oracles;
+pub mod partitioned;
 pub mod sabotage;
 pub mod scenario;
 pub mod shrink;
@@ -59,6 +60,7 @@ pub use explorer::{
     HuntReport,
 };
 pub use oracles::{Oracle, OracleCtx, Violation};
+pub use partitioned::{run_episode_partitioned, PartitionedConfig};
 pub use scenario::{
     standard_scenarios, ElectionScenario, RenamingScenario, Scenario, SiftScenario,
 };

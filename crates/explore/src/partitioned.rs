@@ -1,0 +1,200 @@
+//! Schedule exploration on the **partitioned** simulator backend
+//! ([`fle_sim::ParallelSimulator`]).
+//!
+//! An episode here is one adversarial-mode partitioned run: each partition
+//! gets its own copy of the plan's attack strategy (seeded by a pure
+//! function of the strategy seed and the partition index), and the
+//! scenario's oracles are evaluated at every super-round barrier over the
+//! merged report and observation. Checking per *round* rather than per
+//! *event* is the natural granularity of this engine — within a round the
+//! partitions advance concurrently and no global state exists to check.
+//!
+//! **Replay without a decision trace.** A partitioned episode is a pure
+//! function of `(scenario, plan, partitions)`: the per-partition adversaries
+//! are rebuilt from `plan.strategy`/`plan.strategy_seed`, every coin comes
+//! from the per-processor streams of `plan.sim_seed`, and worker threads
+//! cannot affect results. A [`FoundViolation`] from this backend therefore
+//! carries an **empty** [`fle_sim::DecisionTrace`] — rerunning
+//! [`run_episode_partitioned`] with the same arguments *is* the replay — and
+//! the trace shrinker does not apply (there is no decision list to
+//! minimize; shrink over the scenario/plan grid instead).
+
+use crate::explorer::{EpisodeOutcome, EpisodePlan, FoundViolation};
+use crate::oracles::{budget_violation, OracleCtx};
+use crate::scenario::Scenario;
+use fle_model::splitmix64;
+use fle_sim::{DecisionTrace, ParallelSimulator, SimConfig, SimError};
+
+/// Configuration of the partitioned exploration backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionedConfig {
+    /// Number of partitions (clamped to `1..=n` by the engine).
+    pub partitions: usize,
+    /// Worker-thread cap (0 = one per partition, up to the core count).
+    /// Cannot affect episode outcomes; purely a resource knob.
+    pub workers: usize,
+}
+
+impl Default for PartitionedConfig {
+    fn default() -> Self {
+        PartitionedConfig {
+            partitions: 2,
+            workers: 0,
+        }
+    }
+}
+
+/// Run one episode of `plan` against `scenario` on the partitioned backend,
+/// evaluating the scenario's oracles at every super-round barrier.
+pub fn run_episode_partitioned(
+    scenario: &dyn Scenario,
+    plan: &EpisodePlan,
+    config: &PartitionedConfig,
+) -> EpisodeOutcome {
+    let mut sim_config = SimConfig::new(scenario.n())
+        .with_seed(plan.sim_seed)
+        .with_partitions(config.partitions);
+    if let Some(budget) = scenario.max_events() {
+        sim_config = sim_config.with_max_events(budget);
+    }
+    let engine_budget = sim_config.max_events;
+    let mut sim = ParallelSimulator::new(sim_config).with_workers(config.workers);
+    for (proc, protocol) in scenario.protocols() {
+        sim.add_participant(proc, protocol);
+    }
+    let participants = scenario.participants();
+    let mut oracles = scenario.oracles();
+    let strategy = plan.strategy;
+    let strategy_seed = plan.strategy_seed;
+    // Mix the partition-unique engine seed into the strategy seed so the
+    // partitions run distinct (but reproducible) copies of the attack.
+    sim.set_adversaries(|_part, seed| strategy.build(splitmix64(seed ^ strategy_seed)));
+
+    let violation = loop {
+        match sim.step_round() {
+            Ok(false) => break None,
+            Ok(true) => {
+                let report = sim.merged_report_so_far();
+                let observation = sim.merged_observation();
+                let ctx = OracleCtx {
+                    report: &report,
+                    observation: &observation,
+                    participants: &participants,
+                    events_executed: sim.events_executed(),
+                };
+                let fired = oracles.iter_mut().find_map(|oracle| oracle.check(&ctx));
+                if fired.is_some() {
+                    break fired;
+                }
+            }
+            Err(SimError::EventBudgetExhausted { .. }) => {
+                break Some(budget_violation(engine_budget, sim.events_executed()));
+            }
+            Err(error) => {
+                panic!("partitioned exploration episode hit a simulator error: {error}");
+            }
+        }
+    };
+    match violation {
+        None => EpisodeOutcome::Clean {
+            events: sim.events_executed(),
+        },
+        Some(violation) => EpisodeOutcome::Violated(Box::new(FoundViolation {
+            violation,
+            // Deliberately empty: see the module docs — the episode plan is
+            // the replay token on this backend.
+            decisions: DecisionTrace::default(),
+            scenario: scenario.name(),
+            plan: *plan,
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sabotage::SabotagedElectionScenario;
+    use crate::scenario::ElectionScenario;
+    use crate::strategies::StrategySpec;
+
+    fn plan(strategy: StrategySpec, sim_seed: u64) -> EpisodePlan {
+        EpisodePlan {
+            strategy,
+            sim_seed,
+            strategy_seed: 0,
+        }
+    }
+
+    #[test]
+    fn healthy_election_episodes_are_clean_when_partitioned() {
+        let scenario = ElectionScenario { n: 8, k: 8 };
+        let config = PartitionedConfig::default();
+        for strategy in StrategySpec::library() {
+            for sim_seed in 0..2 {
+                match run_episode_partitioned(&scenario, &plan(strategy, sim_seed), &config) {
+                    EpisodeOutcome::Clean { events } => assert!(events > 0),
+                    EpisodeOutcome::Violated(found) => {
+                        panic!("healthy election flagged: {found}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sabotaged_election_is_caught_when_partitioned() {
+        let scenario = SabotagedElectionScenario { n: 8, k: 8 };
+        let config = PartitionedConfig::default();
+        let mut caught = false;
+        'outer: for strategy in StrategySpec::library() {
+            for sim_seed in 0..8 {
+                if let EpisodeOutcome::Violated(found) =
+                    run_episode_partitioned(&scenario, &plan(strategy, sim_seed), &config)
+                {
+                    assert_eq!(found.violation.oracle, "unique-leader");
+                    assert!(
+                        found.decisions.is_empty(),
+                        "partitioned violations replay by plan, not by trace"
+                    );
+                    caught = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(caught, "the sabotaged election must be caught");
+    }
+
+    #[test]
+    fn episodes_are_deterministic_across_worker_counts() {
+        let scenario = ElectionScenario { n: 12, k: 12 };
+        let base = PartitionedConfig {
+            partitions: 3,
+            workers: 1,
+        };
+        for strategy in [
+            StrategySpec::library()[0],
+            *StrategySpec::library().last().unwrap(),
+        ] {
+            let reference = run_episode_partitioned(&scenario, &plan(strategy, 5), &base);
+            for workers in [2usize, 8] {
+                let candidate = run_episode_partitioned(
+                    &scenario,
+                    &plan(strategy, 5),
+                    &PartitionedConfig {
+                        partitions: 3,
+                        workers,
+                    },
+                );
+                match (&reference, &candidate) {
+                    (EpisodeOutcome::Clean { events: a }, EpisodeOutcome::Clean { events: b }) => {
+                        assert_eq!(a, b, "worker count changed the event count")
+                    }
+                    (EpisodeOutcome::Violated(a), EpisodeOutcome::Violated(b)) => {
+                        assert_eq!(a.violation, b.violation)
+                    }
+                    _ => panic!("worker count changed the episode outcome"),
+                }
+            }
+        }
+    }
+}

@@ -67,6 +67,7 @@ pub mod action;
 pub mod backend;
 pub mod ids;
 pub mod metrics;
+pub mod partition;
 pub mod protocol;
 pub mod schedule;
 pub mod store;
@@ -78,6 +79,7 @@ pub use action::{Action, Outcome, Response};
 pub use backend::{drive, drive_cancellable, CancelToken, SharedMemory};
 pub use ids::{splitmix64, ElectionContext, InstanceId, ProcId, Slot};
 pub use metrics::{ExecutionMetrics, ProcessMetrics};
+pub use partition::{PartitionMap, RouteKey};
 pub use protocol::{LocalStateView, Protocol};
 pub use schedule::{drive_scheduled, GateVerdict, SchedulePoint, ScheduledMemory};
 pub use store::{CollectCache, ReplicaStore};

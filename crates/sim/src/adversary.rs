@@ -43,7 +43,10 @@ use rand_chacha::ChaCha8Rng;
 /// iterating; state-inspecting adversaries iterate with
 /// [`EnabledEvents::iter`], which costs time linear in the number of enabled
 /// events.
-pub trait Adversary {
+///
+/// Adversaries must be [`Send`] so the partitioned simulator can hand each
+/// partition's adversary to its worker thread.
+pub trait Adversary: Send {
     /// Choose the next event (or a crash). `enabled` is never empty.
     fn decide(&mut self, observation: &SystemObservation, enabled: &EnabledEvents<'_>) -> Decision;
 

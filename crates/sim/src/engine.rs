@@ -76,6 +76,16 @@ pub struct SimConfig {
     /// schedules, same reports); kept as the payload-cost baseline and as
     /// the reference half of the payload differential tests.
     pub naive_payloads: bool,
+    /// Number of partitions for the partitioned parallel engine
+    /// ([`crate::ParallelSimulator`]). `0` (the default) means "sequential
+    /// legacy mode": the engine draws all coins from one global
+    /// seed-derived stream, byte-identical to every pre-partitioning
+    /// release. Any value ≥ 1 switches coin flips to per-processor
+    /// streams derived from `(seed, proc)` (see [`crate::partition`]),
+    /// which are identical for every partition count — including 1 — so
+    /// sequential runs with `partitions = 1` are differential references
+    /// for partitioned runs.
+    pub partitions: usize,
 }
 
 impl SimConfig {
@@ -95,6 +105,7 @@ impl SimConfig {
             naive_event_set: false,
             validate_event_set: false,
             naive_payloads: false,
+            partitions: 0,
         }
     }
 
@@ -149,6 +160,17 @@ impl SimConfig {
         self
     }
 
+    /// Run with `partitions` per-partition engines (clamped to `1..=n`;
+    /// `0` keeps the legacy single-stream sequential mode). Setting any
+    /// value ≥ 1 also switches the sequential [`Simulator`] to the
+    /// partition-count-independent per-processor coin streams, making it a
+    /// differential reference for [`crate::ParallelSimulator`].
+    #[must_use]
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions.min(self.n);
+        self
+    }
+
     /// Quorum size: `⌊n/2⌋ + 1`.
     pub fn quorum(&self) -> usize {
         self.n / 2 + 1
@@ -199,6 +221,9 @@ pub struct Simulator {
     /// Persistent adversary observation, updated incrementally as processors
     /// change state so that each event costs O(1) observation maintenance.
     observation: SystemObservation,
+    /// Pool-recycle count of the arena this simulator was built from
+    /// (restored into the arena on extraction; see [`SimArena::reuses`]).
+    arena_reuses: u64,
 }
 
 impl Simulator {
@@ -228,6 +253,7 @@ impl Simulator {
             mut crashes,
             mut scratch_slots,
             mut observations,
+            reuses,
         } = arena;
         slab.clear();
         enabled_msgs.clear();
@@ -280,7 +306,15 @@ impl Simulator {
                 ..ExecutionReport::default()
             },
             observation,
+            arena_reuses: reuses,
         }
+    }
+
+    /// How many times this simulator's buffers had been recycled through the
+    /// arena pool when it was created (0 = cold allocation). See
+    /// [`SimArena::reuses`].
+    pub fn arena_reuses(&self) -> u64 {
+        self.arena_reuses
     }
 
     /// Recover the engine buffers for the next trial (counterpart of
@@ -299,6 +333,7 @@ impl Simulator {
             crashes: std::mem::take(&mut self.crashes),
             scratch_slots: std::mem::take(&mut self.scratch_slots),
             observations: std::mem::take(&mut self.observation.processes),
+            reuses: self.arena_reuses,
         };
         // Empty everything now (keeping capacity) rather than lazily on next
         // reuse: an arena parked in the thread-local pool must hold only
@@ -867,7 +902,17 @@ impl Simulator {
                 self.maybe_complete_quorum(proc, quorum);
             }
             Action::Flip { prob_one } => {
-                let value = self.rng.gen_bool(prob_one.clamp(0.0, 1.0));
+                let value = if self.config.partitions > 0 {
+                    let word = crate::partition::coin_word(
+                        self.config.seed,
+                        proc,
+                        self.processes[index].flips,
+                    );
+                    self.processes[index].flips += 1;
+                    crate::partition::coin_bool(word, prob_one)
+                } else {
+                    self.rng.gen_bool(prob_one.clamp(0.0, 1.0))
+                };
                 self.report.metrics.proc_mut(proc).coin_flips += 1;
                 self.report.trace.push(TraceEvent::Coin { proc, value });
                 self.processes[index].pending = PendingWork::LocalResponse(Response::Coin(value));
@@ -876,6 +921,14 @@ impl Simulator {
                 self.report.metrics.proc_mut(proc).coin_flips += 1;
                 let chosen = if choices.is_empty() {
                     0
+                } else if self.config.partitions > 0 {
+                    let word = crate::partition::coin_word(
+                        self.config.seed,
+                        proc,
+                        self.processes[index].flips,
+                    );
+                    self.processes[index].flips += 1;
+                    choices[(word % choices.len() as u64) as usize]
                 } else {
                     choices[self.rng.gen_range(0..choices.len())]
                 };

@@ -60,6 +60,7 @@ pub mod event_set;
 pub mod memory;
 pub mod message;
 pub mod observation;
+pub mod partition;
 pub mod process;
 pub mod replica;
 pub mod report;
@@ -69,7 +70,7 @@ pub use adversary::{
     Adversary, CoinAwareAdversary, CrashPlan, CrashingAdversary, ObliviousAdversary,
     RandomAdversary, RecordingAdversary, ReplayAdversary, SequentialAdversary,
 };
-pub use arena::SimArena;
+pub use arena::{pool_stats, ArenaPoolStats, SimArena};
 pub use engine::{SimConfig, Simulator};
 pub use error::SimError;
 pub use event_set::{IndexedBitSet, OrderedMsgSet};
@@ -77,6 +78,10 @@ pub use memory::{SimMemory, SimMemoryHandle};
 pub use message::{InFlightMessage, MessageId, MessageSlab};
 pub use observation::{
     Decision, EnabledEvent, EnabledEvents, ProcessObservation, ProcessPhase, SystemObservation,
+};
+pub use partition::{
+    coin_bool, coin_word, partition_adversary_seed, ParallelSimulator, RoundCrashPlan,
+    SuperRoundAdversary,
 };
 pub use report::ExecutionReport;
 pub use trace::{DecisionTrace, Trace, TraceEvent};

@@ -69,6 +69,10 @@ pub struct SimProcess {
     /// Requester-side delta-collect state: per responder, the most recent
     /// view received for the instance currently being collected.
     pub collect_cache: CollectCache,
+    /// Number of coin words this processor has drawn from its per-processor
+    /// stream (the `k` of `coin_word(seed, proc, k)`); unused (stays 0) in
+    /// legacy global-stream mode. See [`crate::partition`].
+    pub flips: u64,
 }
 
 impl std::fmt::Debug for SimProcess {
@@ -96,6 +100,7 @@ impl SimProcess {
             next_seq: 0,
             call_msgs: Vec::new(),
             collect_cache: CollectCache::new(),
+            flips: 0,
         }
     }
 
@@ -113,6 +118,7 @@ impl SimProcess {
         self.next_seq = 0;
         self.call_msgs.clear();
         self.collect_cache.clear();
+        self.flips = 0;
     }
 
     /// Attach a protocol, turning the node into a participant.

@@ -5,7 +5,7 @@ use fle_model::{ExecutionMetrics, Outcome, ProcId};
 use std::collections::BTreeMap;
 
 /// Everything the simulator reports about one execution.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutionReport {
     /// Outcome of every participant that returned.
     pub outcomes: BTreeMap<ProcId, Outcome>,

@@ -1,6 +1,34 @@
 //! Execution traces, used for determinism tests and debugging, and
 //! adversary *decision* traces, used by the schedule-exploration subsystem
 //! (`fle_explore`) to replay, serialize and minimize counterexamples.
+//!
+//! # Seed derivation
+//!
+//! Everything random in a simulation descends from the single configuration
+//! seed `s` = [`crate::SimConfig::seed`] by pure functions, so a trace (and
+//! every report field) is reproducible from `(s, n, partitions, schedule)`
+//! alone:
+//!
+//! * **Legacy global stream** (`config.partitions == 0`): the sequential
+//!   [`crate::Simulator`] draws every coin from one `ChaCha8` stream seeded
+//!   with `s`, in execution order. Byte-compatible with all pre-partitioning
+//!   baselines, but inherently schedule- and engine-dependent.
+//! * **Per-processor streams** (`config.partitions >= 1`, and always in the
+//!   partitioned [`crate::ParallelSimulator`]): processor `p`'s `k`-th coin
+//!   word is [`crate::coin_word`]`(s, p, k)` =
+//!   `splitmix64(splitmix64(s ^ splitmix64(p + 1)) ^ k)`. The stream depends
+//!   only on `(s, p)` — not on the partition count, the worker-thread count,
+//!   or any other processor's activity — so the sequential and partitioned
+//!   engines flip identical coins for identical protocols, which is what
+//!   makes the differential tests possible. Booleans come from
+//!   [`crate::coin_bool`] (top 53 bits as a uniform float, compared against
+//!   the bias); `Choose` picks `word % len`.
+//! * **Partition adversaries** (adversarial mode): partition `i`'s adversary
+//!   is seeded with [`crate::partition_adversary_seed`]`(s, i)` =
+//!   `splitmix64(s ^ splitmix64(0xAD5E_0000_0000_0000 | i))`. Fixed
+//!   `(s, n, partitions)` therefore fixes the whole adversarial execution;
+//!   different partition counts are simply different (but still
+//!   deterministic) adversaries.
 
 use crate::message::MessageId;
 use crate::observation::Decision;
