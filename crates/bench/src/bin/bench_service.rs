@@ -11,6 +11,9 @@
 //! * `-- --overload-smoke` — offer 2x the sustainable rate under the shed
 //!   policy and gate on the overload properties: nonzero shed, bounded queue
 //!   depth, intact admitted work, balanced accounting, goodput holding up.
+//! * `-- --metrics-smoke` — run the same storm with per-shard metrics on and
+//!   off; assert the snapshot invariants (per-shard sums equal the aggregate
+//!   stats, every instance attributed) and gate on recorder overhead.
 
 use fle_bench::service_load;
 
@@ -43,6 +46,24 @@ fn main() {
             }
             Err(message) => {
                 eprintln!("overload-smoke FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.iter().any(|arg| arg == "--metrics-smoke") {
+        match service_load::metrics_smoke_check() {
+            Ok((with_metrics, without)) => {
+                println!(
+                    "metrics-smoke OK: {with_metrics:.0} instances/s with per-shard recorders \
+                     vs {without:.0} without (floor {:.0}%), snapshot agreed with the \
+                     aggregate stats",
+                    service_load::METRICS_MIN_THROUGHPUT_FRACTION * 100.0
+                );
+            }
+            Err(message) => {
+                eprintln!("metrics-smoke FAILED: {message}");
                 std::process::exit(1);
             }
         }

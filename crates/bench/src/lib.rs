@@ -21,22 +21,26 @@
 pub mod baseline;
 pub mod batch;
 pub mod experiments;
-pub mod hist;
 pub mod json;
 pub mod parallel;
 pub mod service_load;
+
+/// The log-scaled histogram now lives in `fle-obs` (the service's
+/// observability layer shares it); re-exported here for the bench API's
+/// long-standing `fle_bench::hist` path.
+pub use fle_obs::hist;
 
 pub use batch::BatchRunner;
 pub use experiments::{
     e1_poisonpill_survivors, e2_het_survivors, e3_election_time, e4_message_complexity,
     e5_fault_tolerance, e6_renaming, e7_lower_bound_check, e8_bias_ablation, AdversaryKind,
 };
-pub use hist::LogHistogram;
+pub use fle_obs::LogHistogram;
 pub use parallel::{
     measure_parallel_default, measure_parallel_point, parallel_smoke_check,
     record_parallel_preserving, ParallelPoint, PartitionSample,
 };
 pub use service_load::{
-    closed_loop, open_loop, open_loop_overload, overload_smoke_check, overload_sweep,
-    submit_with_retry, LoadResult, LoadSpec, OverloadResult, OverloadSpec,
+    closed_loop, metrics_smoke_check, open_loop, open_loop_overload, overload_smoke_check,
+    overload_sweep, submit_with_retry, LoadResult, LoadSpec, OverloadResult, OverloadSpec,
 };

@@ -30,6 +30,7 @@
 
 use crate::hist::LogHistogram;
 use crate::json::write_or_warn;
+use fle_obs::MetricsSnapshot;
 use fle_service::{
     BackendKind, ElectionService, InstanceSpec, OverloadPolicy, ServiceConfig, SubmitError, Ticket,
 };
@@ -94,9 +95,17 @@ pub struct LoadResult {
     pub p99_micros: u64,
     /// Worst observed latency, microseconds (exact).
     pub max_micros: u64,
+    /// The service's per-shard metrics at shutdown (cross-checked against
+    /// the aggregate stats); `None` when the run disabled metrics.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
-fn summarize(spec: LoadSpec, wall: Duration, latencies: &LogHistogram) -> LoadResult {
+fn summarize(
+    spec: LoadSpec,
+    wall: Duration,
+    latencies: &LogHistogram,
+    metrics: Option<MetricsSnapshot>,
+) -> LoadResult {
     let wall_secs = wall.as_secs_f64();
     LoadResult {
         spec,
@@ -106,6 +115,7 @@ fn summarize(spec: LoadSpec, wall: Duration, latencies: &LogHistogram) -> LoadRe
         p95_micros: latencies.value_at_quantile(0.95),
         p99_micros: latencies.value_at_quantile(0.99),
         max_micros: latencies.max(),
+        metrics,
     }
 }
 
@@ -165,7 +175,15 @@ pub fn submit_with_retry(
 /// Panics on any correctness violation (lost/duplicate/cross-keyed result,
 /// no unique winner, accounting imbalance) — see the internal `verify` pass.
 pub fn closed_loop(spec: LoadSpec) -> LoadResult {
-    let service = ElectionService::new(ServiceConfig::new(spec.shards, spec.backend));
+    run_closed_loop(spec, true)
+}
+
+/// [`closed_loop`] with the per-shard metrics recorders on or off — the
+/// off variant exists for the metrics-overhead gate
+/// ([`metrics_smoke_check`]).
+fn run_closed_loop(spec: LoadSpec, metrics: bool) -> LoadResult {
+    let service =
+        ElectionService::new(ServiceConfig::new(spec.shards, spec.backend).with_metrics(metrics));
     let start = Instant::now();
     let latencies: LogHistogram = std::thread::scope(|scope| {
         let service = &service;
@@ -195,7 +213,7 @@ pub fn closed_loop(spec: LoadSpec) -> LoadResult {
         merged
     });
     let wall = start.elapsed();
-    let stats = service.shutdown();
+    let (stats, snapshot) = service.shutdown_with_metrics();
     assert_eq!(
         stats.completed, spec.instances as u64,
         "the service must complete exactly the submitted instances"
@@ -208,7 +226,12 @@ pub fn closed_loop(spec: LoadSpec) -> LoadResult {
     stats
         .check_invariant()
         .expect("the service accounting must balance");
-    summarize(spec, wall, &latencies)
+    if let Some(snapshot) = &snapshot {
+        stats
+            .check_metrics(snapshot)
+            .expect("the per-shard metrics must agree with the aggregate stats");
+    }
+    summarize(spec, wall, &latencies, snapshot)
 }
 
 /// Open-loop load: submit every instance at a fixed target rate (per
@@ -243,12 +266,17 @@ pub fn open_loop(spec: LoadSpec, rate_per_sec: f64) -> LoadResult {
         latencies.record(verify(spec.base_key + index as u64, spec.n, ticket));
     }
     let wall = start.elapsed();
-    let stats = service.shutdown();
+    let (stats, snapshot) = service.shutdown_with_metrics();
     assert_eq!(stats.completed, spec.instances as u64);
     stats
         .check_invariant()
         .expect("the service accounting must balance");
-    summarize(spec, wall, &latencies)
+    if let Some(snapshot) = &snapshot {
+        stats
+            .check_metrics(snapshot)
+            .expect("the per-shard metrics must agree with the aggregate stats");
+    }
+    summarize(spec, wall, &latencies, snapshot)
 }
 
 /// One overload configuration: open-loop past capacity, no retries.
@@ -325,6 +353,15 @@ pub struct OverloadResult {
 /// or when the service accounting imbalances — shedding must never corrupt
 /// admitted work.
 pub fn open_loop_overload(spec: OverloadSpec, rate_per_sec: f64) -> OverloadResult {
+    open_loop_overload_observed(spec, rate_per_sec).0
+}
+
+/// [`open_loop_overload`], also returning the per-shard metrics snapshot so
+/// the sweep can attribute where the overload landed.
+pub fn open_loop_overload_observed(
+    spec: OverloadSpec,
+    rate_per_sec: f64,
+) -> (OverloadResult, Option<MetricsSnapshot>) {
     assert!(rate_per_sec > 0.0, "the offered rate must be positive");
     let config = ServiceConfig::new(spec.shards, BackendKind::Concurrent)
         .with_queue_capacity(spec.queue_capacity)
@@ -365,16 +402,21 @@ pub fn open_loop_overload(spec: OverloadSpec, rate_per_sec: f64) -> OverloadResu
         }
     }
     let wall = start.elapsed();
-    let stats = service.shutdown();
+    let (stats, snapshot) = service.shutdown_with_metrics();
     stats
         .check_invariant()
         .expect("shedding must not unbalance the accounting");
     assert_eq!(stats.submitted, admitted, "admission accounting");
     assert_eq!(stats.completed, latencies.count(), "completion accounting");
     assert_eq!(stats.rejected, refused, "refusal accounting");
+    if let Some(snapshot) = &snapshot {
+        stats
+            .check_metrics(snapshot)
+            .expect("the per-shard metrics must agree even under overload");
+    }
     let completed = latencies.count();
     let offered = spec.instances as u64;
-    OverloadResult {
+    let result = OverloadResult {
         spec,
         offered_per_sec: rate_per_sec,
         multiplier: 0.0, // stamped by the caller when a sustainable rate is known
@@ -388,13 +430,15 @@ pub fn open_loop_overload(spec: OverloadSpec, rate_per_sec: f64) -> OverloadResu
         p50_micros: latencies.value_at_quantile(0.50),
         p99_micros: latencies.value_at_quantile(0.99),
         max_queue_depth: stats.max_queue_depth,
-    }
+    };
+    (result, snapshot)
 }
 
 /// Measure the sustainable rate (closed loop), then offer multiples of it
 /// open-loop under [`OverloadPolicy::Shed`]: the overload section of the
 /// standard recording. Returns the sustainable rate and one result per
-/// multiplier.
+/// multiplier. Each sweep point prints its per-shard attribution report
+/// (slowest shard, deepest queue, wait:run split) to stdout.
 pub fn overload_sweep(
     shards: usize,
     instances: usize,
@@ -410,8 +454,16 @@ pub fn overload_sweep(
             // Disjoint key ranges per sweep point (one service per point,
             // but disjointness keeps the latency seeds independent too).
             spec.base_key = 1_000_000 * (index as u64 + 1);
-            let mut result = open_loop_overload(spec, sustainable * multiplier);
+            let (mut result, snapshot) =
+                open_loop_overload_observed(spec, sustainable * multiplier);
             result.multiplier = multiplier;
+            if let Some(snapshot) = snapshot {
+                println!(
+                    "overload x{multiplier:.2} ({:.0}/s offered) — per-shard attribution:",
+                    result.offered_per_sec
+                );
+                print!("{}", snapshot.attribution_report());
+            }
             result
         })
         .collect();
@@ -428,17 +480,24 @@ pub fn sequential_reference(spec: LoadSpec) -> f64 {
     let start = Instant::now();
     for index in 0..spec.instances {
         let key = spec.base_key + index as u64;
-        let outcomes = backend
+        let output = backend
             .run(&InstanceSpec::election(key, spec.n), &none)
             .expect("an uncancelled run completes");
-        assert_eq!(outcomes.values().filter(|o| o.is_win()).count(), 1);
+        assert_eq!(output.outcomes.values().filter(|o| o.is_win()).count(), 1);
         registers.retire(key);
     }
     spec.instances as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Render load + overload results as the `BENCH_service.json` document.
-pub fn to_json(points: &[LoadResult], overload: &[OverloadResult]) -> String {
+/// `metrics` is the per-shard snapshot of one representative closed-loop
+/// point (the one whose shard count the overload sweep reuses), serialized
+/// as the document's `metrics` section.
+pub fn to_json(
+    points: &[LoadResult],
+    overload: &[OverloadResult],
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"service_instances_per_sec\",\n");
     out.push_str(
         "  \"workload\": \"closed-loop election storm: `instances` independent n-processor \
@@ -507,7 +566,26 @@ pub fn to_json(points: &[LoadResult], overload: &[OverloadResult]) -> String {
             o.max_queue_depth,
         );
     }
-    out.push_str("  ]\n}\n");
+    if let Some(snapshot) = metrics {
+        out.push_str("  ],\n");
+        out.push_str(
+            "  \"metrics_methodology\": \"per-shard recorders sampled at shutdown of one \
+             representative closed-loop point; wait = submit-to-dequeue, run = dequeue-to-\
+             terminal; histogram quantiles <= 1.6% bucket error; per-shard sums cross-checked \
+             against the aggregate ServiceStats every run\",\n",
+        );
+        // The snapshot serializer never emits a bare `"shards":` key (it
+        // uses `worker_shards`/`per_shard`), so the line-oriented
+        // closed-loop parser above stays safe.
+        let _ = writeln!(
+            out,
+            "  \"metrics\": {}",
+            snapshot.to_json("  ").trim_start()
+        );
+        out.push_str("}\n");
+    } else {
+        out.push_str("  ]\n}\n");
+    }
     out
 }
 
@@ -521,7 +599,14 @@ pub fn service_bench_path() -> PathBuf {
 pub fn record(path: &Path, specs: &[LoadSpec], overload_shards: usize) -> Vec<LoadResult> {
     let points: Vec<LoadResult> = specs.iter().map(|&spec| closed_loop(spec)).collect();
     let (_, overload) = overload_sweep(overload_shards, 800, 4, &[0.5, 1.0, 2.0, 4.0]);
-    write_or_warn(path, &to_json(&points, &overload));
+    // The document's `metrics` section: the closed-loop point whose shard
+    // count the overload sweep reuses (falling back to the last point).
+    let metrics = points
+        .iter()
+        .find(|p| p.spec.shards == overload_shards)
+        .or_else(|| points.last())
+        .and_then(|p| p.metrics.as_ref());
+    write_or_warn(path, &to_json(&points, &overload, metrics));
     points
 }
 
@@ -609,6 +694,87 @@ pub fn smoke_check() -> Result<(f64, f64), String> {
         );
     }
     Ok((measured, recorded))
+}
+
+/// Maximum slowdown the per-shard metrics layer may cost: metrics-on
+/// throughput must stay at least this fraction of metrics-off throughput
+/// (the ISSUE budget is 5 %; the gate allows 20 % to absorb CI noise, with
+/// one re-measure before failing).
+pub const METRICS_MIN_THROUGHPUT_FRACTION: f64 = 0.80;
+
+/// The CI metrics-smoke gate: run the same closed-loop storm with the
+/// per-shard recorders on and off, and verify that
+///
+/// * the instrumented run produces a snapshot whose per-shard sums equal
+///   the aggregate `ServiceStats` (asserted inside [`closed_loop`] via
+///   `check_metrics`, alongside `check_invariant`),
+/// * the snapshot attributes the work — every shard admitted something and
+///   wait/run histograms carry one sample per completed instance, and
+/// * metrics-on throughput stays within [`METRICS_MIN_THROUGHPUT_FRACTION`]
+///   of metrics-off (re-measured once before failing, to damp scheduler
+///   noise on shared runners).
+///
+/// Prints the instrumented run's attribution report. Returns
+/// `(metrics_on_per_sec, metrics_off_per_sec)`.
+///
+/// # Errors
+/// Returns a description of the first violated property.
+pub fn metrics_smoke_check() -> Result<(f64, f64), String> {
+    let spec = LoadSpec::concurrent(SMOKE_SHARDS, SMOKE_INSTANCES, 4);
+    let mut on = run_closed_loop(spec, true);
+    let snapshot = on
+        .metrics
+        .take()
+        .ok_or_else(|| "the instrumented run produced no metrics snapshot".to_string())?;
+    let total = snapshot.aggregate();
+    if total.admitted != spec.instances as u64 {
+        return Err(format!(
+            "per-shard admitted sums to {} but {} instances were submitted",
+            total.admitted, spec.instances
+        ));
+    }
+    if total.started() != total.queue_wait_micros.count()
+        || total.started() != total.run_micros.count()
+    {
+        return Err(format!(
+            "started {} runs but recorded {} waits and {} run times",
+            total.started(),
+            total.queue_wait_micros.count(),
+            total.run_micros.count()
+        ));
+    }
+    if let Some(idle) = snapshot.per_shard.iter().find(|s| s.admitted == 0) {
+        return Err(format!(
+            "shard {} admitted nothing across {} instances — routing is not spreading keys",
+            idle.shard, spec.instances
+        ));
+    }
+    println!("metrics-smoke attribution ({} instances):", spec.instances);
+    print!("{}", snapshot.attribution_report());
+    let mut off = run_closed_loop(spec, false);
+    if off.metrics.is_some() {
+        return Err("the metrics-off run still produced a snapshot".to_string());
+    }
+    if on.instances_per_sec < off.instances_per_sec * METRICS_MIN_THROUGHPUT_FRACTION {
+        // One re-measure: a single descheduled worker can cost more than
+        // the whole metrics layer does.
+        eprintln!(
+            "metrics-smoke note: first pass measured {:.0}/s on vs {:.0}/s off — re-measuring",
+            on.instances_per_sec, off.instances_per_sec
+        );
+        on = run_closed_loop(spec, true);
+        off = run_closed_loop(spec, false);
+        if on.instances_per_sec < off.instances_per_sec * METRICS_MIN_THROUGHPUT_FRACTION {
+            return Err(format!(
+                "metrics overhead too high: {:.0} instances/s with recorders vs {:.0} \
+                 without (floor {:.0}%)",
+                on.instances_per_sec,
+                off.instances_per_sec,
+                METRICS_MIN_THROUGHPUT_FRACTION * 100.0
+            ));
+        }
+    }
+    Ok((on.instances_per_sec, off.instances_per_sec))
 }
 
 /// The CI overload-smoke gate: offer **2× the sustainable rate** (measured
@@ -728,16 +894,40 @@ mod tests {
         spec.queue_capacity = 2;
         spec.base_key = 500_000;
         let overload = vec![open_loop_overload(spec, 20_000.0)];
-        let json = to_json(&points, &overload);
+        let metrics = points[0].metrics.clone();
+        let json = to_json(&points, &overload, metrics.as_ref());
         assert!(json.contains("\"benchmark\": \"service_instances_per_sec\""));
         assert!(json.contains("\"overload\": ["));
         assert!(json.contains("\"policy\": \"shed\""));
+        assert!(json.contains("\"metrics\": {"));
+        assert!(json.contains("\"worker_shards\": 1"));
+        assert!(json.contains("\"per_shard\": ["));
         let parsed = recorded_instances_per_sec(&json, 1).expect("parseable");
         assert!(
             (parsed - points[0].instances_per_sec).abs() < 1.0,
-            "the overload section must not shadow the closed-loop points"
+            "the overload and metrics sections must not shadow the closed-loop points"
         );
         assert_eq!(recorded_instances_per_sec(&json, 99), None);
+    }
+
+    #[test]
+    fn json_without_metrics_still_closes_cleanly() {
+        let points = vec![closed_loop(LoadSpec::concurrent(1, 8, 3))];
+        let json = to_json(&points, &[], None);
+        assert!(json.trim_end().ends_with('}'));
+        assert!(!json.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn closed_loop_snapshot_attributes_every_instance() {
+        let result = closed_loop(LoadSpec::concurrent(2, 64, 3));
+        let snapshot = result.metrics.expect("metrics are on by default");
+        let total = snapshot.aggregate();
+        assert_eq!(total.admitted, 64);
+        assert_eq!(total.completed, 64);
+        assert_eq!(total.queue_wait_micros.count(), 64);
+        assert_eq!(total.run_micros.count(), 64);
+        assert_eq!(snapshot.per_shard.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Property tests pinning the [`fle_model::PartitionMap`] contract for
+//! arbitrary `(n, partitions)` — in particular the uneven cases where
+//! `n % partitions != 0`, which the unit tests only spot-check:
+//!
+//! * **membership** — `partition_of(p)` agrees with `range_of` for every
+//!   processor (each processor is in exactly the range of its partition),
+//! * **disjoint + contiguous cover** — the ranges tile `0..n` in partition
+//!   order with no gap and no overlap, and
+//! * **balance** — range lengths differ by at most one, with the first
+//!   `n % partitions` ranges getting the extra processor.
+//!
+//! These invariants are what the partitioned simulator's round merger and
+//! the service's per-shard metrics both lean on: contiguity makes the
+//! merged step log ascending, and balance makes per-partition (and
+//! per-shard) attribution comparable.
+
+use fle_model::{PartitionMap, ProcId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// `partition_of` and `range_of` are two views of one function:
+    /// processor `p` is in `range_of(partition_of(p))`, and every processor
+    /// of `range_of(k)` maps back to `k`.
+    #[test]
+    fn partition_of_and_range_of_agree(n in 1usize..200, partitions in 1usize..40) {
+        let map = PartitionMap::new(n, partitions);
+        for p in 0..n {
+            let owner = map.partition_of(ProcId(p));
+            prop_assert!(owner < map.partitions(), "owner index in range");
+            prop_assert!(
+                map.range_of(owner).contains(&p),
+                "processor {p} must lie in its owner's range {:?}",
+                map.range_of(owner)
+            );
+        }
+        for k in 0..map.partitions() {
+            for p in map.range_of(k) {
+                prop_assert_eq!(
+                    map.partition_of(ProcId(p)), k,
+                    "every processor of range {} maps back to it", k
+                );
+            }
+        }
+    }
+
+    /// The ranges tile `0..n` contiguously in partition order: each range
+    /// starts where the previous one ended, nothing is skipped, nothing is
+    /// covered twice, and the last range ends exactly at `n`.
+    #[test]
+    fn ranges_are_disjoint_and_cover_contiguously(n in 1usize..200, partitions in 1usize..40) {
+        let map = PartitionMap::new(n, partitions);
+        let mut next = 0usize;
+        for k in 0..map.partitions() {
+            let range = map.range_of(k);
+            prop_assert_eq!(range.start, next, "range {} starts at the previous end", k);
+            prop_assert!(!range.is_empty(), "clamping guarantees nonempty ranges");
+            next = range.end;
+        }
+        prop_assert_eq!(next, n, "the last range ends exactly at n");
+    }
+
+    /// Balance: lengths differ by at most one, the first `n % partitions`
+    /// ranges carry the extra processor, and the lengths sum to `n`.
+    #[test]
+    fn range_lengths_are_balanced(n in 1usize..200, partitions in 1usize..40) {
+        let map = PartitionMap::new(n, partitions);
+        let base = n / map.partitions();
+        let rem = n % map.partitions();
+        let lengths: Vec<usize> = (0..map.partitions()).map(|k| map.range_of(k).len()).collect();
+        for (k, &len) in lengths.iter().enumerate() {
+            let expected = base + usize::from(k < rem);
+            prop_assert_eq!(len, expected, "range {} length", k);
+        }
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        let min = lengths.iter().copied().min().unwrap_or(0);
+        prop_assert!(max - min <= 1, "lengths may differ by at most one");
+        prop_assert_eq!(lengths.iter().sum::<usize>(), n);
+    }
+
+    /// Requesting more partitions than processors clamps to one processor
+    /// per partition rather than manufacturing empty ranges.
+    #[test]
+    fn overpartitioning_clamps_to_n(n in 1usize..50, extra in 0usize..100) {
+        let map = PartitionMap::new(n, n + extra);
+        prop_assert_eq!(map.partitions(), n);
+        for k in 0..n {
+            prop_assert_eq!(map.range_of(k), k..k + 1);
+        }
+    }
+}

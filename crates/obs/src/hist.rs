@@ -15,6 +15,13 @@
 //! minimum and maximum are tracked on the side so `value_at_quantile(0.0)` /
 //! `(1.0)` are exact, and interior quantiles report their bucket's upper
 //! bound (a ≤ 1.6 % overestimate — conservative for latency SLOs).
+//!
+//! The histogram lives here (rather than in `fle-bench`, where it started)
+//! because it is the shared percentile engine of the observability layer:
+//! the service's per-shard recorders ([`crate::ShardRecorder`]) and the
+//! bench load generators aggregate into the *same* type, so a snapshot
+//! merged out of the service and a latency profile measured by the bench
+//! agree on quantile semantics by construction.
 
 /// Exact unit buckets for values below `1 << PRECISION_BITS`.
 const PRECISION_BITS: u32 = 6;
@@ -156,6 +163,14 @@ impl LogHistogram {
 mod tests {
     use super::*;
 
+    /// splitmix64, inlined so the histogram crate stays dependency-free.
+    fn mix(i: u64) -> u64 {
+        let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
     /// The exact order statistic the histogram approximates.
     fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
         let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
@@ -195,7 +210,7 @@ mod tests {
         // magnitude.
         let mut samples: Vec<u64> = (0..10_000u64)
             .map(|i| {
-                let base = fle_model::splitmix64(i) % 1000;
+                let base = mix(i) % 1000;
                 let spike = if i % 97 == 0 { 250_000 } else { 0 };
                 50 + base * base / 10 + spike
             })
@@ -236,7 +251,7 @@ mod tests {
         let mut right = LogHistogram::new();
         let mut both = LogHistogram::new();
         for i in 0..1000u64 {
-            let v = fle_model::splitmix64(i) % 100_000;
+            let v = mix(i) % 100_000;
             if i % 2 == 0 {
                 left.record(v);
             } else {

@@ -1,0 +1,308 @@
+//! Lock-cheap live recorders: what the service writes into on the hot path.
+//!
+//! A [`ShardRecorder`] is the always-on instrument of one service shard.
+//! Counters and the queue-depth high-water mark are relaxed atomics (one
+//! uncontended RMW per event); the four latency/occupancy histograms sit
+//! behind a single per-shard mutex that only the shard's own worker and its
+//! submitters ever touch — cross-shard contention is zero by construction,
+//! so recording costs nanoseconds next to the election each sample is about.
+//!
+//! The recorder is write-only during operation; [`ShardRecorder::snapshot`]
+//! freezes it into an owned, mergeable [`ShardSnapshot`] for reports.
+
+use crate::hist::LogHistogram;
+use crate::snapshot::{FaultCounters, ShardSnapshot};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A monotone event counter (relaxed atomic increments).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Count one event.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` events at once.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A high-water-mark gauge: remembers the largest observed value.
+#[derive(Debug, Default)]
+pub struct Watermark(AtomicUsize);
+
+impl Watermark {
+    /// Observe a value; the mark only ever rises.
+    pub fn observe(&self, value: usize) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The largest value observed so far.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// How a dequeued-and-started instance run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// The instance ran to completion.
+    Completed,
+    /// Its deadline tripped the cancel token mid-run.
+    CancelledInFlight,
+    /// It panicked and was contained by the worker.
+    Panicked,
+}
+
+/// The histograms of one shard, behind one uncontended mutex.
+#[derive(Debug, Default)]
+struct Hists {
+    /// Queue depth observed at each admission (occupancy distribution).
+    depth_on_admit: LogHistogram,
+    /// Submit-to-dequeue wait of every started instance, microseconds.
+    queue_wait_micros: LogHistogram,
+    /// Dequeue-to-resolution run time of every started instance,
+    /// microseconds.
+    run_micros: LogHistogram,
+    /// Retirement lag: terminal events on the shard between an instance
+    /// finishing and its record + registers being purged.
+    retirement_lag: LogHistogram,
+}
+
+/// The always-on metrics of one service shard.
+#[derive(Debug)]
+pub struct ShardRecorder {
+    shard: usize,
+    admitted: Counter,
+    blocked_submitters: Counter,
+    displaced: Counter,
+    rejected_shed: Counter,
+    rejected_block_timeout: Counter,
+    expired_in_queue: Counter,
+    completed: Counter,
+    cancelled_in_flight: Counter,
+    panics: Counter,
+    drained: Counter,
+    retired: Counter,
+    epochs_closed: Counter,
+    queue_high_water: Watermark,
+    fault_ops: Counter,
+    fault_delays: Counter,
+    fault_delay_micros: Counter,
+    fault_collect_failures: Counter,
+    fault_crashes: Counter,
+    hists: Mutex<Hists>,
+}
+
+const LOCK: &str = "metric recording never panics while holding the histogram lock";
+
+impl ShardRecorder {
+    /// A fresh recorder for shard `shard`.
+    pub fn new(shard: usize) -> Self {
+        ShardRecorder {
+            shard,
+            admitted: Counter::default(),
+            blocked_submitters: Counter::default(),
+            displaced: Counter::default(),
+            rejected_shed: Counter::default(),
+            rejected_block_timeout: Counter::default(),
+            expired_in_queue: Counter::default(),
+            completed: Counter::default(),
+            cancelled_in_flight: Counter::default(),
+            panics: Counter::default(),
+            drained: Counter::default(),
+            retired: Counter::default(),
+            epochs_closed: Counter::default(),
+            queue_high_water: Watermark::default(),
+            fault_ops: Counter::default(),
+            fault_delays: Counter::default(),
+            fault_delay_micros: Counter::default(),
+            fault_collect_failures: Counter::default(),
+            fault_crashes: Counter::default(),
+            hists: Mutex::new(Hists::default()),
+        }
+    }
+
+    /// The shard this recorder instruments.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// One job admitted to the shard queue at depth `depth` (measured under
+    /// the queue lock, so the high-water mark here equals the queue's own);
+    /// `blocked` marks a submitter that had to park for space first.
+    pub fn record_admitted(&self, depth: usize, blocked: bool) {
+        self.admitted.incr();
+        if blocked {
+            self.blocked_submitters.incr();
+        }
+        self.queue_high_water.observe(depth);
+        self.hists
+            .lock()
+            .expect(LOCK)
+            .depth_on_admit
+            .record(depth as u64);
+    }
+
+    /// A queued job displaced by a newer one under drop-oldest.
+    pub fn record_displaced(&self) {
+        self.displaced.incr();
+    }
+
+    /// A submission refused at the door by the shed policy.
+    pub fn record_rejected_shed(&self) {
+        self.rejected_shed.incr();
+    }
+
+    /// A submission refused after a block policy's timeout expired.
+    pub fn record_rejected_block_timeout(&self) {
+        self.rejected_block_timeout.incr();
+    }
+
+    /// A dequeued job whose deadline had already passed (never started).
+    pub fn record_expired_in_queue(&self) {
+        self.expired_in_queue.incr();
+    }
+
+    /// One started run: `wait_micros` in queue, `run_micros` executing, and
+    /// how it ended. This is the wait-vs-run latency split per instance.
+    pub fn record_run(&self, wait_micros: u64, run_micros: u64, kind: RunKind) {
+        match kind {
+            RunKind::Completed => self.completed.incr(),
+            RunKind::CancelledInFlight => self.cancelled_in_flight.incr(),
+            RunKind::Panicked => self.panics.incr(),
+        }
+        let mut hists = self.hists.lock().expect(LOCK);
+        hists.queue_wait_micros.record(wait_micros);
+        hists.run_micros.record(run_micros);
+    }
+
+    /// `n` queued jobs failed by shutdown before they started.
+    pub fn record_drained(&self, n: u64) {
+        self.drained.add(n);
+    }
+
+    /// One record + register purge, `lag` terminal events after the
+    /// instance finished.
+    pub fn record_retirement(&self, lag: u64) {
+        self.retired.incr();
+        self.hists.lock().expect(LOCK).retirement_lag.record(lag);
+    }
+
+    /// One epoch closed on this shard.
+    pub fn record_epoch_closed(&self) {
+        self.epochs_closed.incr();
+    }
+
+    /// Merge the fault counters one instance's `FaultyMemory` reported.
+    pub fn record_faults(&self, faults: &FaultCounters) {
+        self.fault_ops.add(faults.ops);
+        self.fault_delays.add(faults.delays);
+        self.fault_delay_micros.add(faults.delay_micros);
+        self.fault_collect_failures.add(faults.collect_failures);
+        self.fault_crashes.add(faults.crashes);
+    }
+
+    /// Freeze the recorder into an owned snapshot; `queue_depth` is the
+    /// shard queue's depth right now (the recorder itself only sees depths
+    /// at admission times).
+    pub fn snapshot(&self, queue_depth: usize) -> ShardSnapshot {
+        let hists = self.hists.lock().expect(LOCK);
+        ShardSnapshot {
+            shard: self.shard,
+            admitted: self.admitted.get(),
+            blocked_submitters: self.blocked_submitters.get(),
+            displaced: self.displaced.get(),
+            rejected_shed: self.rejected_shed.get(),
+            rejected_block_timeout: self.rejected_block_timeout.get(),
+            expired_in_queue: self.expired_in_queue.get(),
+            completed: self.completed.get(),
+            cancelled_in_flight: self.cancelled_in_flight.get(),
+            panics: self.panics.get(),
+            drained: self.drained.get(),
+            retired: self.retired.get(),
+            epochs_closed: self.epochs_closed.get(),
+            queue_depth,
+            queue_high_water: self.queue_high_water.get(),
+            depth_on_admit: hists.depth_on_admit.clone(),
+            queue_wait_micros: hists.queue_wait_micros.clone(),
+            run_micros: hists.run_micros.clone(),
+            retirement_lag: hists.retirement_lag.clone(),
+            faults: FaultCounters {
+                ops: self.fault_ops.get(),
+                delays: self.fault_delays.get(),
+                delay_micros: self.fault_delay_micros.get(),
+                collect_failures: self.fault_collect_failures.get(),
+                crashes: self.fault_crashes.get(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_counts_and_buckets_what_it_is_told() {
+        let recorder = ShardRecorder::new(3);
+        recorder.record_admitted(2, false);
+        recorder.record_admitted(5, true);
+        recorder.record_run(100, 400, RunKind::Completed);
+        recorder.record_run(50, 10, RunKind::CancelledInFlight);
+        recorder.record_run(1, 1, RunKind::Panicked);
+        recorder.record_displaced();
+        recorder.record_expired_in_queue();
+        recorder.record_rejected_shed();
+        recorder.record_drained(4);
+        recorder.record_retirement(7);
+        recorder.record_epoch_closed();
+        recorder.record_faults(&FaultCounters {
+            ops: 10,
+            delays: 2,
+            delay_micros: 30,
+            collect_failures: 1,
+            crashes: 0,
+        });
+
+        let snap = recorder.snapshot(1);
+        assert_eq!(snap.shard, 3);
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.blocked_submitters, 1);
+        assert_eq!(snap.queue_high_water, 5);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.cancelled_in_flight, 1);
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.failed(), 2);
+        assert_eq!(snap.shed(), 2, "displaced + expired-in-queue");
+        assert_eq!(snap.rejected(), 1);
+        assert_eq!(snap.drained, 4);
+        assert_eq!(snap.retired, 1);
+        assert_eq!(snap.epochs_closed, 1);
+        assert_eq!(snap.queue_wait_micros.count(), 3);
+        assert_eq!(snap.run_micros.count(), 3);
+        assert_eq!(snap.retirement_lag.max(), 7);
+        assert_eq!(snap.faults.ops, 10);
+        assert_eq!(snap.depth_on_admit.max(), 5);
+    }
+
+    #[test]
+    fn watermark_only_rises() {
+        let mark = Watermark::default();
+        mark.observe(3);
+        mark.observe(1);
+        assert_eq!(mark.get(), 3);
+        mark.observe(9);
+        assert_eq!(mark.get(), 9);
+    }
+}

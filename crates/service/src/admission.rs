@@ -56,6 +56,20 @@ impl OverloadPolicy {
     }
 }
 
+/// Receipt for an accepted push: what admission cost, for the metrics
+/// layer. `depth` is measured under the queue lock immediately after the
+/// push, so a recorder fed these receipts reproduces the queue's own
+/// high-water mark exactly.
+#[derive(Debug)]
+pub(crate) struct Admitted<T> {
+    /// The job displaced to make room (DropOldest only).
+    pub(crate) displaced: Option<T>,
+    /// Whether the submitter had to park for space first (Block only).
+    pub(crate) blocked: bool,
+    /// Queue depth right after this push.
+    pub(crate) depth: usize,
+}
+
 /// Why a push was refused.
 #[derive(Debug)]
 pub(crate) enum AdmitError<T> {
@@ -104,24 +118,33 @@ impl<T> AdmissionQueue<T> {
 
     /// Admit `item` under the queue's policy.
     ///
-    /// `Ok(None)`: admitted. `Ok(Some(old))`: admitted by displacing `old`
-    /// (DropOldest). `Err`: refused — full ([`AdmitError::Overloaded`]) or
-    /// shutting down ([`AdmitError::Closed`]), with the item handed back.
-    pub(crate) fn push(&self, item: T) -> Result<Option<T>, AdmitError<T>> {
+    /// `Ok(receipt)`: admitted — the [`Admitted`] receipt carries the
+    /// post-push depth, whether the submitter blocked, and the job
+    /// displaced to make room (DropOldest). `Err`: refused — full
+    /// ([`AdmitError::Overloaded`]) or shutting down
+    /// ([`AdmitError::Closed`]), with the item handed back.
+    pub(crate) fn push(&self, item: T) -> Result<Admitted<T>, AdmitError<T>> {
         let mut inner = self.inner.lock().expect(LOCK);
         if !inner.open {
             return Err(AdmitError::Closed(item));
         }
+        let mut blocked = false;
         if inner.queue.len() >= self.capacity {
             match self.policy {
                 OverloadPolicy::Shed => return Err(AdmitError::Overloaded(item)),
                 OverloadPolicy::DropOldest => {
                     let displaced = inner.queue.pop_front();
                     inner.queue.push_back(item);
+                    let depth = inner.queue.len();
                     self.not_empty.notify_all();
-                    return Ok(displaced);
+                    return Ok(Admitted {
+                        displaced,
+                        blocked: false,
+                        depth,
+                    });
                 }
                 OverloadPolicy::Block { timeout } => {
+                    blocked = true;
                     let deadline = timeout.map(|t| Instant::now() + t);
                     while inner.open && inner.queue.len() >= self.capacity {
                         inner = match deadline {
@@ -145,9 +168,14 @@ impl<T> AdmissionQueue<T> {
             }
         }
         inner.queue.push_back(item);
-        inner.max_depth = inner.max_depth.max(inner.queue.len());
+        let depth = inner.queue.len();
+        inner.max_depth = inner.max_depth.max(depth);
         self.not_empty.notify_all();
-        Ok(None)
+        Ok(Admitted {
+            displaced: None,
+            blocked,
+            depth,
+        })
     }
 
     /// Worker side: block for the next job; `None` once the queue is closed
@@ -179,8 +207,7 @@ impl<T> AdmissionQueue<T> {
         drained
     }
 
-    /// Current queue depth.
-    #[cfg(test)]
+    /// Current queue depth (metrics snapshots read this live).
     pub(crate) fn depth(&self) -> usize {
         self.inner.lock().expect(LOCK).queue.len()
     }
@@ -200,7 +227,10 @@ mod tests {
     fn fifo_within_capacity() {
         let queue = AdmissionQueue::new(4, OverloadPolicy::Shed);
         for i in 0..4 {
-            assert!(queue.push(i).is_ok());
+            let receipt = queue.push(i).unwrap();
+            assert!(receipt.displaced.is_none());
+            assert!(!receipt.blocked);
+            assert_eq!(receipt.depth, i + 1, "depth measured after the push");
         }
         assert_eq!(queue.depth(), 4);
         assert_eq!(queue.max_depth(), 4);
@@ -226,7 +256,9 @@ mod tests {
         let queue = AdmissionQueue::new(2, OverloadPolicy::DropOldest);
         queue.push(1).unwrap();
         queue.push(2).unwrap();
-        assert_eq!(queue.push(3).unwrap(), Some(1), "oldest is displaced");
+        let receipt = queue.push(3).unwrap();
+        assert_eq!(receipt.displaced, Some(1), "oldest is displaced");
+        assert_eq!(receipt.depth, 2, "displacement keeps depth at capacity");
         assert_eq!(queue.pop(), Some(2));
         assert_eq!(queue.pop(), Some(3));
     }
@@ -260,7 +292,8 @@ mod tests {
             })
         };
         // Blocks until the popper makes room.
-        queue.push(2).unwrap();
+        let receipt = queue.push(2).unwrap();
+        assert!(receipt.blocked, "the submitter had to park for space");
         assert_eq!(popper.join().unwrap(), Some(1));
         assert_eq!(queue.pop(), Some(2));
     }

@@ -30,13 +30,37 @@
 use crate::{InstanceSpec, Workload};
 use fle_model::{CancelToken, Outcome, ProcId, Protocol};
 use fle_runtime::{
-    run_concurrent_cancellable, run_concurrent_faulty, FaultPlan, RuntimeConfig, SharedRegisters,
-    ThreadedRuntime,
+    run_concurrent_cancellable, run_concurrent_faulty, FaultPlan, FaultStats, RuntimeConfig,
+    SharedRegisters, ThreadedRuntime,
 };
 use fle_sim::{RandomAdversary, SimConfig, Simulator};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Everything one completed run produced: the participants' outcomes plus
+/// the fault-injection counters accumulated along the way (zero for
+/// backends without fault injection). The service's observability layer
+/// merges the fault counters into the owning shard's recorder — before
+/// this struct existed, the concurrent backend measured them and threw
+/// them away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutput {
+    /// Outcome of every participant.
+    pub outcomes: BTreeMap<ProcId, Outcome>,
+    /// Faults injected during the run.
+    pub faults: FaultStats,
+}
+
+impl RunOutput {
+    /// A run that saw no fault injection.
+    pub fn clean(outcomes: BTreeMap<ProcId, Outcome>) -> Self {
+        RunOutput {
+            outcomes,
+            faults: FaultStats::default(),
+        }
+    }
+}
 
 /// Which execution backend a service runs its instances on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +115,7 @@ pub trait InstanceBackend: Send + Sync {
     /// Run every participant of `spec` to its outcome, or return `None` when
     /// `cancel` trips first (the instance missed its deadline mid-run; the
     /// service retires its namespace).
-    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>>;
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<RunOutput>;
 }
 
 /// The protocol state machines of an instance, one per participant.
@@ -110,32 +134,41 @@ pub(crate) fn protocols(spec: &InstanceSpec) -> Vec<(ProcId, Box<dyn Protocol + 
 pub struct SimBackend;
 
 /// How many simulator events run between cancellation polls.
-const SIM_CANCEL_STRIDE: u64 = 64;
+///
+/// The stride contract: the token is polled **before event 0** — a deadline
+/// that has already expired at submission time (or a pre-tripped token)
+/// cancels the run without executing a single simulator event — and again
+/// before every subsequent `SIM_CANCEL_STRIDE`-th event. A deadline that
+/// trips mid-run therefore overshoots by at most `SIM_CANCEL_STRIDE - 1`
+/// events before the backend notices. Widening the stride cheapens the
+/// common (uncancelled) path; the `Instant::now()` behind a deadline poll
+/// is the expensive part, and 64 events comfortably amortize it.
+pub const SIM_CANCEL_STRIDE: u64 = 64;
 
 impl InstanceBackend for SimBackend {
     fn name(&self) -> &'static str {
         "sim"
     }
 
-    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>> {
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<RunOutput> {
         let mut sim = Simulator::new(SimConfig::new(spec.n).with_seed(spec.seed));
         for (proc, protocol) in protocols(spec) {
             sim.add_participant(proc, protocol);
         }
         let mut adversary = RandomAdversary::with_seed(spec.seed.rotate_left(17));
+        let poll = cancel.is_cancellable();
+        // `events == 0` is a multiple of the stride, so the first poll
+        // happens before any event runs — see SIM_CANCEL_STRIDE's contract.
         let mut events = 0u64;
         loop {
-            if cancel.is_cancellable()
-                && events.is_multiple_of(SIM_CANCEL_STRIDE)
-                && cancel.is_cancelled()
-            {
+            if poll && events.is_multiple_of(SIM_CANCEL_STRIDE) && cancel.is_cancelled() {
                 return None;
             }
             let progressed = sim
                 .step_once(&mut adversary)
                 .expect("a fairly scheduled instance terminates");
             if !progressed {
-                return Some(sim.finish().outcomes);
+                return Some(RunOutput::clean(sim.finish().outcomes));
             }
             events += 1;
         }
@@ -151,7 +184,7 @@ impl InstanceBackend for ThreadedBackend {
         "threaded"
     }
 
-    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>> {
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<RunOutput> {
         let config = RuntimeConfig::new(spec.n)
             .with_seed(spec.seed)
             .with_cancel(cancel.clone());
@@ -163,7 +196,7 @@ impl InstanceBackend for ThreadedBackend {
         if cancel.is_cancelled() {
             None
         } else {
-            Some(report.outcomes)
+            Some(RunOutput::clean(report.outcomes))
         }
     }
 }
@@ -181,7 +214,7 @@ impl InstanceBackend for ConcurrentBackend {
         "concurrent"
     }
 
-    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<BTreeMap<ProcId, Outcome>> {
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<RunOutput> {
         match self.faults {
             Some(plan) if !plan.is_noop() => run_concurrent_faulty(
                 &self.registers,
@@ -191,7 +224,10 @@ impl InstanceBackend for ConcurrentBackend {
                 &plan,
                 cancel,
             )
-            .map(|(report, _faults)| report.outcomes),
+            .map(|(report, faults)| RunOutput {
+                outcomes: report.outcomes,
+                faults,
+            }),
             _ => run_concurrent_cancellable(
                 &self.registers,
                 spec.key,
@@ -199,7 +235,7 @@ impl InstanceBackend for ConcurrentBackend {
                 protocols(spec),
                 cancel,
             )
-            .map(|report| report.outcomes),
+            .map(|report| RunOutput::clean(report.outcomes)),
         }
     }
 }
@@ -218,10 +254,15 @@ mod tests {
         ] {
             let backend = kind.build(&registers, None);
             let spec = InstanceSpec::election(42, 4).with_seed(7);
-            let outcomes = backend.run(&spec, &CancelToken::none()).unwrap();
-            assert_eq!(outcomes.len(), 4, "{kind}");
-            let winners = outcomes.values().filter(|o| o.is_win()).count();
+            let output = backend.run(&spec, &CancelToken::none()).unwrap();
+            assert_eq!(output.outcomes.len(), 4, "{kind}");
+            let winners = output.outcomes.values().filter(|o| o.is_win()).count();
             assert_eq!(winners, 1, "{kind}");
+            assert_eq!(
+                output.faults,
+                FaultStats::default(),
+                "{kind}: no plan, no faults"
+            );
         }
     }
 
@@ -235,8 +276,9 @@ mod tests {
         ] {
             let backend = kind.build(&registers, None);
             let spec = InstanceSpec::renaming(43, 4).with_seed(3);
-            let outcomes = backend.run(&spec, &CancelToken::none()).unwrap();
-            let names: std::collections::BTreeSet<usize> = outcomes
+            let output = backend.run(&spec, &CancelToken::none()).unwrap();
+            let names: std::collections::BTreeSet<usize> = output
+                .outcomes
                 .values()
                 .filter_map(|o| match o {
                     Outcome::Name(u) => Some(*u),
@@ -255,6 +297,25 @@ mod tests {
         let spec = InstanceSpec::election(1, 6).with_seed(99);
         let none = CancelToken::none();
         assert_eq!(backend.run(&spec, &none), backend.run(&spec, &none));
+    }
+
+    #[test]
+    fn sim_backend_polls_the_token_before_event_zero() {
+        // Regression: an already-expired deadline must cancel the run
+        // without executing a single simulator event — the stride poll
+        // happens at events == 0, not first at events == SIM_CANCEL_STRIDE.
+        let registers = Arc::new(SharedRegisters::new(1));
+        let backend = BackendKind::Sim.build(&registers, None);
+        let expired = CancelToken::new().with_deadline(std::time::Instant::now());
+        assert!(
+            expired.is_cancelled(),
+            "the deadline is already in the past"
+        );
+        let spec = InstanceSpec::election(46, 64).with_seed(5);
+        assert!(
+            backend.run(&spec, &expired).is_none(),
+            "a pre-expired deadline never runs"
+        );
     }
 
     #[test]
@@ -284,8 +345,12 @@ mod tests {
             .with_collect_failures(200, 2);
         let backend = BackendKind::Concurrent.build(&registers, Some(&plan));
         let spec = InstanceSpec::election(45, 4);
-        let outcomes = backend.run(&spec, &CancelToken::none()).unwrap();
-        let winners = outcomes.values().filter(|o| o.is_win()).count();
+        let output = backend.run(&spec, &CancelToken::none()).unwrap();
+        let winners = output.outcomes.values().filter(|o| o.is_win()).count();
         assert_eq!(winners, 1, "delays and transient failures are masked");
+        assert!(
+            output.faults.ops > 0,
+            "the fault decorator's counters surface through RunOutput"
+        );
     }
 }

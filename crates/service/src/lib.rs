@@ -41,6 +41,15 @@
 //!   crash-at-op-k, for robustness tests and overload benchmarks. (The sim
 //!   and threaded backends ignore the plan: their memory is not the
 //!   decorator-friendly register bank.)
+//! * **Observability** — each shard carries an always-on
+//!   [`fle_obs::ShardRecorder`] (disable with
+//!   [`ServiceConfig::with_metrics`]): queue depth and high-water,
+//!   admission-wait vs in-flight-run latency split, overload-policy
+//!   outcomes, retirement lag, and fault counters surfaced from the
+//!   backend. [`ElectionService::metrics_snapshot`] freezes them into a
+//!   mergeable [`MetricsSnapshot`];
+//!   [`ServiceStats::check_metrics`] cross-checks the per-shard sums
+//!   against the aggregate counters.
 //! * **Epoch-based retirement** — finished instances stay queryable via
 //!   [`ElectionService::status`] for a bounded number of *epochs* (an epoch
 //!   closes after [`ServiceConfig::epoch_size`] completions on that shard);
@@ -78,11 +87,15 @@ pub mod admission;
 pub mod backend;
 
 pub use admission::OverloadPolicy;
-pub use backend::{BackendKind, ConcurrentBackend, InstanceBackend, SimBackend, ThreadedBackend};
+pub use backend::{
+    BackendKind, ConcurrentBackend, InstanceBackend, RunOutput, SimBackend, ThreadedBackend,
+};
+pub use fle_obs::{MetricsSnapshot, ShardSnapshot};
 
 use admission::{AdmissionQueue, AdmitError};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use fle_model::{CancelToken, Outcome, ProcId};
+use fle_obs::{FaultCounters, RunKind, ShardRecorder};
 use fle_runtime::{FaultPlan, SharedRegisters};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
@@ -112,6 +125,10 @@ pub struct ServiceConfig {
     /// Optional deterministic fault injection under every instance of the
     /// concurrent backend.
     pub fault_plan: Option<FaultPlan>,
+    /// Whether each shard carries an always-on [`fle_obs::ShardRecorder`]
+    /// (on by default; the overhead is a few relaxed atomics plus one
+    /// uncontended mutex acquisition per instance).
+    pub metrics: bool,
 }
 
 impl ServiceConfig {
@@ -133,6 +150,7 @@ impl ServiceConfig {
             queue_capacity: 1024,
             overload: OverloadPolicy::default(),
             fault_plan: None,
+            metrics: true,
         }
     }
 
@@ -175,6 +193,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Turn the per-shard metrics recorders on or off (on by default).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 }
@@ -448,6 +473,67 @@ impl ServiceStats {
             ))
         }
     }
+
+    /// Cross-check a [`MetricsSnapshot`] against these counters: the
+    /// per-shard sums of the observability layer must equal the aggregate
+    /// bookkeeping, and every started run must have exactly one wait and
+    /// one run sample. Holds at quiescence (after
+    /// [`ElectionService::shutdown_with_metrics`]); a mismatch means the
+    /// recorders and the shard states disagree about what happened.
+    ///
+    /// # Errors
+    /// Returns a description of every field that disagrees.
+    pub fn check_metrics(&self, metrics: &MetricsSnapshot) -> Result<(), String> {
+        let total = metrics.aggregate();
+        let mut mismatches = Vec::new();
+        let mut check = |label: &str, recorded: u64, stats: u64| {
+            if recorded != stats {
+                mismatches.push(format!("{label}: metrics {recorded} ≠ stats {stats}"));
+            }
+        };
+        check("admitted", total.admitted, self.submitted);
+        check("completed", total.completed, self.completed);
+        check("failed", total.failed(), self.failed);
+        check("shed", total.shed(), self.shed);
+        check("drained", total.drained, self.drained);
+        check("rejected", total.rejected(), self.rejected);
+        check("retired", total.retired, self.retired);
+        check("epochs_closed", total.epochs_closed, self.epochs_closed);
+        check(
+            "cancelled_in_flight",
+            total.cancelled_in_flight,
+            self.fail.cancelled_in_flight,
+        );
+        check("panics", total.panics, self.fail.panics);
+        check(
+            "expired_in_queue",
+            total.expired_in_queue,
+            self.fail.expired_in_queue,
+        );
+        check(
+            "queue_high_water",
+            total.queue_high_water as u64,
+            self.max_queue_depth as u64,
+        );
+        // Every started run (completed, cancelled in flight, or panicked)
+        // contributes exactly one wait and one run sample; expired-in-queue
+        // jobs never start and are counted under `shed` instead.
+        check(
+            "wait samples",
+            total.queue_wait_micros.count(),
+            self.completed + self.failed,
+        );
+        check(
+            "run samples",
+            total.run_micros.count(),
+            self.completed + self.failed,
+        );
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(mismatches.join("; "))
+        }
+    }
 }
 
 /// The lifecycle phase of a tracked instance.
@@ -463,10 +549,14 @@ enum Phase {
 #[derive(Debug, Default)]
 struct ShardState {
     phases: HashMap<u64, Phase>,
-    /// Finished instances in completion order, tagged with their epoch.
-    retire_queue: VecDeque<(u64, u64)>,
+    /// Finished instances in completion order: `(epoch, key, seq)`, where
+    /// `seq` is the terminal sequence number at completion — retirement lag
+    /// is `terminal_seq_at_purge - seq`.
+    retire_queue: VecDeque<(u64, u64, u64)>,
     epoch: u64,
     completed_in_epoch: usize,
+    /// Terminal events (completions + failures) seen on this shard, ever.
+    terminal_seq: u64,
     submitted: u64,
     completed: u64,
     failed: u64,
@@ -491,6 +581,7 @@ pub struct ElectionService {
     workers: Vec<JoinHandle<()>>,
     states: Vec<Arc<Mutex<ShardState>>>,
     registers: Arc<SharedRegisters>,
+    recorders: Vec<Option<Arc<ShardRecorder>>>,
 }
 
 impl ElectionService {
@@ -501,22 +592,32 @@ impl ElectionService {
         let mut queues = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         let mut states = Vec::with_capacity(config.shards);
+        let mut recorders = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let queue = Arc::new(AdmissionQueue::new(config.queue_capacity, config.overload));
             let state = Arc::new(Mutex::new(ShardState::default()));
+            let recorder = config.metrics.then(|| Arc::new(ShardRecorder::new(shard)));
             let worker_queue = Arc::clone(&queue);
             let worker_state = Arc::clone(&state);
             let worker_registers = Arc::clone(&registers);
             let worker_config = config.clone();
+            let worker_recorder = recorder.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("fle-service-shard-{shard}"))
                 .spawn(move || {
-                    shard_worker(worker_queue, worker_state, worker_registers, worker_config);
+                    shard_worker(
+                        worker_queue,
+                        worker_state,
+                        worker_registers,
+                        worker_config,
+                        worker_recorder,
+                    );
                 })
                 .expect("spawning a shard worker never fails on supported platforms");
             queues.push(queue);
             workers.push(handle);
             states.push(state);
+            recorders.push(recorder);
         }
         ElectionService {
             config,
@@ -524,6 +625,7 @@ impl ElectionService {
             workers,
             states,
             registers,
+            recorders,
         }
     }
 
@@ -539,7 +641,10 @@ impl ElectionService {
     }
 
     fn shard_of(&self, key: u64) -> usize {
-        (fle_model::splitmix64(key) as usize) % self.queues.len()
+        // Reduce in u64 *before* narrowing: `hash as usize % len` would
+        // keep only the low 32 bits of the hash on 32-bit targets, halving
+        // the entropy the shard split sees.
+        (fle_model::splitmix64(key) % self.queues.len() as u64) as usize
     }
 
     /// Enqueue an instance; returns a [`Ticket`] for its result.
@@ -586,16 +691,23 @@ impl ElectionService {
             reply,
         };
         match self.queues[shard].push(job) {
-            Ok(None) => Ok(Ticket { key: spec.key, rx }),
-            Ok(Some(displaced)) => {
-                // DropOldest: the displaced job was admitted, so it ends as
-                // shed — its ticket resolves to Overloaded.
-                {
-                    let mut state = lock(&self.states[shard]);
-                    state.phases.remove(&displaced.spec.key);
-                    state.shed += 1;
+            Ok(receipt) => {
+                if let Some(recorder) = &self.recorders[shard] {
+                    recorder.record_admitted(receipt.depth, receipt.blocked);
                 }
-                let _ = displaced.reply.send(Err(SubmitError::Overloaded));
+                if let Some(displaced) = receipt.displaced {
+                    // DropOldest: the displaced job was admitted, so it ends
+                    // as shed — its ticket resolves to Overloaded.
+                    {
+                        let mut state = lock(&self.states[shard]);
+                        state.phases.remove(&displaced.spec.key);
+                        state.shed += 1;
+                    }
+                    if let Some(recorder) = &self.recorders[shard] {
+                        recorder.record_displaced();
+                    }
+                    let _ = displaced.reply.send(Err(SubmitError::Overloaded));
+                }
                 Ok(Ticket { key: spec.key, rx })
             }
             Err(refusal) => {
@@ -610,6 +722,15 @@ impl ElectionService {
                 state.submitted -= 1;
                 if matches!(error, SubmitError::Overloaded) {
                     state.rejected += 1;
+                    if let Some(recorder) = &self.recorders[shard] {
+                        // Only Shed refuses at the door instantly; an
+                        // Overloaded refusal under Block means its timeout
+                        // expired (DropOldest never refuses).
+                        match self.config.overload {
+                            OverloadPolicy::Shed => recorder.record_rejected_shed(),
+                            _ => recorder.record_rejected_block_timeout(),
+                        }
+                    }
                 }
                 Err(error)
             }
@@ -665,6 +786,24 @@ impl ElectionService {
         stats
     }
 
+    /// Freeze every shard's recorder into a mergeable [`MetricsSnapshot`]
+    /// (live queue depths included), or `None` when metrics are disabled.
+    /// Counters are exact at quiescence; taken mid-flight they are a
+    /// consistent-enough view for progress reports.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let per_shard = self
+            .recorders
+            .iter()
+            .zip(&self.queues)
+            .map(|(recorder, queue)| {
+                recorder
+                    .as_ref()
+                    .map(|recorder| recorder.snapshot(queue.depth()))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(MetricsSnapshot { per_shard })
+    }
+
     /// Stop the service: in-flight instances finish, queued-but-unstarted
     /// jobs are failed promptly (their tickets resolve to
     /// [`SubmitError::ServiceShutdown`] and count as `drained`), workers are
@@ -672,6 +811,14 @@ impl ElectionService {
     pub fn shutdown(mut self) -> ServiceStats {
         self.close_and_join();
         self.stats()
+    }
+
+    /// [`ElectionService::shutdown`], also returning the final
+    /// [`MetricsSnapshot`] (taken after the drain, so shutdown-drained jobs
+    /// are included; `None` when metrics are disabled).
+    pub fn shutdown_with_metrics(mut self) -> (ServiceStats, Option<MetricsSnapshot>) {
+        self.close_and_join();
+        (self.stats(), self.metrics_snapshot())
     }
 
     /// Close every queue (failing unstarted jobs) and join the workers.
@@ -688,6 +835,9 @@ impl ElectionService {
                     state.phases.remove(&job.spec.key);
                     state.drained += 1;
                 }
+            }
+            if let Some(recorder) = &self.recorders[shard] {
+                recorder.record_drained(drained.len() as u64);
             }
             for job in drained {
                 let _ = job.reply.send(Err(SubmitError::ServiceShutdown));
@@ -722,19 +872,25 @@ fn record_terminal(
     state: &mut ShardState,
     config: &ServiceConfig,
     registers: &SharedRegisters,
+    recorder: Option<&ShardRecorder>,
     key: u64,
     phase: Phase,
 ) {
     let epoch = state.epoch;
+    state.terminal_seq += 1;
+    let seq = state.terminal_seq;
     state.phases.insert(key, phase);
-    state.retire_queue.push_back((epoch, key));
+    state.retire_queue.push_back((epoch, key, seq));
     state.completed_in_epoch += 1;
     if state.completed_in_epoch >= config.epoch_size {
         state.epoch += 1;
         state.completed_in_epoch = 0;
+        if let Some(recorder) = recorder {
+            recorder.record_epoch_closed();
+        }
         // Everything that finished more than `retained_epochs` closed epochs
         // ago leaves the status table and the register bank.
-        while let Some(&(done_epoch, old_key)) = state.retire_queue.front() {
+        while let Some(&(done_epoch, old_key, done_seq)) = state.retire_queue.front() {
             if done_epoch + config.retained_epochs > state.epoch {
                 break;
             }
@@ -742,6 +898,11 @@ fn record_terminal(
             state.phases.remove(&old_key);
             registers.retire(old_key);
             state.retired += 1;
+            if let Some(recorder) = recorder {
+                // Retirement lag: terminal events that happened on this
+                // shard between the instance finishing and its purge.
+                recorder.record_retirement(state.terminal_seq - done_seq);
+            }
         }
     }
 }
@@ -754,21 +915,24 @@ fn shard_worker(
     state: Arc<Mutex<ShardState>>,
     registers: Arc<SharedRegisters>,
     config: ServiceConfig,
+    recorder: Option<Arc<ShardRecorder>>,
 ) {
     let backend = config.backend.build(&registers, config.fault_plan.as_ref());
     while let Some(job) = queue.pop() {
         let key = job.spec.key;
+        let dequeued = Instant::now();
+        let wait_micros = (dequeued - job.submitted).as_micros() as u64;
 
         // Skip jobs whose deadline passed while they queued.
-        if job
-            .deadline
-            .is_some_and(|deadline| Instant::now() >= deadline)
-        {
+        if job.deadline.is_some_and(|deadline| dequeued >= deadline) {
             {
                 let mut state = lock(&state);
                 state.phases.remove(&key);
                 state.shed += 1;
                 state.fail.expired_in_queue += 1;
+            }
+            if let Some(recorder) = &recorder {
+                recorder.record_expired_in_queue();
             }
             let _ = job.reply.send(Err(SubmitError::DeadlineExceeded(key)));
             continue;
@@ -782,21 +946,45 @@ fn shard_worker(
         // Contain instance panics (protocol bugs, injected crashes): the
         // panic poisons only this instance; the worker keeps draining.
         let run = std::panic::catch_unwind(AssertUnwindSafe(|| backend.run(&job.spec, &cancel)));
+        let run_micros = dequeued.elapsed().as_micros() as u64;
+        let observe = |kind: RunKind| {
+            if let Some(recorder) = &recorder {
+                recorder.record_run(wait_micros, run_micros, kind);
+            }
+        };
         match run {
-            Ok(Some(outcomes)) => {
+            Ok(Some(output)) => {
                 let result = InstanceResult {
                     key,
-                    outcomes,
+                    outcomes: output.outcomes,
                     latency: job.submitted.elapsed(),
                 };
                 let winner = result.winner();
+                observe(RunKind::Completed);
+                if let Some(recorder) = &recorder {
+                    let faults = output.faults;
+                    recorder.record_faults(&FaultCounters {
+                        ops: faults.ops,
+                        delays: faults.delays,
+                        delay_micros: faults.delay_micros,
+                        collect_failures: faults.collect_failures,
+                        crashes: faults.crashes,
+                    });
+                }
                 // Record completion *before* releasing the ticket, so a
                 // caller that has seen its result also sees `Done` in
                 // `status` (until retired).
                 {
                     let mut state = lock(&state);
                     state.completed += 1;
-                    record_terminal(&mut state, &config, &registers, key, Phase::Done { winner });
+                    record_terminal(
+                        &mut state,
+                        &config,
+                        &registers,
+                        recorder.as_deref(),
+                        key,
+                        Phase::Done { winner },
+                    );
                 }
                 let _ = job.reply.send(Ok(result));
             }
@@ -804,21 +992,37 @@ fn shard_worker(
                 // The deadline tripped mid-run; the namespace may hold a
                 // partial execution's registers — retire it now.
                 registers.retire(key);
+                observe(RunKind::CancelledInFlight);
                 {
                     let mut state = lock(&state);
                     state.failed += 1;
                     state.fail.cancelled_in_flight += 1;
-                    record_terminal(&mut state, &config, &registers, key, Phase::Failed);
+                    record_terminal(
+                        &mut state,
+                        &config,
+                        &registers,
+                        recorder.as_deref(),
+                        key,
+                        Phase::Failed,
+                    );
                 }
                 let _ = job.reply.send(Err(SubmitError::DeadlineExceeded(key)));
             }
             Err(_panic) => {
                 registers.retire(key);
+                observe(RunKind::Panicked);
                 {
                     let mut state = lock(&state);
                     state.failed += 1;
                     state.fail.panics += 1;
-                    record_terminal(&mut state, &config, &registers, key, Phase::Failed);
+                    record_terminal(
+                        &mut state,
+                        &config,
+                        &registers,
+                        recorder.as_deref(),
+                        key,
+                        Phase::Failed,
+                    );
                 }
                 let _ = job.reply.send(Err(SubmitError::InstanceFailed(key)));
             }
@@ -993,11 +1197,14 @@ mod tests {
         assert_eq!(service.status(2), InstanceStatus::Unknown);
         assert!(running.wait().is_ok());
         assert!(queued.wait().is_ok());
-        let stats = service.shutdown();
+        let (stats, metrics) = service.shutdown_with_metrics();
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.submitted, 2);
         assert!(stats.max_queue_depth <= 1);
         stats.check_invariant().unwrap();
+        let metrics = metrics.expect("metrics are on by default");
+        stats.check_metrics(&metrics).unwrap();
+        assert_eq!(metrics.aggregate().rejected_shed, 1, "shed at the door");
     }
 
     #[test]
@@ -1046,11 +1253,18 @@ mod tests {
         );
         assert!(running.wait().is_ok());
         assert!(fresh.wait().is_ok(), "the freshest job runs");
-        let stats = service.shutdown();
+        let (stats, metrics) = service.shutdown_with_metrics();
         assert_eq!(stats.shed, 1);
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.submitted, 3);
         stats.check_invariant().unwrap();
+        let metrics = metrics.expect("metrics are on by default");
+        stats.check_metrics(&metrics).unwrap();
+        assert_eq!(
+            metrics.aggregate().displaced,
+            1,
+            "drop-oldest displaced one"
+        );
     }
 
     #[test]
@@ -1161,6 +1375,130 @@ mod tests {
             assert_eq!(stats.submitted, 1, "{kind}");
             stats.check_invariant().unwrap();
         }
+    }
+
+    #[test]
+    fn sequential_keys_spread_evenly_across_shards() {
+        // Regression for the shard-routing truncation bug: the hash must be
+        // reduced modulo the shard count in u64, not after an `as usize`
+        // narrowing. 10k sequential keys over 8 shards must stay within 2×
+        // of the mean occupancy (splitmix64 is much better than that; 2× is
+        // the alarm threshold, not the expectation).
+        let service = ElectionService::new(ServiceConfig::new(8, BackendKind::Sim));
+        let mut occupancy = [0u64; 8];
+        for key in 0..10_000u64 {
+            occupancy[service.shard_of(key)] += 1;
+        }
+        let mean = 10_000.0 / 8.0;
+        for (shard, &count) in occupancy.iter().enumerate() {
+            assert!(
+                (count as f64) <= 2.0 * mean && (count as f64) >= mean / 2.0,
+                "shard {shard} holds {count} of 10000 keys (mean {mean})"
+            );
+        }
+
+        // The same balance must show up in the per-shard metrics: run a
+        // small storm and read each shard's admitted count from its
+        // recorder.
+        let tickets: Vec<Ticket> = (0..2000)
+            .map(|key| service.submit(InstanceSpec::election(key, 2)).unwrap())
+            .collect();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let (stats, metrics) = service.shutdown_with_metrics();
+        let metrics = metrics.expect("metrics are on by default");
+        stats.check_metrics(&metrics).unwrap();
+        let mean = 2000.0 / 8.0;
+        for shard in &metrics.per_shard {
+            assert!(
+                (shard.admitted as f64) <= 2.0 * mean && (shard.admitted as f64) >= mean / 2.0,
+                "shard {} admitted {} of 2000 (mean {mean})",
+                shard.shard,
+                shard.admitted
+            );
+        }
+    }
+
+    #[test]
+    fn an_already_expired_deadline_resolves_without_running() {
+        // Regression for the cancel-stride contract: a deadline that has
+        // already passed at submission must resolve DeadlineExceeded
+        // without the instance ever executing.
+        let service = ElectionService::new(ServiceConfig::new(1, BackendKind::Sim));
+        let doomed = service
+            .submit(InstanceSpec::election(0, 8).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(doomed.wait().unwrap_err(), SubmitError::DeadlineExceeded(0));
+        let (stats, metrics) = service.shutdown_with_metrics();
+        assert_eq!(stats.completed, 0, "the expired instance never ran");
+        assert_eq!(stats.fail.expired_in_queue, 1);
+        assert_eq!(stats.shed, 1);
+        stats.check_invariant().unwrap();
+        stats.check_metrics(&metrics.unwrap()).unwrap();
+    }
+
+    #[test]
+    fn metrics_snapshot_agrees_with_stats_after_a_storm() {
+        let config = ServiceConfig::new(4, BackendKind::Concurrent)
+            .with_epoch_size(16)
+            .with_retained_epochs(1);
+        let service = ElectionService::new(config);
+        let tickets: Vec<Ticket> = (0..300)
+            .map(|key| service.submit(InstanceSpec::election(key, 4)).unwrap())
+            .collect();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let (stats, metrics) = service.shutdown_with_metrics();
+        let metrics = metrics.expect("metrics are on by default");
+        stats.check_invariant().unwrap();
+        stats.check_metrics(&metrics).unwrap();
+        let total = metrics.aggregate();
+        assert_eq!(total.completed, 300);
+        assert_eq!(total.queue_wait_micros.count(), 300);
+        assert_eq!(total.run_micros.count(), 300);
+        assert!(total.retired > 0, "epochs of 16 retire early instances");
+        assert_eq!(
+            total.retirement_lag.count(),
+            total.retired,
+            "every purge records its lag"
+        );
+        assert!(
+            total.retirement_lag.max() >= 15,
+            "a purged epoch's oldest instance waited a full epoch of terminals"
+        );
+    }
+
+    #[test]
+    fn metrics_can_be_disabled() {
+        let service =
+            ElectionService::new(ServiceConfig::new(1, BackendKind::Sim).with_metrics(false));
+        service.submit_wait(InstanceSpec::election(0, 4)).unwrap();
+        assert!(service.metrics_snapshot().is_none());
+        let (stats, metrics) = service.shutdown_with_metrics();
+        assert!(metrics.is_none(), "disabled metrics yield no snapshot");
+        assert_eq!(stats.completed, 1);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn fault_activity_surfaces_in_the_metrics() {
+        let config = ServiceConfig::new(1, BackendKind::Concurrent)
+            .with_fault_plan(FaultPlan::new(9).with_delays(500, 100));
+        let service = ElectionService::new(config);
+        for key in 0..8 {
+            service.submit_wait(InstanceSpec::election(key, 4)).unwrap();
+        }
+        let (stats, metrics) = service.shutdown_with_metrics();
+        let metrics = metrics.expect("metrics are on by default");
+        stats.check_metrics(&metrics).unwrap();
+        let total = metrics.aggregate();
+        assert!(
+            total.faults.ops > 0,
+            "the backend's fault counters reach the shard recorder"
+        );
+        assert!(total.faults.delays > 0, "the delay plan fired at 50%");
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn main() {
     assert_eq!(service.status(0), InstanceStatus::Unknown);
 
     let live = service.registers().live_namespaces();
-    let stats = service.shutdown();
+    let (stats, metrics) = service.shutdown_with_metrics();
     println!(
         "served {} instances in {:.2?} ({:.0} instances/s), worst latency {slowest_micros} us",
         stats.completed,
@@ -74,4 +74,14 @@ fn main() {
          ({} retired across {} closed epochs)",
         stats.retired, stats.epochs_closed,
     );
+
+    // The always-on per-shard recorders say *where* the time went: which
+    // shard ran slowest, whose queue got deepest, and whether instances
+    // spent their latency waiting for a worker or actually electing.
+    let metrics = metrics.expect("metrics are on by default");
+    stats
+        .check_metrics(&metrics)
+        .expect("per-shard metrics must agree with the aggregate stats");
+    println!("\nper-shard attribution:");
+    print!("{}", metrics.attribution_report());
 }
