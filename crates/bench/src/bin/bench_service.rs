@@ -14,6 +14,11 @@
 //! * `-- --metrics-smoke` — run the same storm with per-shard metrics on and
 //!   off; assert the snapshot invariants (per-shard sums equal the aggregate
 //!   stats, every instance attributed) and gate on recorder overhead.
+//! * `-- --async-smoke` — the density gate for the task-multiplexed backend:
+//!   submit thousands of executor instances before awaiting any (peak
+//!   in-flight must clear the floor, zero lost/duplicate outcomes), then run
+//!   the closed-loop smoke storm on `BackendKind::Async` with the full
+//!   correctness assertions.
 
 use fle_bench::service_load;
 
@@ -52,6 +57,24 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|arg| arg == "--async-smoke") {
+        match service_load::async_smoke_check() {
+            Ok((storm, service_per_sec)) => {
+                println!(
+                    "async-smoke OK: peak {} concurrent instances (n={}) over {} task workers \
+                     ({:.0} instances/s executor-direct), service storm on the async backend \
+                     at {service_per_sec:.0} instances/s, all outcomes verified",
+                    storm.peak_in_flight, storm.n, storm.task_workers, storm.instances_per_sec,
+                );
+            }
+            Err(message) => {
+                eprintln!("async-smoke FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if args.iter().any(|arg| arg == "--metrics-smoke") {
         match service_load::metrics_smoke_check() {
             Ok((with_metrics, without)) => {
@@ -71,16 +94,17 @@ fn main() {
     }
 
     println!("recording service throughput into BENCH_service.json ...");
-    let points = service_load::record_default();
+    let recording = service_load::record_default();
     println!(
-        "{:>8} {:>7} {:>10} {:>16} {:>12} {:>12} {:>12}",
-        "backend", "shards", "instances", "instances/sec", "p50 us", "p95 us", "p99 us"
+        "{:>10} {:>7} {:>5} {:>10} {:>16} {:>12} {:>12} {:>12}",
+        "backend", "shards", "n", "instances", "instances/sec", "p50 us", "p95 us", "p99 us"
     );
-    for p in &points {
+    for p in recording.points.iter().chain(&recording.density) {
         println!(
-            "{:>8} {:>7} {:>10} {:>16.1} {:>12} {:>12} {:>12}",
+            "{:>10} {:>7} {:>5} {:>10} {:>16.1} {:>12} {:>12} {:>12}",
             p.spec.backend.label(),
             p.spec.shards,
+            p.spec.n,
             p.spec.instances,
             p.instances_per_sec,
             p.p50_micros,
@@ -88,4 +112,10 @@ fn main() {
             p.p99_micros,
         );
     }
+    let storm = &recording.storm;
+    println!(
+        "executor storm: {} instances of n={} peaked at {} in flight over {} task workers \
+         ({:.0} instances/s)",
+        storm.instances, storm.n, storm.peak_in_flight, storm.task_workers, storm.instances_per_sec,
+    );
 }

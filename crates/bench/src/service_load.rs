@@ -25,12 +25,17 @@
 //! duplicated), exactly one winner per election instance, and the service's
 //! accounting invariant `submitted = completed + failed + shed + drained`.
 //! The standard recording ([`record_default`]) sweeps the concurrent backend
-//! at shard counts {1, 4, `num_cpus`} and writes `BENCH_service.json`;
-//! [`smoke_check`] and [`overload_smoke_check`] are the CI gates.
+//! at shard counts {1, 4, `num_cpus`}, the concurrent-vs-async backend
+//! density sweep at n ∈ {4, 16, 64} ([`density_sweep`]), and the
+//! executor-direct density storm ([`executor_density_storm`] — every
+//! instance in flight at once, `peak_in_flight` measured), and writes
+//! `BENCH_service.json`; [`smoke_check`], [`overload_smoke_check`] and
+//! [`async_smoke_check`] are the CI gates.
 
 use crate::hist::LogHistogram;
 use crate::json::write_or_warn;
 use fle_obs::MetricsSnapshot;
+use fle_runtime::{ExecResult, Executor, ExecutorConfig};
 use fle_service::{
     BackendKind, ElectionService, InstanceSpec, OverloadPolicy, ServiceConfig, SubmitError, Ticket,
 };
@@ -489,13 +494,170 @@ pub fn sequential_reference(spec: LoadSpec) -> f64 {
     spec.instances as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Render load + overload results as the `BENCH_service.json` document.
-/// `metrics` is the per-shard snapshot of one representative closed-loop
-/// point (the one whose shard count the overload sweep reuses), serialized
-/// as the document's `metrics` section.
+/// The backend-density sweep: the same closed-loop storm at system sizes
+/// n ∈ {4, 16, 64} on both the concurrent and the async backend. The
+/// concurrent backend spends n OS threads per in-flight instance (spawned
+/// and joined per run), the async backend multiplexes the n participant
+/// tasks of every instance over one fixed worker pool — so the gap between
+/// the two columns at a given n is the price of thread-per-participant
+/// execution, and it widens as n grows. Instance counts shrink with n to
+/// keep total work roughly level across the sweep.
+pub fn density_sweep(shards: usize) -> Vec<LoadResult> {
+    let mut points = Vec::new();
+    for (n, instances) in [(4usize, 800usize), (16, 400), (64, 120)] {
+        for backend in [BackendKind::Concurrent, BackendKind::Async] {
+            points.push(closed_loop(
+                LoadSpec::concurrent(shards, instances, n).with_backend(backend),
+            ));
+        }
+    }
+    points
+}
+
+/// The measurement of one executor-direct density storm
+/// ([`executor_density_storm`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DensityStorm {
+    /// Instances staged (all submitted before any task ran).
+    pub instances: usize,
+    /// System size of each instance.
+    pub n: usize,
+    /// Worker threads in the executor pool.
+    pub task_workers: usize,
+    /// Highest number of simultaneously in-flight instances the executor
+    /// observed — the density high-water mark.
+    pub peak_in_flight: usize,
+    /// Wall-clock seconds from worker release to last verified result.
+    pub wall_secs: f64,
+    /// Completed instances per second over the whole storm.
+    pub instances_per_sec: f64,
+}
+
+/// Drive the task executor directly — no service, no queues — with
+/// `instances` n-participant elections all staged *before any task runs*:
+/// the pool starts paused, the whole batch is submitted (so `instances × n`
+/// cooperative tasks are genuinely in flight at once — a load shape that
+/// would need `instances × n` OS threads on the concurrent backend), and
+/// the workers are then released to drain it. Verifies while it measures:
+/// every ticket resolves exactly once with n outcomes and one winner
+/// (nothing lost, nothing duplicated, namespaces don't interfere), and the
+/// executor's in-flight accounting returns to zero. `wall_secs` covers the
+/// drain, release to last verified result.
+///
+/// # Panics
+/// Panics on any correctness violation.
+pub fn executor_density_storm(instances: usize, n: usize) -> DensityStorm {
+    let executor = Executor::new(ExecutorConfig::default().with_start_paused());
+    let registers = std::sync::Arc::new(fle_runtime::SharedRegisters::new(4));
+    let plan = fle_runtime::FaultPlan::default();
+    let tickets: Vec<_> = (0..instances)
+        .map(|index| {
+            executor.submit(
+                &registers,
+                index as u64,
+                index as u64,
+                fle_runtime::election_participants(n),
+                &plan,
+                fle_model::CancelToken::none(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        executor.stats().in_flight,
+        instances,
+        "the paused pool must hold the whole staged batch in flight"
+    );
+    let start = Instant::now();
+    executor.release();
+    for (index, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            ExecResult::Completed(report) => {
+                assert_eq!(
+                    report.outcomes.len(),
+                    n,
+                    "instance {index}: every participant must return"
+                );
+                assert_eq!(
+                    report.winners().len(),
+                    1,
+                    "instance {index}: exactly one winner"
+                );
+            }
+            other => panic!("instance {index}: unexpected {other:?}"),
+        }
+        registers.retire(index as u64);
+    }
+    let wall = start.elapsed();
+    let stats = executor.stats();
+    assert_eq!(
+        stats.in_flight, 0,
+        "every submitted instance must be accounted for"
+    );
+    executor.shutdown();
+    DensityStorm {
+        instances,
+        n,
+        task_workers: stats.workers,
+        peak_in_flight: stats.peak_in_flight,
+        wall_secs: wall.as_secs_f64(),
+        instances_per_sec: instances as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Instances of the CI density storm — comfortably above the gate's floor
+/// so a few early completions during the submit loop cannot flake it.
+pub const DENSITY_STORM_INSTANCES: usize = 6000;
+
+/// System size of each density-storm instance.
+pub const DENSITY_STORM_N: usize = 16;
+
+/// The concurrency high-water mark the storm must reach: at least this many
+/// instances simultaneously in flight (the "thousands of participants per
+/// OS thread" claim, asserted rather than assumed).
+pub const DENSITY_MIN_PEAK: usize = 5000;
+
+/// The CI async-smoke gate, two halves:
+///
+/// 1. **Density**: [`executor_density_storm`] with
+///    [`DENSITY_STORM_INSTANCES`] instances of size [`DENSITY_STORM_N`] —
+///    every outcome verified (zero lost or duplicate, one winner each,
+///    in-flight accounting returns to zero) and the peak concurrency must
+///    reach [`DENSITY_MIN_PEAK`], proving the executor really multiplexes
+///    thousands of instances over its fixed pool.
+/// 2. **Service**: the standard closed-loop smoke storm on
+///    `BackendKind::Async` — the same correctness assertions the concurrent
+///    smoke makes (one result per key, one winner per instance, balanced
+///    accounting invariant, per-shard metrics agreeing with the aggregate).
+///
+/// # Errors
+/// Returns a description of the failure (the correctness assertions inside
+/// the storms panic instead — a lost outcome is a bug, not a gate trip).
+pub fn async_smoke_check() -> Result<(DensityStorm, f64), String> {
+    let storm = executor_density_storm(DENSITY_STORM_INSTANCES, DENSITY_STORM_N);
+    if storm.peak_in_flight < DENSITY_MIN_PEAK {
+        return Err(format!(
+            "the executor never got dense: peak {} concurrent instances across {} staged \
+             (floor {DENSITY_MIN_PEAK}) — the in-flight accounting is broken",
+            storm.peak_in_flight, storm.instances
+        ));
+    }
+    let spec =
+        LoadSpec::concurrent(SMOKE_SHARDS, SMOKE_INSTANCES, 4).with_backend(BackendKind::Async);
+    let service = closed_loop(spec);
+    Ok((storm, service.instances_per_sec))
+}
+
+/// Render load + overload + density results as the `BENCH_service.json`
+/// document. `density` is the [`density_sweep`] n-sweep, `storm` the
+/// executor-direct [`executor_density_storm`] high-water mark, and `metrics`
+/// the per-shard snapshot of one representative closed-loop point (the one
+/// whose shard count the overload sweep reuses), serialized as the
+/// document's `metrics` section.
 pub fn to_json(
     points: &[LoadResult],
     overload: &[OverloadResult],
+    density: &[LoadResult],
+    storm: Option<&DensityStorm>,
     metrics: Option<&MetricsSnapshot>,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"service_instances_per_sec\",\n");
@@ -566,8 +728,52 @@ pub fn to_json(
             o.max_queue_depth,
         );
     }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"density_methodology\": \"the same closed-loop storm at n in {4, 16, 64} on the \
+         concurrent and async backends (instance counts shrink with n to keep total work \
+         level): concurrent spawns and joins n OS threads per instance, async multiplexes the \
+         n participant tasks over one fixed executor pool, so the per-n gap prices \
+         thread-per-participant execution; executor_storm drives the executor directly: the \
+         whole batch is staged on a paused pool, then the workers are released to drain it — \
+         peak_in_flight is the measured concurrency high-water mark, instances_per_sec the \
+         drain rate, with every outcome verified (none lost, none duplicated, one winner \
+         each)\",\n",
+    );
+    // NOTE: density entries use `worker_shards`, never the bare `"shards":`
+    // key the line-oriented closed-loop parser matches on.
+    out.push_str("  \"density\": [\n");
+    for (index, p) in density.iter().enumerate() {
+        let comma = if index + 1 < density.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"worker_shards\": {}, \"n\": {}, \"instances\": {}, \
+             \"clients\": {}, \"instances_per_sec\": {:.1}, \"p50_micros\": {}, \
+             \"p95_micros\": {}, \"p99_micros\": {}, \"max_micros\": {}}}{comma}",
+            p.spec.backend.label(),
+            p.spec.shards,
+            p.spec.n,
+            p.spec.instances,
+            p.spec.clients,
+            p.instances_per_sec,
+            p.p50_micros,
+            p.p95_micros,
+            p.p99_micros,
+            p.max_micros,
+        );
+    }
+    out.push_str("  ]");
+    if let Some(s) = storm {
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "  \"executor_storm\": {{\"instances\": {}, \"n\": {}, \"task_workers\": {}, \
+             \"peak_in_flight\": {}, \"wall_secs\": {:.3}, \"instances_per_sec\": {:.1}}}",
+            s.instances, s.n, s.task_workers, s.peak_in_flight, s.wall_secs, s.instances_per_sec,
+        );
+    }
     if let Some(snapshot) = metrics {
-        out.push_str("  ],\n");
+        out.push_str(",\n");
         out.push_str(
             "  \"metrics_methodology\": \"per-shard recorders sampled at shutdown of one \
              representative closed-loop point; wait = submit-to-dequeue, run = dequeue-to-\
@@ -577,15 +783,13 @@ pub fn to_json(
         // The snapshot serializer never emits a bare `"shards":` key (it
         // uses `worker_shards`/`per_shard`), so the line-oriented
         // closed-loop parser above stays safe.
-        let _ = writeln!(
+        let _ = write!(
             out,
             "  \"metrics\": {}",
             snapshot.to_json("  ").trim_start()
         );
-        out.push_str("}\n");
-    } else {
-        out.push_str("  ]\n}\n");
     }
+    out.push_str("\n}\n");
     out
 }
 
@@ -594,11 +798,26 @@ pub fn service_bench_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json")
 }
 
-/// Measure the given specs plus an overload sweep and write the document at
+/// Everything one standard recording measures (and writes to
+/// `BENCH_service.json`).
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// The closed-loop shard-sweep points.
+    pub points: Vec<LoadResult>,
+    /// The backend-density n-sweep points ([`density_sweep`]).
+    pub density: Vec<LoadResult>,
+    /// The executor-direct density storm ([`executor_density_storm`]).
+    pub storm: DensityStorm,
+}
+
+/// Measure the given specs plus the overload sweep, the backend-density
+/// n-sweep, and the executor density storm, and write the document at
 /// `path`.
-pub fn record(path: &Path, specs: &[LoadSpec], overload_shards: usize) -> Vec<LoadResult> {
+pub fn record(path: &Path, specs: &[LoadSpec], overload_shards: usize) -> Recording {
     let points: Vec<LoadResult> = specs.iter().map(|&spec| closed_loop(spec)).collect();
     let (_, overload) = overload_sweep(overload_shards, 800, 4, &[0.5, 1.0, 2.0, 4.0]);
+    let density = density_sweep(overload_shards);
+    let storm = executor_density_storm(DENSITY_STORM_INSTANCES, DENSITY_STORM_N);
     // The document's `metrics` section: the closed-loop point whose shard
     // count the overload sweep reuses (falling back to the last point).
     let metrics = points
@@ -606,14 +825,21 @@ pub fn record(path: &Path, specs: &[LoadSpec], overload_shards: usize) -> Vec<Lo
         .find(|p| p.spec.shards == overload_shards)
         .or_else(|| points.last())
         .and_then(|p| p.metrics.as_ref());
-    write_or_warn(path, &to_json(&points, &overload, metrics));
-    points
+    write_or_warn(
+        path,
+        &to_json(&points, &overload, &density, Some(&storm), metrics),
+    );
+    Recording {
+        points,
+        density,
+        storm,
+    }
 }
 
 /// The standard recording: the concurrent backend at shard counts
 /// {1, 4, `num_cpus`} (deduplicated), 2000 four-processor elections each,
-/// plus the overload sweep at 4 shards.
-pub fn record_default() -> Vec<LoadResult> {
+/// plus the overload sweep, density n-sweep, and executor storm at 4 shards.
+pub fn record_default() -> Recording {
     let cpus = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
     let mut shard_counts = vec![1usize, 4, cpus];
     shard_counts.sort_unstable();
@@ -630,6 +856,23 @@ pub fn record_default() -> Vec<LoadResult> {
 pub fn recorded_instances_per_sec(json: &str, shards: usize) -> Option<f64> {
     let needle = format!("\"shards\": {shards},");
     let line = json.lines().find(|line| line.contains(&needle))?;
+    let key = "\"instances_per_sec\": ";
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find(',').unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extract `instances_per_sec` for one `(backend, n)` point of the recorded
+/// density sweep (line-oriented, like [`recorded_instances_per_sec`];
+/// density lines are the only ones carrying both a `backend` label and a
+/// `worker_shards` key).
+pub fn recorded_density_instances_per_sec(json: &str, backend: &str, n: usize) -> Option<f64> {
+    let backend_needle = format!("\"backend\": \"{backend}\", \"worker_shards\":");
+    let n_needle = format!("\"n\": {n},");
+    let line = json
+        .lines()
+        .find(|line| line.contains(&backend_needle) && line.contains(&n_needle))?;
     let key = "\"instances_per_sec\": ";
     let start = line.find(key)? + key.len();
     let rest = &line[start..];
@@ -894,28 +1137,62 @@ mod tests {
         spec.queue_capacity = 2;
         spec.base_key = 500_000;
         let overload = vec![open_loop_overload(spec, 20_000.0)];
+        let density = vec![
+            closed_loop(LoadSpec::concurrent(1, 12, 3)),
+            closed_loop(LoadSpec::concurrent(1, 12, 3).with_backend(BackendKind::Async)),
+        ];
+        let storm = executor_density_storm(32, 3);
         let metrics = points[0].metrics.clone();
-        let json = to_json(&points, &overload, metrics.as_ref());
+        let json = to_json(&points, &overload, &density, Some(&storm), metrics.as_ref());
         assert!(json.contains("\"benchmark\": \"service_instances_per_sec\""));
         assert!(json.contains("\"overload\": ["));
         assert!(json.contains("\"policy\": \"shed\""));
+        assert!(json.contains("\"density\": ["));
+        assert!(json.contains("\"executor_storm\": {"));
+        assert!(json.contains("\"peak_in_flight\""));
         assert!(json.contains("\"metrics\": {"));
         assert!(json.contains("\"worker_shards\": 1"));
         assert!(json.contains("\"per_shard\": ["));
         let parsed = recorded_instances_per_sec(&json, 1).expect("parseable");
         assert!(
             (parsed - points[0].instances_per_sec).abs() < 1.0,
-            "the overload and metrics sections must not shadow the closed-loop points"
+            "the overload, density and metrics sections must not shadow the closed-loop points"
         );
         assert_eq!(recorded_instances_per_sec(&json, 99), None);
+        let dense = recorded_density_instances_per_sec(&json, "async", 3).expect("parseable");
+        assert!(
+            (dense - density[1].instances_per_sec).abs() < 1.0,
+            "the density parser must pick the async point, not the concurrent one"
+        );
+        assert_eq!(recorded_density_instances_per_sec(&json, "async", 99), None);
     }
 
     #[test]
     fn json_without_metrics_still_closes_cleanly() {
         let points = vec![closed_loop(LoadSpec::concurrent(1, 8, 3))];
-        let json = to_json(&points, &[], None);
+        let json = to_json(&points, &[], &[], None, None);
         assert!(json.trim_end().ends_with('}'));
         assert!(!json.contains("\"metrics\""));
+        assert!(!json.contains("\"executor_storm\""));
+    }
+
+    #[test]
+    fn async_backend_load_also_verifies() {
+        let spec = LoadSpec::concurrent(2, 32, 4).with_backend(BackendKind::Async);
+        let result = closed_loop(spec);
+        assert!(result.instances_per_sec > 0.0);
+    }
+
+    #[test]
+    fn executor_density_storm_holds_every_instance_in_flight() {
+        let storm = executor_density_storm(200, 4);
+        assert_eq!(storm.instances, 200);
+        assert_eq!(
+            storm.peak_in_flight, 200,
+            "the staged batch is fully in flight before the workers are released"
+        );
+        assert!(storm.task_workers >= 2);
+        assert!(storm.instances_per_sec > 0.0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! Hunting the **concurrent backend**: the same strategies, oracles, traces
-//! and shrinker as the simulator, pointed at real threads.
+//! Hunting the **gate-serialized backends**: the same strategies, oracles,
+//! traces and shrinker as the simulator, pointed at real threads
+//! ([`run_episode_shm`]) or at cooperative tasks on the shared
+//! [`Executor`] ([`run_episode_exec`]).
 //!
 //! `fle_runtime::run_scheduled` serializes the participant threads of a
 //! [`fle_runtime::SharedRegisters`] run at their [`fle_model::SchedulePoint`]
@@ -49,10 +51,10 @@ use crate::explorer::{EpisodeOutcome, EpisodePlan, FoundViolation};
 use crate::oracles::{budget_violation, Oracle, OracleCtx, Violation};
 use crate::scenario::Scenario;
 use crate::strategies::PreemptionBound;
-use fle_model::ProcId;
+use fle_model::{CancelToken, ProcId};
 use fle_runtime::{
-    run_scheduled_faulty, FaultPlan, GateCommand, GateObservation, GateScheduler, ScheduleConfig,
-    SharedRegisters,
+    run_gated, run_scheduled_faulty, Executor, FaultPlan, GateCommand, GateObservation,
+    GateScheduler, ScheduleConfig, ScheduledReport, SharedRegisters,
 };
 use fle_sim::{
     Adversary, Decision, DecisionTrace, EnabledEvent, EnabledEvents, ExecutionReport,
@@ -194,14 +196,35 @@ impl GateScheduler for OnlineAdversaryScheduler<'_> {
     }
 }
 
-/// Drive one scenario on the concurrent backend under `adversary`, checking
-/// the scenario's oracles after every grant. Returns the violation (if any)
-/// and the number of grants executed.
-pub(crate) fn drive_shm(
+/// Which gate-serialized substrate hosts the participants of an episode:
+/// one OS thread per participant (`run_scheduled_faulty`) or cooperative
+/// tasks on the shared task [`Executor`] (`run_gated`). Both present the
+/// identical [`GateScheduler`] interface, so everything above the gate —
+/// strategies, oracles, traces, replay, ddmin — is substrate-blind.
+#[derive(Debug, Clone, Copy)]
+enum GatedSubstrate {
+    Threads,
+    Tasks,
+}
+
+/// The process-wide executor hosting every task-backed episode. Episodes
+/// hunted in parallel share the pool safely: each episode's control loop
+/// serializes only its own gate, and a gated schedule admits one task at a
+/// time, so determinism per episode is unaffected by pool sharing.
+fn explore_executor() -> &'static Executor {
+    static EXECUTOR: std::sync::OnceLock<Executor> = std::sync::OnceLock::new();
+    EXECUTOR.get_or_init(Executor::with_default_config)
+}
+
+/// Drive one scenario on a gate-serialized backend under `adversary`,
+/// checking the scenario's oracles after every grant. Returns the violation
+/// (if any) and the number of grants executed.
+fn drive_gated(
     scenario: &dyn Scenario,
     sim_seed: u64,
     adversary: &mut dyn Adversary,
     config: &ShmConfig,
+    substrate: GatedSubstrate,
 ) -> (Option<Violation>, u64) {
     let participants = scenario.participants();
     let k = participants.len();
@@ -221,15 +244,28 @@ pub(crate) fn drive_shm(
         violation: None,
         report: ExecutionReport::default(),
     };
-    let report = run_scheduled_faulty(
-        &registers,
-        0,
-        sim_seed,
-        scenario.protocols(),
-        sched_config,
-        &mut scheduler,
-        config.faults,
-    );
+    let report: ScheduledReport = match substrate {
+        GatedSubstrate::Threads => run_scheduled_faulty(
+            &registers,
+            0,
+            sim_seed,
+            scenario.protocols(),
+            sched_config,
+            &mut scheduler,
+            config.faults,
+        ),
+        GatedSubstrate::Tasks => run_gated(
+            explore_executor(),
+            &registers,
+            0,
+            sim_seed,
+            scenario.protocols(),
+            sched_config,
+            &mut scheduler,
+            config.faults,
+            &CancelToken::none(),
+        ),
+    };
 
     let mut oracles = scheduler.oracles;
     if let Some(violation) = scheduler.violation {
@@ -288,13 +324,30 @@ pub(crate) fn drive_shm(
     (None, report.grants)
 }
 
-/// Run one episode of `plan` against `scenario` on the concurrent backend:
-/// build the strategy (preemption-bounded if configured), record its
-/// decisions, evaluate the oracles online after every grant.
-pub fn run_episode_shm(
+/// [`drive_gated`] on participant threads (the concurrent backend).
+pub(crate) fn drive_shm(
+    scenario: &dyn Scenario,
+    sim_seed: u64,
+    adversary: &mut dyn Adversary,
+    config: &ShmConfig,
+) -> (Option<Violation>, u64) {
+    drive_gated(
+        scenario,
+        sim_seed,
+        adversary,
+        config,
+        GatedSubstrate::Threads,
+    )
+}
+
+/// Run one episode of `plan` against `scenario` on a gate-serialized
+/// substrate: build the strategy (preemption-bounded if configured), record
+/// its decisions, evaluate the oracles online after every grant.
+fn run_episode_gated(
     scenario: &dyn Scenario,
     plan: &EpisodePlan,
     config: &ShmConfig,
+    substrate: GatedSubstrate,
 ) -> EpisodeOutcome {
     let strategy = plan.strategy.build(plan.strategy_seed);
     let bounded: Box<dyn Adversary> = match config.preemption_bound {
@@ -302,7 +355,8 @@ pub fn run_episode_shm(
         None => strategy,
     };
     let mut recording = RecordingAdversary::new(bounded);
-    let (violation, grants) = drive_shm(scenario, plan.sim_seed, &mut recording, config);
+    let (violation, grants) =
+        drive_gated(scenario, plan.sim_seed, &mut recording, config, substrate);
     match violation {
         None => EpisodeOutcome::Clean { events: grants },
         Some(violation) => EpisodeOutcome::Violated(Box::new(FoundViolation {
@@ -312,6 +366,29 @@ pub fn run_episode_shm(
             plan: *plan,
         })),
     }
+}
+
+/// Run one episode of `plan` against `scenario` on the concurrent backend:
+/// build the strategy (preemption-bounded if configured), record its
+/// decisions, evaluate the oracles online after every grant.
+pub fn run_episode_shm(
+    scenario: &dyn Scenario,
+    plan: &EpisodePlan,
+    config: &ShmConfig,
+) -> EpisodeOutcome {
+    run_episode_gated(scenario, plan, config, GatedSubstrate::Threads)
+}
+
+/// Run one episode of `plan` against `scenario` on the task executor: same
+/// strategies, oracles and trace codec as [`run_episode_shm`], but the
+/// participants are cooperative tasks multiplexed on the process-wide
+/// [`Executor`] instead of one OS thread each.
+pub fn run_episode_exec(
+    scenario: &dyn Scenario,
+    plan: &EpisodePlan,
+    config: &ShmConfig,
+) -> EpisodeOutcome {
+    run_episode_gated(scenario, plan, config, GatedSubstrate::Tasks)
 }
 
 /// Replay a decision trace against the scenario on the concurrent backend;
@@ -326,6 +403,28 @@ pub fn replay_shm(
 ) -> (Option<Violation>, usize) {
     let mut replayer = ReplayAdversary::new(decisions);
     let (violation, _grants) = drive_shm(scenario, sim_seed, &mut replayer, config);
+    let consumed = replayer.consumed();
+    (violation, consumed)
+}
+
+/// Replay a decision trace against the scenario on the task executor. A
+/// trace recorded by [`run_episode_exec`] replays here decision-for-decision
+/// — and, because the gate interface is substrate-blind, traces recorded on
+/// participant threads replay on tasks (and vice versa) too.
+pub fn replay_exec(
+    scenario: &dyn Scenario,
+    sim_seed: u64,
+    decisions: &DecisionTrace,
+    config: &ShmConfig,
+) -> (Option<Violation>, usize) {
+    let mut replayer = ReplayAdversary::new(decisions);
+    let (violation, _grants) = drive_gated(
+        scenario,
+        sim_seed,
+        &mut replayer,
+        config,
+        GatedSubstrate::Tasks,
+    );
     let consumed = replayer.consumed();
     (violation, consumed)
 }
@@ -417,6 +516,85 @@ mod tests {
                 panic!("a fail-stop of every participant must violate liveness")
             }
         }
+    }
+
+    #[test]
+    fn healthy_election_episodes_are_clean_on_the_task_executor() {
+        let scenario = ElectionScenario { n: 4, k: 4 };
+        let config = ShmConfig::default();
+        for strategy in StrategySpec::library() {
+            for sim_seed in 0..2 {
+                match run_episode_exec(&scenario, &plan(strategy, sim_seed), &config) {
+                    EpisodeOutcome::Clean { events } => assert!(events > 0),
+                    EpisodeOutcome::Violated(found) => {
+                        panic!("healthy election violated on the executor: {found}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn executor_episodes_are_deterministic_and_match_the_thread_substrate() {
+        // The gate fully serializes both substrates, so for the same plan
+        // the thread-backed and task-backed episodes execute the identical
+        // schedule — grant counts and outcomes included.
+        let scenario = ElectionScenario { n: 4, k: 4 };
+        let config = ShmConfig::default();
+        for sim_seed in 0..3 {
+            let p = plan(StrategySpec::SplitBrain { burst: 4 }, sim_seed);
+            let threads = run_episode_shm(&scenario, &p, &config);
+            let tasks = run_episode_exec(&scenario, &p, &config);
+            let tasks_again = run_episode_exec(&scenario, &p, &config);
+            match (&threads, &tasks, &tasks_again) {
+                (
+                    EpisodeOutcome::Clean { events: a },
+                    EpisodeOutcome::Clean { events: b },
+                    EpisodeOutcome::Clean { events: c },
+                ) => {
+                    assert_eq!(a, b, "seed {sim_seed}: substrates agree on grant count");
+                    assert_eq!(b, c, "seed {sim_seed}: the executor repeats itself");
+                }
+                other => panic!("seed {sim_seed}: unexpected outcomes {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_faults_are_caught_replayed_and_shrunk_on_the_task_executor() {
+        // The full counterexample pipeline on the async substrate: a
+        // fail-stop-everyone plan violates election liveness; the recorded
+        // trace replays on the executor; ddmin minimizes it there too.
+        let scenario = ElectionScenario { n: 4, k: 4 };
+        let crashing = ShmConfig {
+            faults: Some(FaultPlan::new(2).with_crash(fle_runtime::CrashSpec::lose_all(2))),
+            ..ShmConfig::default()
+        };
+        let found = match run_episode_exec(
+            &scenario,
+            &plan(StrategySpec::SplitBrain { burst: 4 }, 0),
+            &crashing,
+        ) {
+            EpisodeOutcome::Violated(found) => found,
+            EpisodeOutcome::Clean { .. } => {
+                panic!("a fail-stop of every participant must violate liveness")
+            }
+        };
+        assert_eq!(found.violation.oracle, crate::oracles::ELECTION_LIVENESS);
+        let (violation, _) = replay_exec(&scenario, 0, &found.decisions, &crashing);
+        assert_eq!(
+            violation.map(|v| v.oracle),
+            Some(crate::oracles::ELECTION_LIVENESS),
+            "the recorded trace reproduces on the executor"
+        );
+        let minimal = crate::shrink::shrink_exec(&scenario, &found, 200, &crashing);
+        assert!(minimal.minimized.len() <= found.decisions.len());
+        let (violation, _) = replay_exec(&scenario, 0, &minimal.minimized, &crashing);
+        assert_eq!(
+            violation.map(|v| v.oracle),
+            Some(crate::oracles::ELECTION_LIVENESS),
+            "the minimized trace still reproduces"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! deterministic and results come back in job order, a hunt's outcome is
 //! bitwise independent of the thread count.
 
-use crate::concurrent::{run_episode_shm, ShmConfig};
+use crate::concurrent::{run_episode_exec, run_episode_shm, ShmConfig};
 use crate::oracles::{budget_violation, OracleCtx, Violation};
 use crate::partitioned::{run_episode_partitioned, PartitionedConfig};
 use crate::scenario::Scenario;
@@ -41,6 +41,12 @@ pub enum ExploreBackend {
     /// checked at every super-round barrier, violations replayed by plan
     /// rather than by decision trace (see [`crate::partitioned`]).
     Partitioned(PartitionedConfig),
+    /// The task-multiplexed executor behind the same schedule gates as
+    /// [`ExploreBackend::Concurrent`]: identical strategies, oracles and
+    /// trace codec, but participants are cooperative tasks on a shared
+    /// worker pool instead of one OS thread each — so wide hunts do not
+    /// multiply `episodes × participants` into thread counts.
+    Async(ShmConfig),
 }
 
 /// The coordinates of one episode in the exploration grid.
@@ -302,6 +308,7 @@ impl<'a> Explorer<'a> {
             ExploreBackend::Sim => run_episode(scenario, plan),
             ExploreBackend::Concurrent(config) => run_episode_shm(scenario, plan, &config),
             ExploreBackend::Partitioned(config) => run_episode_partitioned(scenario, plan, &config),
+            ExploreBackend::Async(config) => run_episode_exec(scenario, plan, &config),
         });
         let mut report = HuntReport {
             episodes: plans.len(),

@@ -54,7 +54,7 @@ pub mod scenario;
 pub mod shrink;
 pub mod strategies;
 
-pub use concurrent::{replay_shm, run_episode_shm, ShmConfig};
+pub use concurrent::{replay_exec, replay_shm, run_episode_exec, run_episode_shm, ShmConfig};
 pub use explorer::{
     replay, run_episode, EpisodeOutcome, EpisodePlan, ExploreBackend, Explorer, FoundViolation,
     HuntReport,
@@ -64,5 +64,5 @@ pub use partitioned::{run_episode_partitioned, PartitionedConfig};
 pub use scenario::{
     standard_scenarios, ElectionScenario, RenamingScenario, Scenario, SiftScenario,
 };
-pub use shrink::{shrink, shrink_shm, ShrinkResult};
+pub use shrink::{shrink, shrink_exec, shrink_shm, ShrinkResult};
 pub use strategies::{PreemptionBound, StrategySpec};

@@ -20,7 +20,7 @@
 //! can be serialized with [`DecisionTrace::to_compact_string`] and replayed
 //! from text alone.
 
-use crate::concurrent::{replay_shm, ShmConfig};
+use crate::concurrent::{replay_exec, replay_shm, ShmConfig};
 use crate::explorer::{replay, FoundViolation};
 use crate::oracles::Violation;
 use crate::scenario::Scenario;
@@ -73,6 +73,22 @@ pub fn shrink_shm(
     let sim_seed = found.plan.sim_seed;
     shrink_with(found, max_replays, |trace| {
         replay_shm(scenario, sim_seed, trace, config)
+    })
+}
+
+/// Minimize `found` with at most `max_replays` re-executions, replaying on
+/// the **task executor** ([`crate::run_episode_exec`]'s substrate). Same
+/// ddmin, same keep-predicate; the gate interface makes grant indices mean
+/// the same thing as on the concurrent backend.
+pub fn shrink_exec(
+    scenario: &dyn Scenario,
+    found: &FoundViolation,
+    max_replays: usize,
+    config: &ShmConfig,
+) -> ShrinkResult {
+    let sim_seed = found.plan.sim_seed;
+    shrink_with(found, max_replays, |trace| {
+        replay_exec(scenario, sim_seed, trace, config)
     })
 }
 

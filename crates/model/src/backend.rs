@@ -91,21 +91,172 @@ impl<M: SharedMemory + ?Sized> SharedMemory for &mut M {
     }
 }
 
+/// One shared-memory operation a protocol needs performed before it can take
+/// its next step — an [`Action`] with the terminal [`Action::Return`] arm
+/// split off (that arm is [`DriveStep::Done`] instead).
+///
+/// An `Op` is the unit of suspension for resumable drivers: a
+/// [`DriveMachine`] hands one out, the caller performs it against whatever
+/// [`SharedMemory`] it owns (possibly much later, on a different thread),
+/// and feeds the [`Response`] back via [`DriveMachine::resume`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Merge register writes into the shared memory.
+    Propagate {
+        /// The register writes to merge.
+        entries: Vec<(Key, Value)>,
+    },
+    /// Read the current register views of an instance.
+    Collect {
+        /// The instance whose registers to read.
+        instance: InstanceId,
+    },
+    /// Flip a biased coin.
+    Flip {
+        /// Probability of the coin coming up `true`.
+        prob_one: f64,
+    },
+    /// Pick uniformly at random among explicit choices.
+    Choose {
+        /// The candidate values.
+        choices: Vec<u64>,
+    },
+}
+
+impl Op {
+    /// Perform this operation against `memory` and produce the response the
+    /// suspended protocol is waiting for.
+    ///
+    /// This is the resumable twin of [`SharedMemory::perform`]: same mapping,
+    /// but total — an `Op` has no `Return` arm, so there is always a
+    /// response.
+    pub fn perform<M: SharedMemory + ?Sized>(self, memory: &mut M) -> Response {
+        match self {
+            Op::Propagate { entries } => {
+                memory.propagate(entries);
+                Response::AckQuorum
+            }
+            Op::Collect { instance } => Response::Views(memory.collect(instance)),
+            Op::Flip { prob_one } => Response::Coin(memory.flip(prob_one)),
+            Op::Choose { choices } => Response::Chosen(memory.choose(&choices)),
+        }
+    }
+
+    /// The schedule point at which this operation executes — the gate an
+    /// adversarial controller interposes on (see [`crate::SchedulePoint`]).
+    pub fn point(&self) -> crate::schedule::SchedulePoint {
+        use crate::schedule::SchedulePoint;
+        match self {
+            Op::Propagate { .. } => SchedulePoint::Propagate,
+            Op::Collect { .. } => SchedulePoint::Collect,
+            Op::Flip { .. } => SchedulePoint::Flip,
+            Op::Choose { .. } => SchedulePoint::Choose,
+        }
+    }
+}
+
+/// What a [`DriveMachine`] produced from one protocol step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriveStep {
+    /// The protocol needs this operation performed; feed the response back
+    /// with [`DriveMachine::resume`] before stepping again.
+    NeedOp(Op),
+    /// The protocol returned: this participant is finished.
+    Done(Outcome),
+}
+
+/// The [`drive`] loop turned inside out: an explicit resumable state machine
+/// that never blocks and never touches the shared memory itself.
+///
+/// Where [`drive`] owns the loop — step the protocol, perform the action,
+/// repeat until `Return` — a `DriveMachine` exposes each iteration to the
+/// caller: [`DriveMachine::step`] advances the protocol exactly one step and
+/// either finishes ([`DriveStep::Done`]) or suspends with the operation it
+/// needs ([`DriveStep::NeedOp`]). The caller performs the [`Op`] whenever and
+/// wherever it likes and re-arms the machine with [`DriveMachine::resume`].
+/// This is what lets a cooperative executor multiplex thousands of
+/// participants over a handful of OS threads: a parked participant is just a
+/// `DriveMachine` plus its protocol, not a blocked thread.
+///
+/// The blocking drivers ([`drive`], [`drive_cancellable`],
+/// [`crate::drive_scheduled`]) are thin wrappers over this machine and are
+/// pinned byte-identical to the original loops by differential tests.
+#[derive(Debug)]
+pub struct DriveMachine {
+    /// The response the next protocol step consumes; `None` while an [`Op`]
+    /// is outstanding.
+    pending: Option<Response>,
+}
+
+impl DriveMachine {
+    /// A fresh machine, ready to take the protocol's first step.
+    pub fn new() -> Self {
+        DriveMachine {
+            pending: Some(Response::Start),
+        }
+    }
+
+    /// Whether the machine can step right now (no operation outstanding).
+    pub fn is_runnable(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Advance `protocol` by exactly one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`Op`] handed out by a previous `step` has not been
+    /// answered via [`DriveMachine::resume`] — stepping a suspended machine
+    /// is a driver bug, not a recoverable condition.
+    pub fn step<P: Protocol + ?Sized>(&mut self, protocol: &mut P) -> DriveStep {
+        let response = self
+            .pending
+            .take()
+            .expect("resume() the pending Op before stepping again");
+        match protocol.step(response) {
+            Action::Return(outcome) => DriveStep::Done(outcome),
+            Action::Propagate { entries } => DriveStep::NeedOp(Op::Propagate { entries }),
+            Action::Collect { instance } => DriveStep::NeedOp(Op::Collect { instance }),
+            Action::Flip { prob_one } => DriveStep::NeedOp(Op::Flip { prob_one }),
+            Action::Choose { choices } => DriveStep::NeedOp(Op::Choose { choices }),
+        }
+    }
+
+    /// Feed back the response to the outstanding [`Op`], re-arming the
+    /// machine for its next [`DriveMachine::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operation is outstanding (double-resume).
+    pub fn resume(&mut self, response: Response) {
+        assert!(
+            self.pending.is_none(),
+            "resume() with no Op outstanding (double-resume)"
+        );
+        self.pending = Some(response);
+    }
+}
+
+impl Default for DriveMachine {
+    fn default() -> Self {
+        DriveMachine::new()
+    }
+}
+
 /// Drive `protocol` to completion against `memory`: the single loop shared by
-/// every synchronous backend.
+/// every synchronous backend. A thin wrapper over [`DriveMachine`].
 pub fn drive<P, M>(protocol: &mut P, mut memory: M) -> Outcome
 where
     P: Protocol + ?Sized,
     M: SharedMemory,
 {
-    let mut response = Response::Start;
+    let mut machine = DriveMachine::new();
     loop {
-        match protocol.step(response) {
-            Action::Return(outcome) => return outcome,
-            action => {
-                response = memory
-                    .perform(action)
-                    .expect("only Action::Return yields no response");
+        match machine.step(protocol) {
+            DriveStep::Done(outcome) => return outcome,
+            DriveStep::NeedOp(op) => {
+                let response = op.perform(&mut memory);
+                machine.resume(response);
             }
         }
     }
@@ -194,17 +345,16 @@ where
     P: Protocol + ?Sized,
     M: SharedMemory,
 {
-    let mut response = Response::Start;
+    let mut machine = DriveMachine::new();
     loop {
         if cancel.is_cancelled() {
             return None;
         }
-        match protocol.step(response) {
-            Action::Return(outcome) => return Some(outcome),
-            action => {
-                response = memory
-                    .perform(action)
-                    .expect("only Action::Return yields no response");
+        match machine.step(protocol) {
+            DriveStep::Done(outcome) => return Some(outcome),
+            DriveStep::NeedOp(op) => {
+                let response = op.perform(&mut memory);
+                machine.resume(response);
             }
         }
     }
@@ -408,5 +558,138 @@ mod tests {
         // Driving through a &mut &mut chain compiles and behaves identically.
         let by_ref: &mut TestMemory = &mut memory;
         assert_eq!(drive(&mut protocol, by_ref), Outcome::Win);
+    }
+
+    /// The original blocking loop, verbatim, kept as the reference the
+    /// machine-based [`drive`] is differenced against.
+    fn legacy_drive<P, M>(protocol: &mut P, mut memory: M) -> Outcome
+    where
+        P: Protocol + ?Sized,
+        M: SharedMemory,
+    {
+        let mut response = Response::Start;
+        loop {
+            match protocol.step(response) {
+                Action::Return(outcome) => return outcome,
+                action => {
+                    response = memory
+                        .perform(action)
+                        .expect("only Action::Return yields no response");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn machine_drive_is_byte_identical_to_the_legacy_loop() {
+        // Same protocol, same coin script: outcome AND the exact sequence of
+        // shared-memory calls must match the pre-machine loop.
+        for coins in [vec![true], vec![false], vec![true, false]] {
+            let mut legacy_memory = TestMemory::new(coins.clone());
+            let mut legacy_protocol = RoundTrip {
+                stage: 0,
+                saw_flag: false,
+            };
+            let legacy_outcome = legacy_drive(&mut legacy_protocol, &mut legacy_memory);
+
+            let mut memory = TestMemory::new(coins.clone());
+            let mut protocol = RoundTrip {
+                stage: 0,
+                saw_flag: false,
+            };
+            let outcome = drive(&mut protocol, &mut memory);
+
+            assert_eq!(outcome, legacy_outcome, "coins {coins:?}");
+            assert_eq!(memory.calls, legacy_memory.calls, "coins {coins:?}");
+            assert_eq!(protocol.saw_flag, legacy_protocol.saw_flag);
+        }
+    }
+
+    #[test]
+    fn machine_steps_suspend_and_resume_one_op_at_a_time() {
+        let mut memory = TestMemory::new(vec![true]);
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        let mut machine = DriveMachine::new();
+        assert!(machine.is_runnable());
+
+        let mut ops = Vec::new();
+        let outcome = loop {
+            match machine.step(&mut protocol) {
+                DriveStep::Done(outcome) => break outcome,
+                DriveStep::NeedOp(op) => {
+                    assert!(!machine.is_runnable(), "suspended while an Op is out");
+                    ops.push(op.point());
+                    let response = op.perform(&mut memory);
+                    machine.resume(response);
+                    assert!(machine.is_runnable());
+                }
+            }
+        };
+        assert_eq!(outcome, Outcome::Win);
+        use crate::schedule::SchedulePoint;
+        assert_eq!(
+            ops,
+            vec![
+                SchedulePoint::Propagate,
+                SchedulePoint::Collect,
+                SchedulePoint::Flip
+            ]
+        );
+        assert_eq!(memory.calls, vec!["propagate", "collect", "flip"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume() the pending Op before stepping again")]
+    fn stepping_a_suspended_machine_panics() {
+        let mut protocol = RoundTrip {
+            stage: 0,
+            saw_flag: false,
+        };
+        let mut machine = DriveMachine::new();
+        let DriveStep::NeedOp(_) = machine.step(&mut protocol) else {
+            panic!("first step must suspend");
+        };
+        machine.step(&mut protocol); // Op still outstanding
+    }
+
+    #[test]
+    #[should_panic(expected = "double-resume")]
+    fn double_resume_panics() {
+        let mut machine = DriveMachine::new();
+        machine.resume(Response::AckQuorum); // nothing outstanding
+    }
+
+    #[test]
+    fn op_perform_maps_every_op_kind() {
+        let mut memory = TestMemory::new(vec![true]);
+        assert_eq!(
+            Op::Propagate {
+                entries: Vec::new()
+            }
+            .perform(&mut memory),
+            Response::AckQuorum
+        );
+        assert!(matches!(
+            Op::Collect {
+                instance: InstanceId::Contended
+            }
+            .perform(&mut memory),
+            Response::Views(_)
+        ));
+        assert_eq!(
+            Op::Flip { prob_one: 1.0 }.perform(&mut memory),
+            Response::Coin(true)
+        );
+        assert_eq!(
+            Op::Choose {
+                choices: vec![7, 9]
+            }
+            .perform(&mut memory),
+            Response::Chosen(7)
+        );
+        assert_eq!(memory.calls, vec!["propagate", "collect", "flip", "choose"]);
     }
 }

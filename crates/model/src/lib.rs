@@ -11,7 +11,9 @@
 //!   renaming algorithm, and the tournament baselines) is written against,
 //! * [`SharedMemory`] — the protocol ⇄ memory contract
 //!   (`propagate`/`collect`/`flip`/`choose`) that every synchronous execution
-//!   backend implements, with [`drive`] as the shared protocol driver,
+//!   backend implements, with [`drive`] as the shared protocol driver and
+//!   [`DriveMachine`] as its resumable inside-out form (one suspended
+//!   participant = one machine, not one blocked thread),
 //! * [`ScheduledMemory`] — the schedule-gate extension of that contract:
 //!   backends that announce each operation as a [`SchedulePoint`] and block
 //!   until granted become adversarially schedulable (and hence replayable)
@@ -76,7 +78,9 @@ pub mod view;
 pub mod wire;
 
 pub use action::{Action, Outcome, Response};
-pub use backend::{drive, drive_cancellable, CancelToken, SharedMemory};
+pub use backend::{
+    drive, drive_cancellable, CancelToken, DriveMachine, DriveStep, Op, SharedMemory,
+};
 pub use ids::{splitmix64, ElectionContext, InstanceId, ProcId, Slot};
 pub use metrics::{ExecutionMetrics, ProcessMetrics};
 pub use partition::{PartitionMap, RouteKey};

@@ -100,8 +100,8 @@
 //! assert_eq!(gated.1, vec![SchedulePoint::Flip, SchedulePoint::Return]);
 //! ```
 
-use crate::action::{Action, Outcome, Response};
-use crate::backend::SharedMemory;
+use crate::action::{Action, Outcome};
+use crate::backend::{DriveMachine, DriveStep, SharedMemory};
 use crate::protocol::{LocalStateView, Protocol};
 use std::fmt;
 
@@ -201,20 +201,21 @@ where
     P: Protocol + ?Sized,
     M: ScheduledMemory,
 {
-    let mut response = Response::Start;
+    let mut machine = DriveMachine::new();
     loop {
-        let action = protocol.step(response);
-        let point = SchedulePoint::of(&action);
+        let (point, step) = match machine.step(protocol) {
+            DriveStep::Done(outcome) => (SchedulePoint::Return, DriveStep::Done(outcome)),
+            DriveStep::NeedOp(op) => (op.point(), DriveStep::NeedOp(op)),
+        };
         match memory.reach(point, protocol.adversary_view()) {
             GateVerdict::Crashed => return None,
             GateVerdict::Proceed => {}
         }
-        match action {
-            Action::Return(outcome) => return Some(outcome),
-            action => {
-                response = memory
-                    .perform(action)
-                    .expect("only Action::Return yields no response");
+        match step {
+            DriveStep::Done(outcome) => return Some(outcome),
+            DriveStep::NeedOp(op) => {
+                let response = op.perform(&mut memory);
+                machine.resume(response);
             }
         }
     }
@@ -223,6 +224,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::Response;
     use crate::ids::{ElectionContext, InstanceId, ProcId, Slot};
     use crate::store::ReplicaStore;
     use crate::value::{Key, Value};
@@ -394,5 +396,59 @@ mod tests {
             saw_flag: false,
         };
         assert_eq!(drive_scheduled(&mut protocol, by_ref), Some(Outcome::Win));
+    }
+
+    /// The original gated loop, verbatim, kept as the reference the
+    /// machine-based [`drive_scheduled`] is differenced against.
+    fn legacy_drive_scheduled<P, M>(protocol: &mut P, mut memory: M) -> Option<Outcome>
+    where
+        P: Protocol + ?Sized,
+        M: ScheduledMemory,
+    {
+        let mut response = Response::Start;
+        loop {
+            let action = protocol.step(response);
+            let point = SchedulePoint::of(&action);
+            match memory.reach(point, protocol.adversary_view()) {
+                GateVerdict::Crashed => return None,
+                GateVerdict::Proceed => {}
+            }
+            match action {
+                Action::Return(outcome) => return Some(outcome),
+                action => {
+                    response = memory
+                        .perform(action)
+                        .expect("only Action::Return yields no response");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn machine_gated_drive_is_byte_identical_to_the_legacy_loop() {
+        // Across every crash position (0..=5 grants): same verdict, same
+        // announced points, same protocol-local state as the original loop.
+        for grants in 0..=5usize {
+            let mut legacy_memory = ScriptedGate::new(grants);
+            let mut legacy_protocol = RoundTrip {
+                stage: 0,
+                saw_flag: false,
+            };
+            let legacy_outcome = legacy_drive_scheduled(&mut legacy_protocol, &mut legacy_memory);
+
+            let mut memory = ScriptedGate::new(grants);
+            let mut protocol = RoundTrip {
+                stage: 0,
+                saw_flag: false,
+            };
+            let outcome = drive_scheduled(&mut protocol, &mut memory);
+
+            assert_eq!(outcome, legacy_outcome, "grants {grants}");
+            assert_eq!(memory.points, legacy_memory.points, "grants {grants}");
+            assert_eq!(
+                protocol.saw_flag, legacy_protocol.saw_flag,
+                "grants {grants}"
+            );
+        }
     }
 }

@@ -1,0 +1,1412 @@
+//! The task-multiplexed cooperative executor: thousands of participants per
+//! OS thread.
+//!
+//! [`run_concurrent`](crate::run_concurrent) spawns one OS thread per
+//! participant per instance — realistic, but at the service's measured
+//! throughput that is tens of thousands of thread spawns per second, and it
+//! is exactly why the density of in-flight instances was capped. This module
+//! removes the thread-per-participant cost: a participant is a
+//! [`DriveMachine`] plus its protocol and register handle — a few hundred
+//! bytes of suspended state — and a small pool of worker threads polls those
+//! tasks cooperatively from a shared run queue. One OS thread hosts
+//! thousands of participants instead of one.
+//!
+//! Two execution modes share the pool:
+//!
+//! * **Free-running** ([`Executor::submit`]): each participant task performs
+//!   a bounded burst of shared-memory operations per poll and goes back to
+//!   the queue, so instances interleave at operation granularity — the same
+//!   concurrency the thread-per-participant backend exhibits, minus the
+//!   spawn cost. The instance's [`CancelToken`] is polled before every
+//!   operation (every yield point), fail-stop abandonment converts to
+//!   [`Outcome::Lose`] exactly as in [`crate::drive_faulty`], and a
+//!   panicking task poisons only its own instance's ticket: the worker
+//!   thread survives and keeps polling everyone else.
+//! * **Gated** ([`run_gated`]): the executor's implementation of the
+//!   schedule-gate contract. Instead of blocking a thread in
+//!   [`fle_model::ScheduledMemory::reach`], a task *parks* — ownership of
+//!   the suspended task moves into its gate slot — and the caller's control
+//!   loop (a faithful replica of [`crate::run_scheduled_faulty`]'s) wakes
+//!   exactly one task per grant by re-injecting it into the run queue. The
+//!   whole exploration stack (strategies, oracles, record/replay, ddmin)
+//!   drives the executor's interleavings unchanged, and the run is
+//!   deterministic given the scheduler's decisions and the seed,
+//!   independent of the worker count.
+//!
+//! # Determinism ledger (gated mode)
+//!
+//! *Yield points*: every shared-memory operation plus the final return, the
+//! same [`SchedulePoint`]s the thread-per-participant scheduled runner
+//! gates. *Wake order*: one task at a time, chosen by the
+//! [`GateScheduler`] at quiescence (all live tasks parked), so the waiting
+//! set at each decision is a pure function of the grant history. *Seed
+//! policy*: participant coins come from
+//! [`SharedRegisters::handle_seeded`] (`seed + proc·0x9e37`, the simulator's
+//! convention), fault streams from the [`FaultPlan`] seed. Consequently a
+//! FIFO-gated executor run is outcome-identical to `fle_sim::SimMemory::
+//! run_all` and to [`crate::run_scheduled`], for any number of workers —
+//! the differential tests pin all three together.
+//!
+//! One documented divergence: a task that panics mid-poll is recorded as a
+//! *crashed* participant in gated mode (the scheduled runner re-raises the
+//! panic instead), because a pooled worker must outlive any one task.
+
+use crate::faulty::{FaultPlan, FaultStats, FaultyMemory};
+use crate::sched::{
+    FifoScheduler, GateCommand, GateObservation, GateScheduler, ScheduleConfig, ScheduledReport,
+    WaitingAt,
+};
+use crate::shm::{RegisterHandle, SharedRegisters};
+use fle_model::{
+    CancelToken, DriveMachine, DriveStep, LocalStateView, Op, Outcome, ProcId, Protocol,
+    SchedulePoint,
+};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+const LOCK: &str = "no executor user panics while holding the lock";
+
+/// Configuration of an [`Executor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Worker threads in the pool. 0 is clamped to 1.
+    pub workers: usize,
+    /// Shared-memory operations one free-running task may perform per poll
+    /// before yielding the worker (amortizes run-queue traffic; the cancel
+    /// token is still checked before every operation). 0 is clamped to 1.
+    pub ops_per_poll: u32,
+    /// Start with the workers holding: submitted tasks queue up but none
+    /// runs until [`Executor::release`]. Lets a caller stage an entire batch
+    /// so the in-flight high-water mark measures *capacity*, not the race
+    /// between the submit loop and the pool. Nothing makes progress until
+    /// released — don't park a gated run ([`crate::run_gated`]) behind it.
+    pub start_paused: bool,
+}
+
+impl ExecutorConfig {
+    /// `workers` worker threads with the default per-poll operation budget.
+    pub fn new(workers: usize) -> Self {
+        ExecutorConfig {
+            workers,
+            ops_per_poll: 8,
+            start_paused: false,
+        }
+    }
+
+    /// Override the per-poll operation budget.
+    #[must_use]
+    pub fn with_ops_per_poll(mut self, ops_per_poll: u32) -> Self {
+        self.ops_per_poll = ops_per_poll;
+        self
+    }
+
+    /// Hold the workers until [`Executor::release`].
+    #[must_use]
+    pub fn with_start_paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        ExecutorConfig::new(workers)
+    }
+}
+
+/// A point-in-time reading of the executor's load counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Free-running instances currently in flight (submitted, not resolved).
+    pub in_flight: usize,
+    /// Highest `in_flight` ever observed — the density high-water mark.
+    pub peak_in_flight: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+/// What a free-running instance resolved to.
+#[derive(Debug)]
+pub enum ExecResult {
+    /// Every participant returned; here are the outcomes and the merged
+    /// injected-fault counters.
+    Completed(ExecReport),
+    /// The instance's [`CancelToken`] tripped (or the executor shut down)
+    /// before every participant finished. Partial register state may remain
+    /// under the instance's namespace — retire it.
+    Cancelled,
+    /// A participant task panicked; the payload is the panic's. The worker
+    /// thread survived and only this instance is poisoned — callers that
+    /// contain panics with `catch_unwind` may re-raise the payload with
+    /// [`std::panic::resume_unwind`] to preserve their accounting.
+    Panicked(Box<dyn Any + Send + 'static>),
+}
+
+/// Outcomes of one completed free-running instance.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Outcome per participant.
+    pub outcomes: BTreeMap<ProcId, Outcome>,
+    /// Injected-fault counters merged over all participants (all zero when
+    /// the instance ran under a no-op plan).
+    pub faults: FaultStats,
+}
+
+impl ExecReport {
+    /// Participants that returned [`Outcome::Win`].
+    pub fn winners(&self) -> Vec<ProcId> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| **o == Outcome::Win)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+/// A handle on one submitted free-running instance.
+#[derive(Debug)]
+pub struct InFlight {
+    rx: crossbeam_channel::Receiver<ExecResult>,
+}
+
+impl InFlight {
+    /// Block until the instance resolves.
+    pub fn wait(self) -> ExecResult {
+        // The sender can only vanish without sending if the executor died
+        // mid-resolution; report that as a cancellation, not a panic.
+        self.rx.recv().unwrap_or(ExecResult::Cancelled)
+    }
+
+    /// Non-blocking probe; `None` while the instance is still in flight.
+    pub fn try_wait(&self) -> Option<ExecResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// How a failing instance failed (first failure wins, except that a panic
+/// upgrades a mere cancellation: it is strictly more informative).
+enum Failure {
+    Cancelled,
+    Panicked(Box<dyn Any + Send + 'static>),
+}
+
+/// State shared by all participant tasks of one free-running instance.
+struct InstanceShared {
+    cancel: CancelToken,
+    /// Fast-path doom flag: set on the first failure so sibling tasks drain
+    /// without re-deriving the failure.
+    doomed: AtomicBool,
+    remaining: AtomicUsize,
+    outcomes: Mutex<BTreeMap<ProcId, Outcome>>,
+    faults: Mutex<FaultStats>,
+    failure: Mutex<Option<Failure>>,
+    done: crossbeam_channel::Sender<ExecResult>,
+    pool: Arc<Pool>,
+    /// Whether fault counters are surfaced in the report. Mirrors the
+    /// concurrent runner's dispatch: a no-op plan reports
+    /// [`FaultStats::default`], not the decorator's op counts.
+    merge_faults: bool,
+}
+
+impl InstanceShared {
+    fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Acquire) || self.cancel.is_cancelled()
+    }
+
+    fn merge_faults(&self, stats: &FaultStats) {
+        if !self.merge_faults {
+            return;
+        }
+        match self.faults.lock() {
+            Ok(mut guard) => guard.merge(stats),
+            Err(poisoned) => poisoned.into_inner().merge(stats),
+        }
+    }
+
+    fn finish_participant(&self, proc: ProcId, outcome: Outcome, stats: &FaultStats) {
+        self.outcomes.lock().expect(LOCK).insert(proc, outcome);
+        self.merge_faults(stats);
+        self.arrive();
+    }
+
+    fn finish_cancelled(&self, stats: &FaultStats) {
+        self.doomed.store(true, Ordering::Release);
+        let mut failure = self.failure.lock().expect(LOCK);
+        if failure.is_none() {
+            *failure = Some(Failure::Cancelled);
+        }
+        drop(failure);
+        self.merge_faults(stats);
+        self.arrive();
+    }
+
+    fn finish_panicked(&self, payload: Box<dyn Any + Send + 'static>) {
+        self.doomed.store(true, Ordering::Release);
+        let mut failure = match self.failure.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if !matches!(*failure, Some(Failure::Panicked(_))) {
+            *failure = Some(Failure::Panicked(payload));
+        }
+        drop(failure);
+        self.arrive();
+    }
+
+    /// One participant reached a terminal state; the last one to arrive
+    /// resolves the instance's ticket.
+    fn arrive(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        let failure = match self.failure.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        let result = match failure {
+            Some(Failure::Panicked(payload)) => ExecResult::Panicked(payload),
+            Some(Failure::Cancelled) => ExecResult::Cancelled,
+            None => ExecResult::Completed(ExecReport {
+                outcomes: std::mem::take(&mut *self.outcomes.lock().expect(LOCK)),
+                faults: match self.faults.lock() {
+                    Ok(guard) => *guard,
+                    Err(poisoned) => *poisoned.into_inner(),
+                },
+            }),
+        };
+        // Decrement before resolving the ticket, so a waiter that observes
+        // the result never sees its own instance still counted in-flight.
+        self.pool.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = self.done.send(result);
+    }
+}
+
+/// One suspended free-running participant: a machine, its protocol, and its
+/// (fault-decorated) register handle. This — not an OS thread — is the unit
+/// the executor multiplexes.
+struct FreeTask {
+    instance: Arc<InstanceShared>,
+    proc: ProcId,
+    machine: DriveMachine,
+    protocol: Box<dyn Protocol + Send>,
+    memory: FaultyMemory<RegisterHandle>,
+}
+
+/// What a granted gated task does when a worker next polls it.
+enum GatedPending {
+    /// Initial state: step the protocol to its first gate.
+    Start,
+    /// The gate for this operation was granted: perform it, then step to the
+    /// next gate.
+    Op(Op),
+    /// The `Return` gate was granted: finish with this outcome.
+    Outcome(Outcome),
+}
+
+/// One suspended gated participant.
+struct GatedTask {
+    gate: Arc<GateShared>,
+    slot: usize,
+    machine: DriveMachine,
+    protocol: Box<dyn Protocol + Send>,
+    memory: FaultyMemory<RegisterHandle>,
+    pending: GatedPending,
+}
+
+/// The lifecycle of one gated participant slot. Unlike the scheduled
+/// runner's thread-backed slots there are no `Granted`/`Doomed` handshake
+/// states: granting re-injects the parked task (phase goes straight back to
+/// `Running`) and dooming drops it in place.
+enum GatePhase {
+    /// In the run queue or being polled by a worker.
+    Running,
+    /// Parked at a gate; `GateSlot::parked` holds the suspended task.
+    Waiting(SchedulePoint, LocalStateView),
+    /// Returned with the recorded outcome (taken by the harvester).
+    Done(Option<Outcome>),
+    /// Doomed by the control loop, lost to executor shutdown, or panicked.
+    Crashed,
+}
+
+struct GateSlot {
+    proc: ProcId,
+    phase: GatePhase,
+    parked: Option<GatedTask>,
+    harvested: bool,
+}
+
+/// The gate shared by one gated run's tasks and its control loop.
+struct GateShared {
+    slots: Mutex<Vec<GateSlot>>,
+    /// Signalled on every transition out of `Running`, so the control loop
+    /// can wait for quiescence.
+    quiesce: Condvar,
+    fault_totals: Mutex<FaultStats>,
+    /// Whether fault counters should be merged (a [`FaultPlan`] was given),
+    /// mirroring `run_scheduled_faulty`'s plan-present behavior.
+    merge_faults: bool,
+}
+
+impl GateShared {
+    fn new(procs: &[ProcId], merge_faults: bool) -> Self {
+        GateShared {
+            slots: Mutex::new(
+                procs
+                    .iter()
+                    .map(|&proc| GateSlot {
+                        proc,
+                        phase: GatePhase::Running,
+                        parked: None,
+                        harvested: false,
+                    })
+                    .collect(),
+            ),
+            quiesce: Condvar::new(),
+            fault_totals: Mutex::new(FaultStats::default()),
+            merge_faults,
+        }
+    }
+
+    fn merge(&self, stats: &FaultStats) {
+        if !self.merge_faults {
+            return;
+        }
+        match self.fault_totals.lock() {
+            Ok(mut guard) => guard.merge(stats),
+            Err(poisoned) => poisoned.into_inner().merge(stats),
+        }
+    }
+
+    /// Park `task` at its gate: ownership moves into the slot; the control
+    /// loop wakes it by re-injecting it into the run queue.
+    fn park(&self, point: SchedulePoint, state: LocalStateView, task: GatedTask) {
+        let mut slots = self.slots.lock().expect(LOCK);
+        let slot = &mut slots[task.slot];
+        slot.phase = GatePhase::Waiting(point, state);
+        slot.parked = Some(task);
+        self.quiesce.notify_all();
+    }
+
+    /// A task returned: record its outcome and merge its fault counters.
+    fn finish(&self, slot: usize, outcome: Outcome, stats: &FaultStats) {
+        self.merge(stats);
+        let mut slots = self.slots.lock().expect(LOCK);
+        slots[slot].phase = GatePhase::Done(Some(outcome));
+        self.quiesce.notify_all();
+    }
+
+    /// Terminal fallback: the task panicked or was lost to executor
+    /// shutdown; the participant counts as crashed so the control loop never
+    /// waits on it forever.
+    fn crash_slot(&self, slot: usize) {
+        let mut slots = self.slots.lock().expect(LOCK);
+        if !matches!(slots[slot].phase, GatePhase::Done(_) | GatePhase::Crashed) {
+            slots[slot].phase = GatePhase::Crashed;
+            slots[slot].parked = None;
+            self.quiesce.notify_all();
+        }
+    }
+}
+
+enum WorkItem {
+    Free(FreeTask),
+    Gated(GatedTask),
+}
+
+struct Queue {
+    tasks: VecDeque<WorkItem>,
+    shutdown: bool,
+    /// While set, workers wait instead of popping — queued work accumulates
+    /// until [`Executor::release`] clears it.
+    paused: bool,
+}
+
+/// Run queue, load counters and worker coordination, shared by all worker
+/// threads of one [`Executor`].
+struct Pool {
+    queue: Mutex<Queue>,
+    available: Condvar,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+    workers: usize,
+    ops_per_poll: u32,
+}
+
+impl Pool {
+    /// Enqueue `item`, or hand it back (boxed — the error arm is the cold
+    /// shutdown path) so the caller can resolve its bookkeeping.
+    fn inject(&self, item: WorkItem) -> Result<(), Box<WorkItem>> {
+        let mut queue = self.queue.lock().expect(LOCK);
+        if queue.shutdown {
+            return Err(Box::new(item));
+        }
+        queue.tasks.push_back(item);
+        let paused = queue.paused;
+        drop(queue);
+        if !paused {
+            self.available.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Resolve a work item that can no longer run (shutdown drain).
+    fn discard(item: WorkItem) {
+        match item {
+            WorkItem::Free(task) => task.instance.finish_cancelled(&task.memory.stats()),
+            WorkItem::Gated(task) => {
+                let gate = Arc::clone(&task.gate);
+                let slot = task.slot;
+                gate.merge(&task.memory.stats());
+                drop(task);
+                gate.crash_slot(slot);
+            }
+        }
+    }
+}
+
+/// The cooperative executor: a fixed pool of worker threads multiplexing
+/// participant tasks from a shared run queue. See the module docs for the
+/// two execution modes and the determinism ledger.
+pub struct Executor {
+    pool: Arc<Pool>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Executor")
+            .field("workers", &stats.workers)
+            .field("in_flight", &stats.in_flight)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Start a pool with the given configuration.
+    pub fn new(config: ExecutorConfig) -> Self {
+        let workers = config.workers.max(1);
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+                paused: config.start_paused,
+            }),
+            available: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            peak_in_flight: AtomicUsize::new(0),
+            workers,
+            ops_per_poll: config.ops_per_poll.max(1),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("fle-exec-{index}"))
+                    .spawn(move || worker_loop(&pool))
+                    .expect("spawning a worker thread never fails on supported platforms")
+            })
+            .collect();
+        Executor {
+            pool,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// A pool with the default configuration (one worker per available core,
+    /// clamped to 2..=8).
+    pub fn with_default_config() -> Self {
+        Executor::new(ExecutorConfig::default())
+    }
+
+    /// Current load counters.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            in_flight: self.pool.in_flight.load(Ordering::Acquire),
+            peak_in_flight: self.pool.peak_in_flight.load(Ordering::Acquire),
+            workers: self.pool.workers,
+        }
+    }
+
+    /// Submit one free-running instance: `participants` run over the
+    /// registers of `namespace` (coins seeded exactly as
+    /// [`crate::run_concurrent`]'s, via [`SharedRegisters::handle`]), each
+    /// behind a [`FaultyMemory`] under `plan`, with `cancel` polled before
+    /// every shared-memory operation.
+    ///
+    /// Returns immediately; the [`InFlight`] ticket resolves when the last
+    /// participant reaches a terminal state. Submission after shutdown
+    /// resolves [`ExecResult::Cancelled`].
+    pub fn submit(
+        &self,
+        registers: &Arc<SharedRegisters>,
+        namespace: u64,
+        seed: u64,
+        participants: Vec<(ProcId, Box<dyn Protocol + Send>)>,
+        plan: &FaultPlan,
+        cancel: CancelToken,
+    ) -> InFlight {
+        let merge_faults = !plan.is_noop();
+        let plan = plan.for_namespace(namespace);
+        let (done, rx) = crossbeam_channel::unbounded();
+        if participants.is_empty() {
+            let _ = done.send(ExecResult::Completed(ExecReport::default()));
+            return InFlight { rx };
+        }
+        let now = self.pool.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.pool.peak_in_flight.fetch_max(now, Ordering::AcqRel);
+        let instance = Arc::new(InstanceShared {
+            cancel,
+            doomed: AtomicBool::new(false),
+            remaining: AtomicUsize::new(participants.len()),
+            outcomes: Mutex::new(BTreeMap::new()),
+            faults: Mutex::new(FaultStats::default()),
+            failure: Mutex::new(None),
+            done,
+            pool: Arc::clone(&self.pool),
+            merge_faults,
+        });
+        for (proc, protocol) in participants {
+            let task = FreeTask {
+                instance: Arc::clone(&instance),
+                proc,
+                machine: DriveMachine::new(),
+                protocol,
+                memory: FaultyMemory::new(registers.handle(namespace, proc, seed), proc, plan),
+            };
+            if let Err(item) = self.pool.inject(WorkItem::Free(task)) {
+                Pool::discard(*item);
+            }
+        }
+        InFlight { rx }
+    }
+
+    /// Release a pool started with [`ExecutorConfig::with_start_paused`]:
+    /// every queued task becomes runnable at once. Idempotent; a no-op on a
+    /// pool that was never paused.
+    pub fn release(&self) {
+        let mut queue = self.pool.queue.lock().expect(LOCK);
+        queue.paused = false;
+        drop(queue);
+        self.pool.available.notify_all();
+    }
+
+    /// Enqueue a gated task (or fail it against its slot on shutdown).
+    fn inject_gated(&self, task: GatedTask) {
+        if let Err(item) = self.pool.inject(WorkItem::Gated(task)) {
+            Pool::discard(*item);
+        }
+    }
+
+    /// Stop the pool: drain the queue (queued free tasks resolve their
+    /// instances [`ExecResult::Cancelled`], queued gated tasks crash their
+    /// slots), wake and join every worker. Idempotent.
+    pub fn shutdown(&self) {
+        let drained: Vec<WorkItem> = {
+            let mut queue = self.pool.queue.lock().expect(LOCK);
+            queue.shutdown = true;
+            queue.tasks.drain(..).collect()
+        };
+        self.pool.available.notify_all();
+        for item in drained {
+            Pool::discard(item);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock().expect(LOCK));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(pool: &Arc<Pool>) {
+    loop {
+        let item = {
+            let mut queue = pool.queue.lock().expect(LOCK);
+            loop {
+                if !queue.paused {
+                    if let Some(item) = queue.tasks.pop_front() {
+                        break item;
+                    }
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = pool.available.wait(queue).expect(LOCK);
+            }
+        };
+        match item {
+            WorkItem::Free(task) => poll_free(pool, task),
+            WorkItem::Gated(task) => poll_gated(task),
+        }
+    }
+}
+
+/// Poll one free-running task for up to `ops_per_poll` operations. The body
+/// mirrors [`crate::drive_faulty`] exactly — poll the cancel token, convert
+/// abandonment to [`Outcome::Lose`], step, perform — just sliced into
+/// resumable bursts. A panic anywhere in the protocol or memory poisons only
+/// this task's instance; the worker survives.
+fn poll_free(pool: &Arc<Pool>, task: FreeTask) {
+    let instance = Arc::clone(&task.instance);
+    let polled = catch_unwind(AssertUnwindSafe(move || {
+        let mut task = task;
+        for _ in 0..pool.ops_per_poll {
+            if task.instance.is_doomed() {
+                task.instance.finish_cancelled(&task.memory.stats());
+                return None;
+            }
+            if task.memory.abandoned() {
+                let stats = task.memory.stats();
+                task.instance
+                    .finish_participant(task.proc, Outcome::Lose, &stats);
+                return None;
+            }
+            match task.machine.step(task.protocol.as_mut()) {
+                DriveStep::Done(outcome) => {
+                    let stats = task.memory.stats();
+                    task.instance.finish_participant(task.proc, outcome, &stats);
+                    return None;
+                }
+                DriveStep::NeedOp(op) => {
+                    let response = op.perform(&mut task.memory);
+                    task.machine.resume(response);
+                }
+            }
+        }
+        Some(task)
+    }));
+    match polled {
+        Ok(Some(task)) => {
+            if let Err(item) = pool.inject(WorkItem::Free(task)) {
+                Pool::discard(*item);
+            }
+        }
+        Ok(None) => {}
+        Err(payload) => instance.finish_panicked(payload),
+    }
+}
+
+/// Poll one gated task: execute whatever its last grant authorized, then
+/// step the protocol to its next gate and park. The body mirrors
+/// [`crate::drive_scheduled_faulty`] — abandonment gates through
+/// [`SchedulePoint::Return`] before converting to [`Outcome::Lose`] — except
+/// that a panic records the participant as crashed instead of unwinding the
+/// caller (a pooled worker must outlive any one task).
+fn poll_gated(task: GatedTask) {
+    let gate = Arc::clone(&task.gate);
+    let slot = task.slot;
+    let polled = catch_unwind(AssertUnwindSafe(move || {
+        let mut task = task;
+        match std::mem::replace(&mut task.pending, GatedPending::Start) {
+            GatedPending::Start => {}
+            GatedPending::Op(op) => {
+                let response = op.perform(&mut task.memory);
+                task.machine.resume(response);
+            }
+            GatedPending::Outcome(outcome) => {
+                let stats = task.memory.stats();
+                task.gate.finish(task.slot, outcome, &stats);
+                return;
+            }
+        }
+        if task.memory.abandoned() {
+            let state = task.protocol.adversary_view();
+            task.pending = GatedPending::Outcome(Outcome::Lose);
+            let gate = Arc::clone(&task.gate);
+            gate.park(SchedulePoint::Return, state, task);
+            return;
+        }
+        match task.machine.step(task.protocol.as_mut()) {
+            DriveStep::Done(outcome) => {
+                let state = task.protocol.adversary_view();
+                task.pending = GatedPending::Outcome(outcome);
+                let gate = Arc::clone(&task.gate);
+                gate.park(SchedulePoint::Return, state, task);
+            }
+            DriveStep::NeedOp(op) => {
+                let state = task.protocol.adversary_view();
+                let point = op.point();
+                task.pending = GatedPending::Op(op);
+                let gate = Arc::clone(&task.gate);
+                gate.park(point, state, task);
+            }
+        }
+    }));
+    if polled.is_err() {
+        gate.crash_slot(slot);
+    }
+}
+
+/// Run one instance on the executor under an explicit schedule: the
+/// executor's implementation of the schedule-gate contract, semantically
+/// identical to [`crate::run_scheduled_faulty`] (same grant accounting,
+/// crash budget, degradation and stop rules) but hosted on pooled tasks
+/// instead of one thread per participant.
+///
+/// Additionally polls `cancel` at every quiescent decision point: a tripped
+/// token aborts the run like a [`GateCommand::Stop`] (every parked task is
+/// doomed, the report is marked `stopped`), which is how in-flight
+/// cancellation reaches tasks parked at gates.
+///
+/// Deterministic given (`seed`, scheduler decisions) for **any** worker
+/// count: only the granted task runs between decisions, so the waiting set
+/// at each quiescent point is a pure function of the grant history.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gated(
+    executor: &Executor,
+    registers: &Arc<SharedRegisters>,
+    namespace: u64,
+    seed: u64,
+    mut participants: Vec<(ProcId, Box<dyn Protocol + Send>)>,
+    config: ScheduleConfig,
+    scheduler: &mut dyn GateScheduler,
+    plan: Option<FaultPlan>,
+    cancel: &CancelToken,
+) -> ScheduledReport {
+    participants.sort_by_key(|(proc, _)| *proc);
+    let procs: Vec<ProcId> = participants.iter().map(|(proc, _)| *proc).collect();
+    let gate = Arc::new(GateShared::new(&procs, plan.is_some()));
+    let mut report = ScheduledReport::default();
+
+    for (slot, (proc, protocol)) in participants.into_iter().enumerate() {
+        let memory = FaultyMemory::new(
+            registers.handle_seeded(namespace, proc, seed),
+            proc,
+            plan.map(|p| p.for_namespace(namespace)).unwrap_or_default(),
+        );
+        executor.inject_gated(GatedTask {
+            gate: Arc::clone(&gate),
+            slot,
+            machine: DriveMachine::new(),
+            protocol,
+            memory,
+            pending: GatedPending::Start,
+        });
+    }
+
+    let mut crash_budget_left = config.crash_budget;
+    let mut stopping = false;
+    loop {
+        // Wait for quiescence: every slot parked at a gate or terminal.
+        let mut slots = gate.slots.lock().expect(LOCK);
+        while slots.iter().any(|s| matches!(s.phase, GatePhase::Running)) {
+            slots = gate.quiesce.wait(slots).expect(LOCK);
+        }
+
+        // Harvest terminal transitions into the progress report.
+        for slot in slots.iter_mut() {
+            if slot.harvested {
+                continue;
+            }
+            match &mut slot.phase {
+                GatePhase::Done(outcome) => {
+                    let outcome = outcome.take().expect("outcomes are harvested once");
+                    report.progress.outcomes.insert(slot.proc, outcome);
+                    report
+                        .progress
+                        .intervals
+                        .entry(slot.proc)
+                        .or_insert((report.grants, None))
+                        .1 = Some(report.grants);
+                    slot.harvested = true;
+                }
+                GatePhase::Crashed => {
+                    report.progress.crashed.push(slot.proc);
+                    slot.harvested = true;
+                }
+                _ => {}
+            }
+        }
+
+        // Collect the waiting set (slot order = ascending processor id).
+        let mut slot_indices = Vec::new();
+        let mut waiting: Vec<WaitingAt> = Vec::new();
+        for (index, slot) in slots.iter().enumerate() {
+            if let GatePhase::Waiting(point, state) = &slot.phase {
+                slot_indices.push(index);
+                waiting.push(WaitingAt {
+                    proc: slot.proc,
+                    point: *point,
+                    state: state.clone(),
+                });
+            }
+        }
+        if waiting.is_empty() {
+            break; // every participant finished or crashed
+        }
+
+        // In-flight cancellation reaches tasks parked at gates here: a
+        // tripped token aborts the rest of the run like a Stop command.
+        if cancel.is_cancelled() && !stopping {
+            stopping = true;
+        }
+        if report.grants >= config.max_grants && !stopping {
+            report.budget_exhausted = true;
+            stopping = true;
+        }
+        let command = if stopping {
+            GateCommand::Stop
+        } else {
+            // Consult the scheduler outside the lock: every live task is
+            // parked, so nothing races the snapshot.
+            drop(slots);
+            let command = scheduler.pick(&GateObservation {
+                participants: procs.len(),
+                grants_made: report.grants,
+                crash_budget_left,
+                waiting: &waiting,
+                progress: &report.progress,
+            });
+            slots = gate.slots.lock().expect(LOCK);
+            command
+        };
+
+        match command {
+            GateCommand::Stop => {
+                report.stopped = true;
+                stopping = true;
+                for slot in slots.iter_mut() {
+                    if matches!(slot.phase, GatePhase::Waiting(..)) {
+                        doom(&gate, slot);
+                    }
+                }
+            }
+            GateCommand::Crash(victim)
+                if crash_budget_left > 0 && waiting.iter().any(|entry| entry.proc == victim) =>
+            {
+                crash_budget_left -= 1;
+                let pos = waiting
+                    .iter()
+                    .position(|entry| entry.proc == victim)
+                    .expect("victim verified waiting above");
+                doom(&gate, &mut slots[slot_indices[pos]]);
+            }
+            command => {
+                // Illegal crashes degrade to the oldest waiting grant,
+                // mirroring the scheduled runner's tolerant replay
+                // semantics.
+                let pick = match command {
+                    GateCommand::Run(pick) => pick % waiting.len(),
+                    _ => 0,
+                };
+                report.grants += 1;
+                report
+                    .progress
+                    .intervals
+                    .entry(waiting[pick].proc)
+                    .or_insert((report.grants, None));
+                let slot = &mut slots[slot_indices[pick]];
+                let task = slot.parked.take().expect("a waiting slot holds its task");
+                slot.phase = GatePhase::Running;
+                drop(slots);
+                executor.inject_gated(task);
+            }
+        }
+    }
+
+    report.faults = match gate.fault_totals.lock() {
+        Ok(guard) => *guard,
+        Err(poisoned) => *poisoned.into_inner(),
+    };
+    report
+}
+
+/// Doom one parked slot in place: merge its task's fault counters (matching
+/// the scheduled runner, which merges on the crash-verdict exit path too),
+/// drop the task, and record the crash.
+fn doom(gate: &GateShared, slot: &mut GateSlot) {
+    if let Some(task) = slot.parked.take() {
+        gate.merge(&task.memory.stats());
+    }
+    slot.phase = GatePhase::Crashed;
+}
+
+/// Run one instance fully sequentialized on the executor — the gated FIFO
+/// schedule, outcome-identical to `fle_sim::SimMemory::run_all` and to
+/// [`crate::run_scheduled`] with a [`FifoScheduler`] — and return its
+/// report. The deterministic face of the async backend, used by the
+/// differential suite.
+pub fn run_gated_fifo(
+    executor: &Executor,
+    registers: &Arc<SharedRegisters>,
+    namespace: u64,
+    seed: u64,
+    participants: Vec<(ProcId, Box<dyn Protocol + Send>)>,
+) -> ScheduledReport {
+    let k = participants.len();
+    run_gated(
+        executor,
+        registers,
+        namespace,
+        seed,
+        participants,
+        ScheduleConfig::for_participants(k),
+        &mut FifoScheduler,
+        None,
+        &CancelToken::none(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faulty::CrashSpec;
+    use crate::sched::run_scheduled_faulty;
+    use crate::{election_participants, renaming_participants};
+    use std::collections::BTreeSet;
+
+    fn small_executor(workers: usize) -> Executor {
+        Executor::new(ExecutorConfig::new(workers).with_ops_per_poll(4))
+    }
+
+    #[test]
+    fn free_instances_each_elect_one_winner_with_none_lost() {
+        let executor = small_executor(3);
+        let registers = Arc::new(SharedRegisters::new(8));
+        let tickets: Vec<(u64, InFlight)> = (0..100u64)
+            .map(|key| {
+                let ticket = executor.submit(
+                    &registers,
+                    key,
+                    key,
+                    election_participants(4),
+                    &FaultPlan::default(),
+                    CancelToken::none(),
+                );
+                (key, ticket)
+            })
+            .collect();
+        let mut seen = BTreeSet::new();
+        for (key, ticket) in tickets {
+            match ticket.wait() {
+                ExecResult::Completed(report) => {
+                    assert_eq!(report.outcomes.len(), 4, "instance {key}");
+                    assert_eq!(report.winners().len(), 1, "instance {key}");
+                    assert!(seen.insert(key), "duplicate resolution for {key}");
+                }
+                other => panic!("instance {key}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), 100, "no lost results");
+        let stats = executor.stats();
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.peak_in_flight >= 1);
+        assert_eq!(stats.workers, 3);
+    }
+
+    #[test]
+    fn gated_fifo_matches_the_thread_per_participant_scheduled_runner() {
+        let executor = small_executor(2);
+        for seed in 0..4u64 {
+            let exec_registers = Arc::new(SharedRegisters::new(2));
+            let exec_report = run_gated_fifo(
+                &executor,
+                &exec_registers,
+                0,
+                seed,
+                election_participants(4),
+            );
+            let sched_registers = Arc::new(SharedRegisters::new(2));
+            let sched_report = crate::run_scheduled(
+                &sched_registers,
+                0,
+                seed,
+                election_participants(4),
+                ScheduleConfig::for_participants(4),
+                &mut FifoScheduler,
+            );
+            assert_eq!(
+                exec_report.progress.outcomes, sched_report.progress.outcomes,
+                "seed {seed}"
+            );
+            assert_eq!(
+                exec_report.progress.intervals, sched_report.progress.intervals,
+                "seed {seed}"
+            );
+            assert_eq!(exec_report.grants, sched_report.grants, "seed {seed}");
+            assert_eq!(exec_report.stopped, sched_report.stopped);
+        }
+    }
+
+    /// Round-robin over waiting participants, for interleaving equivalence.
+    struct RoundRobin {
+        next: usize,
+    }
+
+    impl GateScheduler for RoundRobin {
+        fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand {
+            let pick = self.next % obs.waiting.len();
+            self.next = self.next.wrapping_add(1);
+            GateCommand::Run(pick)
+        }
+    }
+
+    #[test]
+    fn gated_round_robin_matches_the_scheduled_runner_under_faults() {
+        let executor = small_executor(4);
+        let plan = FaultPlan::new(41)
+            .with_collect_failures(400, 3)
+            .with_crash(CrashSpec::lose_all(40));
+        let exec_registers = Arc::new(SharedRegisters::new(2));
+        let exec_report = run_gated(
+            &executor,
+            &exec_registers,
+            0,
+            5,
+            election_participants(4),
+            ScheduleConfig::for_participants(4),
+            &mut RoundRobin { next: 0 },
+            Some(plan),
+            &CancelToken::none(),
+        );
+        let sched_registers = Arc::new(SharedRegisters::new(2));
+        let sched_report = run_scheduled_faulty(
+            &sched_registers,
+            0,
+            5,
+            election_participants(4),
+            ScheduleConfig::for_participants(4),
+            &mut RoundRobin { next: 0 },
+            Some(plan),
+        );
+        assert_eq!(
+            exec_report.progress.outcomes,
+            sched_report.progress.outcomes
+        );
+        assert_eq!(
+            exec_report.progress.intervals,
+            sched_report.progress.intervals
+        );
+        assert_eq!(exec_report.progress.crashed, sched_report.progress.crashed);
+        assert_eq!(exec_report.grants, sched_report.grants);
+        assert_eq!(exec_report.faults, sched_report.faults);
+    }
+
+    #[test]
+    fn gated_runs_are_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let executor = small_executor(workers);
+            let registers = Arc::new(SharedRegisters::new(3));
+            run_gated(
+                &executor,
+                &registers,
+                0,
+                9,
+                renaming_participants(5, 5),
+                ScheduleConfig::for_participants(5),
+                &mut RoundRobin { next: 0 },
+                None,
+                &CancelToken::none(),
+            )
+        };
+        let lone = run(1);
+        let pooled = run(4);
+        assert_eq!(lone.progress.outcomes, pooled.progress.outcomes);
+        assert_eq!(lone.progress.intervals, pooled.progress.intervals);
+        assert_eq!(lone.progress.crashed, pooled.progress.crashed);
+        assert_eq!(lone.grants, pooled.grants);
+        let names: BTreeSet<usize> = lone.progress.names().values().copied().collect();
+        assert_eq!(names.len(), 5, "renaming still assigns unique names");
+    }
+
+    /// Trips a cancel token once enough grants have happened, then keeps
+    /// granting FIFO — the control loop must notice the token at its next
+    /// quiescent point, while every live task is parked at a gate.
+    struct TripAfter {
+        cancel: CancelToken,
+        grants: u64,
+    }
+
+    impl GateScheduler for TripAfter {
+        fn pick(&mut self, obs: &GateObservation<'_>) -> GateCommand {
+            if obs.grants_made >= self.grants {
+                self.cancel.cancel();
+            }
+            GateCommand::Run(0)
+        }
+    }
+
+    #[test]
+    fn cancel_expiry_while_parked_at_a_gate_aborts_the_run() {
+        let executor = small_executor(2);
+        let registers = Arc::new(SharedRegisters::new(2));
+        let cancel = CancelToken::new();
+        let mut scheduler = TripAfter {
+            cancel: cancel.clone(),
+            grants: 5,
+        };
+        let report = run_gated(
+            &executor,
+            &registers,
+            0,
+            3,
+            election_participants(4),
+            ScheduleConfig::for_participants(4),
+            &mut scheduler,
+            None,
+            &cancel,
+        );
+        assert!(report.stopped, "a tripped token aborts like a Stop");
+        assert!(!report.budget_exhausted);
+        assert_eq!(report.grants, 6, "one grant lands after the trip");
+        assert!(
+            !report.progress.crashed.is_empty(),
+            "parked tasks are doomed on cancellation"
+        );
+        assert_eq!(
+            report.progress.outcomes.len() + report.progress.crashed.len(),
+            4,
+            "every participant is accounted for"
+        );
+    }
+
+    #[test]
+    fn free_cancel_token_resolves_cancelled() {
+        let executor = small_executor(2);
+        let registers = Arc::new(SharedRegisters::new(1));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ticket = executor.submit(
+            &registers,
+            0,
+            1,
+            election_participants(4),
+            &FaultPlan::default(),
+            cancel,
+        );
+        assert!(matches!(ticket.wait(), ExecResult::Cancelled));
+        assert_eq!(executor.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn shutdown_with_queued_tasks_resolves_every_ticket() {
+        // One worker, many instances: most tasks are still queued (or parked
+        // between polls) when shutdown lands. Every ticket must resolve —
+        // completed or cancelled, never hung or lost.
+        let executor = small_executor(1);
+        let registers = Arc::new(SharedRegisters::new(4));
+        let tickets: Vec<InFlight> = (0..50u64)
+            .map(|key| {
+                executor.submit(
+                    &registers,
+                    key,
+                    key,
+                    election_participants(4),
+                    &FaultPlan::default(),
+                    CancelToken::none(),
+                )
+            })
+            .collect();
+        executor.shutdown();
+        let (mut completed, mut cancelled) = (0usize, 0usize);
+        for ticket in tickets {
+            match ticket.wait() {
+                ExecResult::Completed(report) => {
+                    assert_eq!(report.winners().len(), 1);
+                    completed += 1;
+                }
+                ExecResult::Cancelled => cancelled += 1,
+                ExecResult::Panicked(_) => panic!("nothing panics in this test"),
+            }
+        }
+        assert_eq!(completed + cancelled, 50, "no ticket is lost");
+        assert!(cancelled > 0, "shutdown caught work still in the queue");
+        // Shutdown is idempotent and submissions after it resolve promptly.
+        executor.shutdown();
+        let late = executor.submit(
+            &registers,
+            99,
+            0,
+            election_participants(2),
+            &FaultPlan::default(),
+            CancelToken::none(),
+        );
+        assert!(matches!(late.wait(), ExecResult::Cancelled));
+    }
+
+    #[test]
+    fn a_paused_pool_stages_the_whole_batch_before_running_any_of_it() {
+        // Nothing runs until release(), so the in-flight high-water mark is
+        // exactly the staged batch — the deterministic density measurement
+        // the bench storm relies on. After release everything drains clean.
+        let executor = Executor::new(ExecutorConfig::new(2).with_start_paused());
+        let registers = Arc::new(SharedRegisters::new(4));
+        let tickets: Vec<InFlight> = (0..40u64)
+            .map(|key| {
+                executor.submit(
+                    &registers,
+                    key,
+                    key,
+                    election_participants(3),
+                    &FaultPlan::default(),
+                    CancelToken::none(),
+                )
+            })
+            .collect();
+        let staged = executor.stats();
+        assert_eq!(staged.in_flight, 40, "the paused pool holds everything");
+        assert_eq!(staged.peak_in_flight, 40);
+        assert!(
+            tickets.iter().all(|t| t.try_wait().is_none()),
+            "no instance may resolve before release"
+        );
+        executor.release();
+        executor.release(); // idempotent
+        for (key, ticket) in tickets.into_iter().enumerate() {
+            match ticket.wait() {
+                ExecResult::Completed(report) => {
+                    assert_eq!(report.winners().len(), 1, "namespace {key}")
+                }
+                other => panic!("namespace {key}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(executor.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn shutdown_resolves_tickets_staged_on_a_paused_pool() {
+        // Shutdown must not deadlock against a pause: queued tasks drain to
+        // Cancelled and the workers exit even though release() never ran.
+        let executor = Executor::new(ExecutorConfig::new(2).with_start_paused());
+        let registers = Arc::new(SharedRegisters::new(4));
+        let ticket = executor.submit(
+            &registers,
+            0,
+            0,
+            election_participants(3),
+            &FaultPlan::default(),
+            CancelToken::none(),
+        );
+        executor.shutdown();
+        assert!(matches!(ticket.wait(), ExecResult::Cancelled));
+        assert_eq!(executor.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn a_panicking_task_poisons_only_its_ticket() {
+        // Processor 0 of namespace 13 panics at its second operation; every
+        // other instance on the same pool completes, and the workers survive
+        // to serve submissions made afterwards.
+        let executor = small_executor(2);
+        let registers = Arc::new(SharedRegisters::new(4));
+        let plan =
+            FaultPlan::new(5).with_crash(CrashSpec::panic_proc(ProcId(0), 2).only_namespace(13));
+        let poisoned = executor.submit(
+            &registers,
+            13,
+            7,
+            election_participants(4),
+            &plan,
+            CancelToken::none(),
+        );
+        let clean: Vec<InFlight> = (0..5u64)
+            .map(|key| {
+                executor.submit(
+                    &registers,
+                    key,
+                    key,
+                    election_participants(4),
+                    &plan,
+                    CancelToken::none(),
+                )
+            })
+            .collect();
+        assert!(matches!(poisoned.wait(), ExecResult::Panicked(_)));
+        for (key, ticket) in clean.into_iter().enumerate() {
+            match ticket.wait() {
+                ExecResult::Completed(report) => {
+                    assert_eq!(report.winners().len(), 1, "instance {key}")
+                }
+                other => panic!("instance {key}: unexpected {other:?}"),
+            }
+        }
+        let after = executor.submit(
+            &registers,
+            50,
+            1,
+            election_participants(4),
+            &plan,
+            CancelToken::none(),
+        );
+        assert!(
+            matches!(after.wait(), ExecResult::Completed(_)),
+            "workers outlive a panicking task"
+        );
+        assert_eq!(executor.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn free_fault_counters_surface_only_when_a_plan_is_live() {
+        let executor = small_executor(2);
+        let registers = Arc::new(SharedRegisters::new(2));
+        let clean = executor
+            .submit(
+                &registers,
+                0,
+                7,
+                election_participants(4),
+                &FaultPlan::default(),
+                CancelToken::none(),
+            )
+            .wait();
+        match clean {
+            ExecResult::Completed(report) => assert_eq!(
+                report.faults,
+                FaultStats::default(),
+                "a no-op plan reports no fault counters"
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+        let plan = FaultPlan::new(3).with_collect_failures(200, 2);
+        let faulty = executor
+            .submit(
+                &registers,
+                1,
+                7,
+                election_participants(4),
+                &plan,
+                CancelToken::none(),
+            )
+            .wait();
+        match faulty {
+            ExecResult::Completed(report) => {
+                assert_eq!(report.winners().len(), 1);
+                assert!(report.faults.ops > 0, "a live plan surfaces its counters");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_participant_lists_complete_immediately() {
+        let executor = small_executor(1);
+        let registers = Arc::new(SharedRegisters::new(1));
+        let ticket = executor.submit(
+            &registers,
+            0,
+            0,
+            Vec::new(),
+            &FaultPlan::default(),
+            CancelToken::none(),
+        );
+        match ticket.wait() {
+            ExecResult::Completed(report) => assert!(report.outcomes.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(executor.stats().in_flight, 0);
+    }
+}

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod faulty;
 pub mod node;
 pub mod report;
@@ -54,6 +55,10 @@ pub mod sched;
 pub mod shm;
 
 use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
+pub use exec::{
+    run_gated, run_gated_fifo, ExecReport, ExecResult, Executor, ExecutorConfig, ExecutorStats,
+    InFlight,
+};
 pub use faulty::{
     drive_faulty, drive_scheduled_faulty, run_concurrent_cancellable, run_concurrent_faulty,
     CrashMode, CrashSpec, CrashVictim, FaultPlan, FaultStats, FaultyMemory,

@@ -85,6 +85,11 @@ struct Inner<T> {
     queue: VecDeque<T>,
     open: bool,
     max_depth: usize,
+    /// Submitters currently parked inside a blocking `push`. Maintained
+    /// under the lock, so an observer that reads a non-zero count knows
+    /// those submitters are genuinely waiting on `not_full` — the
+    /// deterministic sync hook the tests use instead of sleeping.
+    parked_pushers: usize,
 }
 
 /// A bounded MPSC queue between submitters and one shard worker.
@@ -108,6 +113,7 @@ impl<T> AdmissionQueue<T> {
                 queue: VecDeque::new(),
                 open: true,
                 max_depth: 0,
+                parked_pushers: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -146,12 +152,14 @@ impl<T> AdmissionQueue<T> {
                 OverloadPolicy::Block { timeout } => {
                     blocked = true;
                     let deadline = timeout.map(|t| Instant::now() + t);
+                    inner.parked_pushers += 1;
                     while inner.open && inner.queue.len() >= self.capacity {
                         inner = match deadline {
                             None => self.not_full.wait(inner).expect(LOCK),
                             Some(deadline) => {
                                 let now = Instant::now();
                                 if now >= deadline {
+                                    inner.parked_pushers -= 1;
                                     return Err(AdmitError::Overloaded(item));
                                 }
                                 self.not_full
@@ -161,6 +169,7 @@ impl<T> AdmissionQueue<T> {
                             }
                         };
                     }
+                    inner.parked_pushers -= 1;
                     if !inner.open {
                         return Err(AdmitError::Closed(item));
                     }
@@ -215,6 +224,18 @@ impl<T> AdmissionQueue<T> {
     /// High-water mark of the queue depth since construction.
     pub(crate) fn max_depth(&self) -> usize {
         self.inner.lock().expect(LOCK).max_depth
+    }
+
+    /// Submitters currently parked inside a blocking [`push`](Self::push).
+    ///
+    /// The count is maintained under the queue lock: reading a non-zero
+    /// value proves those submitters are waiting on the `not_full` condvar
+    /// right now. Tests (and debugging probes) poll this instead of
+    /// sleeping for "long enough", which is never long enough on a stalled
+    /// CI box.
+    #[cfg(test)]
+    pub(crate) fn parked_pushers(&self) -> usize {
+        self.inner.lock().expect(LOCK).parked_pushers
     }
 }
 
@@ -287,7 +308,11 @@ mod tests {
         let popper = {
             let queue = Arc::clone(&queue);
             std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(10));
+                // Pop only once the submitter is provably parked in `push`,
+                // so the receipt must report it blocked.
+                while queue.parked_pushers() == 0 {
+                    std::thread::yield_now();
+                }
                 queue.pop()
             })
         };
@@ -309,7 +334,11 @@ mod tests {
             let queue = Arc::clone(&queue);
             std::thread::spawn(move || queue.push(2))
         };
-        std::thread::sleep(Duration::from_millis(10));
+        // Close only once the pusher is provably parked, so the close is
+        // what wakes (and refuses) it.
+        while queue.parked_pushers() == 0 {
+            std::thread::yield_now();
+        }
         assert_eq!(queue.close(), vec![1]);
         assert!(matches!(
             blocked.join().unwrap(),

@@ -2,8 +2,8 @@
 //!
 //! A backend takes an [`InstanceSpec`] and runs one complete protocol
 //! instance — every participant to its outcome — under a cooperative
-//! [`CancelToken`] (the service's in-flight deadline enforcement). The three
-//! implementations cover the repo's three execution substrates:
+//! [`CancelToken`] (the service's in-flight deadline enforcement). The four
+//! implementations cover the repo's four execution substrates:
 //!
 //! * [`SimBackend`] — the deterministic discrete-event simulator: each
 //!   instance is a fresh [`fle_sim::Simulator`] run under a seeded fair
@@ -17,11 +17,18 @@
 //!   [`FaultPlan`] attached ([`BackendKind::build`]'s `faults` argument) the
 //!   bank is wrapped in a [`fle_runtime::FaultyMemory`] per participant:
 //!   seeded delays, transient collect failures, and crash injection.
+//! * [`AsyncBackend`] — the task-multiplexed cooperative executor: each
+//!   participant is a resumable [`fle_model::DriveMachine`] task on a small
+//!   process-wide [`fle_runtime::Executor`] worker pool, so thousands of
+//!   in-flight instances cost tasks, not OS threads. Register access,
+//!   coin seeding, and fault decoration are identical to the concurrent
+//!   backend; only the unit of concurrency changes.
 //!
-//! Fault plans apply **only** to the concurrent backend: the sim's memory is
-//! the event queue itself (the adversary already plays the faults) and the
-//! threaded backend's memory is its node runners, neither of which the
-//! decorator can wrap. The other backends silently ignore the plan.
+//! Fault plans apply **only** to the concurrent and async backends: the
+//! sim's memory is the event queue itself (the adversary already plays the
+//! faults) and the threaded backend's memory is its node runners, neither
+//! of which the decorator can wrap. The other backends silently ignore the
+//! plan.
 //!
 //! Isolation: the sim and threaded backends isolate instances by
 //! construction (each run owns its replicas); the concurrent backend
@@ -30,13 +37,13 @@
 use crate::{InstanceSpec, Workload};
 use fle_model::{CancelToken, Outcome, ProcId, Protocol};
 use fle_runtime::{
-    run_concurrent_cancellable, run_concurrent_faulty, FaultPlan, FaultStats, RuntimeConfig,
-    SharedRegisters, ThreadedRuntime,
+    run_concurrent_cancellable, run_concurrent_faulty, ExecResult, Executor, FaultPlan, FaultStats,
+    RuntimeConfig, SharedRegisters, ThreadedRuntime,
 };
 use fle_sim::{RandomAdversary, SimConfig, Simulator};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Everything one completed run produced: the participants' outcomes plus
 /// the fault-injection counters accumulated along the way (zero for
@@ -71,6 +78,8 @@ pub enum BackendKind {
     Threaded,
     /// In-process concurrent shared registers ([`ConcurrentBackend`]).
     Concurrent,
+    /// Task-multiplexed cooperative executor ([`AsyncBackend`]).
+    Async,
 }
 
 impl BackendKind {
@@ -80,11 +89,13 @@ impl BackendKind {
             BackendKind::Sim => "sim",
             BackendKind::Threaded => "threaded",
             BackendKind::Concurrent => "concurrent",
+            BackendKind::Async => "async",
         }
     }
 
     /// Build the backend, attaching the service's shared register bank and
-    /// optional fault plan (both used only by [`BackendKind::Concurrent`]).
+    /// optional fault plan (both used only by [`BackendKind::Concurrent`]
+    /// and [`BackendKind::Async`]).
     pub fn build(
         self,
         registers: &Arc<SharedRegisters>,
@@ -94,6 +105,10 @@ impl BackendKind {
             BackendKind::Sim => Box::new(SimBackend),
             BackendKind::Threaded => Box::new(ThreadedBackend),
             BackendKind::Concurrent => Box::new(ConcurrentBackend {
+                registers: Arc::clone(registers),
+                faults: faults.copied(),
+            }),
+            BackendKind::Async => Box::new(AsyncBackend {
                 registers: Arc::clone(registers),
                 faults: faults.copied(),
             }),
@@ -240,6 +255,59 @@ impl InstanceBackend for ConcurrentBackend {
     }
 }
 
+/// The process-wide task executor behind every [`AsyncBackend`].
+///
+/// [`BackendKind::build`] runs once per shard worker, but the whole point
+/// of the async backend is that instances from every shard multiplex over
+/// one small worker pool — so the pool is a lazily-started process global,
+/// not a per-shard resource. It is never shut down: workers are few
+/// (bounded by [`fle_runtime::ExecutorConfig::default`]), park when idle,
+/// and die with the process.
+fn shared_executor() -> &'static Executor {
+    static EXECUTOR: OnceLock<Executor> = OnceLock::new();
+    EXECUTOR.get_or_init(Executor::with_default_config)
+}
+
+/// Task-multiplexed backend: participants are cooperative
+/// [`fle_model::DriveMachine`] tasks on the process-wide [`Executor`],
+/// sharing the same namespaced register bank (and the same coin seeding,
+/// so outcomes match the concurrent backend instance-for-instance) while
+/// consuming zero dedicated OS threads per instance.
+#[derive(Debug)]
+pub struct AsyncBackend {
+    pub(crate) registers: Arc<SharedRegisters>,
+    pub(crate) faults: Option<FaultPlan>,
+}
+
+impl InstanceBackend for AsyncBackend {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn run(&self, spec: &InstanceSpec, cancel: &CancelToken) -> Option<RunOutput> {
+        let plan = self.faults.unwrap_or_default();
+        let ticket = shared_executor().submit(
+            &self.registers,
+            spec.key,
+            spec.seed,
+            protocols(spec),
+            &plan,
+            cancel.clone(),
+        );
+        match ticket.wait() {
+            ExecResult::Completed(report) => Some(RunOutput {
+                outcomes: report.outcomes,
+                faults: report.faults,
+            }),
+            ExecResult::Cancelled => None,
+            // Re-raise on the calling shard worker so the service's panic
+            // containment (and its per-shard fail accounting) sees the same
+            // unwind a thread-per-participant backend would produce.
+            ExecResult::Panicked(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,13 +315,19 @@ mod tests {
     #[test]
     fn every_backend_elects_exactly_one_winner() {
         let registers = Arc::new(SharedRegisters::new(2));
-        for kind in [
+        for (slot, kind) in [
             BackendKind::Sim,
             BackendKind::Threaded,
             BackendKind::Concurrent,
-        ] {
+            BackendKind::Async,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // One namespace per backend: the service retires a key's
+            // registers after each run, the test bank does not.
             let backend = kind.build(&registers, None);
-            let spec = InstanceSpec::election(42, 4).with_seed(7);
+            let spec = InstanceSpec::election(42 + slot as u64 * 100, 4).with_seed(7);
             let output = backend.run(&spec, &CancelToken::none()).unwrap();
             assert_eq!(output.outcomes.len(), 4, "{kind}");
             let winners = output.outcomes.values().filter(|o| o.is_win()).count();
@@ -269,13 +343,17 @@ mod tests {
     #[test]
     fn every_backend_renames_uniquely() {
         let registers = Arc::new(SharedRegisters::new(2));
-        for kind in [
+        for (slot, kind) in [
             BackendKind::Sim,
             BackendKind::Threaded,
             BackendKind::Concurrent,
-        ] {
+            BackendKind::Async,
+        ]
+        .into_iter()
+        .enumerate()
+        {
             let backend = kind.build(&registers, None);
-            let spec = InstanceSpec::renaming(43, 4).with_seed(3);
+            let spec = InstanceSpec::renaming(43 + slot as u64 * 100, 4).with_seed(3);
             let output = backend.run(&spec, &CancelToken::none()).unwrap();
             let names: std::collections::BTreeSet<usize> = output
                 .outcomes
@@ -327,6 +405,7 @@ mod tests {
             BackendKind::Sim,
             BackendKind::Threaded,
             BackendKind::Concurrent,
+            BackendKind::Async,
         ] {
             let backend = kind.build(&registers, None);
             let spec = InstanceSpec::election(44, 4);
@@ -335,6 +414,43 @@ mod tests {
                 "{kind}: a cancelled run returns no outcomes"
             );
         }
+    }
+
+    #[test]
+    fn the_async_backend_matches_the_concurrent_backend_outcome_for_outcome() {
+        // Same bank shape, same key, same seed: the executor's tasks use the
+        // identical coin-seeding convention as the thread-per-participant
+        // runner, so the two backends agree on every participant's outcome.
+        for seed in 0..4u64 {
+            let concurrent_bank = Arc::new(SharedRegisters::new(2));
+            let concurrent = BackendKind::Concurrent.build(&concurrent_bank, None);
+            let async_bank = Arc::new(SharedRegisters::new(2));
+            let asynchronous = BackendKind::Async.build(&async_bank, None);
+            let spec = InstanceSpec::election(7, 4).with_seed(seed);
+            let none = CancelToken::none();
+            assert_eq!(
+                concurrent.run(&spec, &none),
+                asynchronous.run(&spec, &none),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_faulty_async_backend_still_elects_a_winner() {
+        let registers = Arc::new(SharedRegisters::new(2));
+        let plan = FaultPlan::new(3)
+            .with_delays(200, 50)
+            .with_collect_failures(200, 2);
+        let backend = BackendKind::Async.build(&registers, Some(&plan));
+        let spec = InstanceSpec::election(47, 4);
+        let output = backend.run(&spec, &CancelToken::none()).unwrap();
+        let winners = output.outcomes.values().filter(|o| o.is_win()).count();
+        assert_eq!(winners, 1, "delays and transient failures are masked");
+        assert!(
+            output.faults.ops > 0,
+            "the decorator's counters surface through RunOutput"
+        );
     }
 
     #[test]

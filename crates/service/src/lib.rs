@@ -5,9 +5,12 @@
 //! `(key, system size, workload, seed)` — and the service multiplexes
 //! thousands of them across a fixed pool of shard workers, each instance
 //! executing on one of the pluggable [`backend`]s (deterministic simulator,
-//! threaded message passing, or the in-process concurrent shared-memory
-//! backend, where all instances contend on one namespaced
-//! [`fle_runtime::SharedRegisters`] bank).
+//! threaded message passing, the in-process concurrent shared-memory
+//! backend — where all instances contend on one namespaced
+//! [`fle_runtime::SharedRegisters`] bank — or the task-multiplexed async
+//! backend, which runs every participant as a cooperative task on a small
+//! process-wide [`fle_runtime::Executor`] pool, so thousands of in-flight
+//! instances cost tasks rather than OS threads).
 //!
 //! Design:
 //!
@@ -88,7 +91,8 @@ pub mod backend;
 
 pub use admission::OverloadPolicy;
 pub use backend::{
-    BackendKind, ConcurrentBackend, InstanceBackend, RunOutput, SimBackend, ThreadedBackend,
+    AsyncBackend, BackendKind, ConcurrentBackend, InstanceBackend, RunOutput, SimBackend,
+    ThreadedBackend,
 };
 pub use fle_obs::{MetricsSnapshot, ShardSnapshot};
 
@@ -1042,6 +1046,18 @@ mod tests {
         FaultPlan::new(11).with_delays(1000, 4_000)
     }
 
+    /// Park until the shard worker has popped `key` and marked it running.
+    ///
+    /// Replaces the fixed `sleep(5ms)` these tests used to lean on: a sleep
+    /// is a race (a stalled CI worker can take longer than any constant),
+    /// while the status poll observes the exact transition the test needs
+    /// and returns as soon as it happens.
+    fn wait_until_running(service: &ElectionService, key: u64) {
+        while service.status(key) != InstanceStatus::Running {
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn submit_validates_specs() {
         let service = ElectionService::new(ServiceConfig::new(1, BackendKind::Sim));
@@ -1137,6 +1153,78 @@ mod tests {
     }
 
     #[test]
+    fn a_storm_of_async_instances_each_elects_one_winner() {
+        // Same storm as the concurrent test, but instances run as
+        // cooperative tasks on the process-wide executor: the service's
+        // shard workers submit and wait, the executor multiplexes every
+        // participant over its own small pool.
+        let service = ElectionService::new(ServiceConfig::new(4, BackendKind::Async));
+        let tickets: Vec<Ticket> = (0..200)
+            .map(|key| service.submit(InstanceSpec::election(key, 4)).unwrap())
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for ticket in tickets {
+            let result = ticket.wait().unwrap();
+            assert!(seen.insert(result.key), "no duplicate results");
+            assert_eq!(result.outcomes.len(), 4);
+            assert!(result.winner().is_some(), "instance {}", result.key);
+        }
+        assert_eq!(seen.len(), 200, "no lost results");
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 200);
+        assert_eq!(stats.submitted, 200);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn the_async_backend_contains_a_panicking_instance() {
+        // A crash-at-op plan scoped to one key: that instance's executor
+        // task panics, the panic is re-raised on the shard worker, and the
+        // service's containment turns it into InstanceFailed — all other
+        // keys complete.
+        let plan =
+            FaultPlan::new(5).with_crash(CrashSpec::panic_proc(ProcId(0), 2).only_namespace(3));
+        let config = ServiceConfig::new(2, BackendKind::Async).with_fault_plan(plan);
+        let service = ElectionService::new(config);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|key| service.submit(InstanceSpec::election(key, 4)).unwrap())
+            .collect();
+        for (key, ticket) in tickets.into_iter().enumerate() {
+            if key == 3 {
+                assert_eq!(ticket.wait().unwrap_err(), SubmitError::InstanceFailed(3));
+                assert_eq!(service.status(3), InstanceStatus::Failed);
+            } else {
+                assert!(ticket.wait().is_ok(), "key {key}");
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 7);
+        assert_eq!(stats.failed, 1);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn async_deadlines_cancel_in_flight_instances() {
+        // The deadline trips while the instance's tasks are live on the
+        // executor: each task observes the tripped token at its next poll,
+        // drains, and the ticket resolves DeadlineExceeded.
+        let config = ServiceConfig::new(1, BackendKind::Async).with_fault_plan(slow_plan());
+        let service = ElectionService::new(config);
+        let doomed = service
+            .submit(InstanceSpec::election(0, 4).with_deadline(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(doomed.wait().unwrap_err(), SubmitError::DeadlineExceeded(0));
+        assert_eq!(service.status(0), InstanceStatus::Failed);
+        let fresh = service.submit_wait(InstanceSpec::election(1, 4)).unwrap();
+        assert!(fresh.winner().is_some(), "the shard keeps serving");
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.fail.cancelled_in_flight, 1);
+        assert_eq!(stats.completed, 1);
+        stats.check_invariant().unwrap();
+    }
+
+    #[test]
     fn renaming_instances_return_distinct_tight_names() {
         let service = ElectionService::new(ServiceConfig::new(2, BackendKind::Concurrent));
         for key in 0..8 {
@@ -1159,7 +1247,7 @@ mod tests {
         let queued: Vec<Ticket> = (1..3)
             .map(|key| service.submit(InstanceSpec::election(key, 4)).unwrap())
             .collect();
-        std::thread::sleep(Duration::from_millis(5)); // let the worker pop job 0
+        wait_until_running(&service, 0);
         let stats = service.shutdown();
         assert!(
             first.wait().is_ok(),
@@ -1186,7 +1274,7 @@ mod tests {
             .with_overload_policy(OverloadPolicy::Shed);
         let service = ElectionService::new(config);
         let running = service.submit(InstanceSpec::election(0, 4)).unwrap();
-        std::thread::sleep(Duration::from_millis(5)); // worker pops job 0
+        wait_until_running(&service, 0);
         let queued = service.submit(InstanceSpec::election(1, 4)).unwrap();
         assert_eq!(
             service.submit(InstanceSpec::election(2, 4)).unwrap_err(),
@@ -1217,7 +1305,7 @@ mod tests {
             });
         let service = ElectionService::new(config);
         let running = service.submit(InstanceSpec::election(0, 4)).unwrap();
-        std::thread::sleep(Duration::from_millis(5));
+        wait_until_running(&service, 0);
         let queued = service.submit(InstanceSpec::election(1, 4)).unwrap();
         let started = Instant::now();
         assert_eq!(
@@ -1243,7 +1331,7 @@ mod tests {
             .with_overload_policy(OverloadPolicy::DropOldest);
         let service = ElectionService::new(config);
         let running = service.submit(InstanceSpec::election(0, 4)).unwrap();
-        std::thread::sleep(Duration::from_millis(5));
+        wait_until_running(&service, 0);
         let displaced = service.submit(InstanceSpec::election(1, 4)).unwrap();
         let fresh = service.submit(InstanceSpec::election(2, 4)).unwrap();
         assert_eq!(
@@ -1345,6 +1433,7 @@ mod tests {
             BackendKind::Sim,
             BackendKind::Threaded,
             BackendKind::Concurrent,
+            BackendKind::Async,
         ] {
             let service = Arc::new(ElectionService::new(ServiceConfig::new(2, kind)));
             let barrier = Arc::new(std::sync::Barrier::new(8));
@@ -1507,7 +1596,7 @@ mod tests {
         let service = ElectionService::new(config);
         let first = service.submit(InstanceSpec::election(0, 4)).unwrap();
         let queued = service.submit(InstanceSpec::election(1, 4)).unwrap();
-        std::thread::sleep(Duration::from_millis(5));
+        wait_until_running(&service, 0);
         drop(service);
         assert!(first.wait().is_ok());
         assert_eq!(queued.wait().unwrap_err(), SubmitError::ServiceShutdown);

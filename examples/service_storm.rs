@@ -1,18 +1,41 @@
 //! A storm of concurrent election instances through the sharded service.
 //!
 //! Thousands of independent leader elections are submitted to an
-//! [`ElectionService`] running on the in-process concurrent backend: every
+//! [`ElectionService`] running on either in-process backend: every
 //! instance's registers live (namespaced) in one shared, sharded register
-//! bank, every participant is a real thread, and finished instances are
-//! retired epoch by epoch so the bank stays small no matter how many
-//! instances have been served.
+//! bank, and finished instances are retired epoch by epoch so the bank
+//! stays small no matter how many instances have been served. On the
+//! `concurrent` backend every participant is a real OS thread (spawned and
+//! joined per instance); on the `async` backend the participants are
+//! cooperative tasks multiplexed over one fixed executor pool, so the same
+//! storm runs without a single per-participant thread.
 //!
-//! Run with `cargo run --release --example service_storm`.
+//! Run with `cargo run --release --example service_storm` (concurrent) or
+//! `cargo run --release --example service_storm -- --backend async`.
 
 use fast_leader_election::prelude::*;
 use std::time::Instant;
 
+fn parse_backend() -> BackendKind {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|arg| arg == "--backend") {
+        None => BackendKind::Concurrent,
+        Some(index) => match args.get(index + 1).map(String::as_str) {
+            Some("concurrent") => BackendKind::Concurrent,
+            Some("async") => BackendKind::Async,
+            other => {
+                eprintln!(
+                    "usage: service_storm [--backend {{concurrent,async}}] \
+                     (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 fn main() {
+    let backend = parse_backend();
     // Cap the shard count so every shard completes several epochs over the
     // storm (the retirement assertions below rely on the first-submitted
     // instance's shard closing at least one epoch after it finishes).
@@ -23,12 +46,16 @@ fn main() {
     let n = 4;
 
     let service = ElectionService::new(
-        ServiceConfig::new(shards, BackendKind::Concurrent)
+        ServiceConfig::new(shards, backend)
             .with_epoch_size(64)
             .with_retained_epochs(1),
     );
 
-    println!("submitting {instances} elections of {n} processors across {shards} shards ...");
+    println!(
+        "submitting {instances} elections of {n} processors across {shards} shards \
+         on the {} backend ...",
+        backend.label()
+    );
     let start = Instant::now();
     let tickets: Vec<Ticket> = (0..instances)
         .map(|key| {
@@ -75,13 +102,14 @@ fn main() {
         stats.retired, stats.epochs_closed,
     );
 
-    // The always-on per-shard recorders say *where* the time went: which
-    // shard ran slowest, whose queue got deepest, and whether instances
-    // spent their latency waiting for a worker or actually electing.
+    // The always-on per-shard recorders say *where* the time went — on
+    // either backend: which shard ran slowest, whose queue got deepest, and
+    // whether instances spent their latency waiting for a worker or
+    // actually electing.
     let metrics = metrics.expect("metrics are on by default");
     stats
         .check_metrics(&metrics)
         .expect("per-shard metrics must agree with the aggregate stats");
-    println!("\nper-shard attribution:");
+    println!("\nper-shard attribution ({} backend):", backend.label());
     print!("{}", metrics.attribution_report());
 }

@@ -90,9 +90,10 @@ pub mod prelude {
     };
     pub use fle_runtime::{
         election_participants, renaming_participants, run_concurrent, run_concurrent_cancellable,
-        run_concurrent_faulty, run_scheduled, run_scheduled_faulty, run_threaded_leader_election,
-        run_threaded_renaming, CrashMode, CrashSpec, CrashVictim, FaultPlan, FaultStats,
-        FaultyMemory, FifoScheduler, GateScheduler, RuntimeConfig, ScheduleConfig, SharedRegisters,
+        run_concurrent_faulty, run_gated, run_gated_fifo, run_scheduled, run_scheduled_faulty,
+        run_threaded_leader_election, run_threaded_renaming, CrashMode, CrashSpec, CrashVictim,
+        ExecReport, ExecResult, Executor, ExecutorConfig, FaultPlan, FaultStats, FaultyMemory,
+        FifoScheduler, GateScheduler, InFlight, RuntimeConfig, ScheduleConfig, SharedRegisters,
         ThreadedRuntime,
     };
     pub use fle_service::{

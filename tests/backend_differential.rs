@@ -8,8 +8,10 @@
 //! * the safety invariants hold everywhere (exactly one winner, distinct
 //!   tight names),
 //! * where determinism allows, the outputs are *identical*: the sequential
-//!   backends agree bit-for-bit across repetitions, and a lone participant
-//!   wins on every backend.
+//!   backends agree bit-for-bit across repetitions, a lone participant
+//!   wins on every backend, and the task-multiplexed executor's FIFO-gated
+//!   schedule reproduces `SimMemory::run_all` outcome-for-outcome at any
+//!   worker count.
 //!
 //! Byte-identical sim schedules across the refactor are covered separately
 //! and exhaustively by `tests/event_set_equivalence.rs`, which this PR
@@ -52,6 +54,24 @@ fn election_on_all_backends(
     let registers = Arc::new(SharedRegisters::new(4));
     let report = run_concurrent(&registers, seed, seed, election_participants(k));
     results.push(("concurrent", report.outcomes));
+
+    // 5. The task-multiplexed executor, free-running: same registers shape,
+    // same coin seeding, but participants are cooperative tasks on a small
+    // worker pool instead of threads.
+    let executor = Executor::new(ExecutorConfig::new(2));
+    let registers = Arc::new(SharedRegisters::new(4));
+    let ticket = executor.submit(
+        &registers,
+        seed,
+        seed,
+        election_participants(k),
+        &FaultPlan::default(),
+        CancelToken::none(),
+    );
+    match ticket.wait() {
+        ExecResult::Completed(report) => results.push(("async", report.outcomes)),
+        other => panic!("async: unexpected {other:?}"),
+    }
 
     results
 }
@@ -149,6 +169,31 @@ fn renaming_is_tight_and_unique_on_every_backend() {
     let report = run_concurrent(&registers, 0, seed, renaming_participants(n, n));
     all.push(("concurrent", report.names()));
 
+    let executor = Executor::new(ExecutorConfig::new(2));
+    let registers = Arc::new(SharedRegisters::new(2));
+    let ticket = executor.submit(
+        &registers,
+        0,
+        seed,
+        renaming_participants(n, n),
+        &FaultPlan::default(),
+        CancelToken::none(),
+    );
+    match ticket.wait() {
+        ExecResult::Completed(report) => all.push((
+            "async",
+            report
+                .outcomes
+                .into_iter()
+                .filter_map(|(p, o)| match o {
+                    Outcome::Name(u) => Some((p, u)),
+                    _ => None,
+                })
+                .collect(),
+        )),
+        other => panic!("async: unexpected {other:?}"),
+    }
+
     for (backend, names) in all {
         assert_eq!(names.len(), n, "{backend}: every participant is renamed");
         let distinct: BTreeSet<usize> = names.values().copied().collect();
@@ -162,6 +207,94 @@ fn renaming_is_tight_and_unique_on_every_backend() {
             "{backend}: names are tight (1..={n}): {names:?}"
         );
     }
+}
+
+#[test]
+fn gated_async_elections_match_the_sequential_adapter_bit_for_bit() {
+    // The executor's FIFO-gated schedule serializes participants exactly
+    // like `SimMemory::run_all`, and both seed their coins with the
+    // simulator convention — so for a fixed seed the outcome maps must be
+    // *equal*, not merely invariant-preserving. This is the async backend's
+    // entry into the deterministic tier of the differential suite.
+    let executor = Executor::new(ExecutorConfig::new(3));
+    for (n, k) in [(4usize, 4usize), (5, 3), (8, 8)] {
+        for seed in 0..3u64 {
+            let mut memory = SimMemory::new(n, seed);
+            let sequential = memory.run_all(election_participants(k));
+            let registers = Arc::new(SharedRegisters::new(2));
+            let report = run_gated_fifo(&executor, &registers, 0, seed, election_participants(k));
+            assert_eq!(
+                report.progress.outcomes, sequential,
+                "n={n} k={k} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gated_async_renaming_matches_the_sequential_adapter_bit_for_bit() {
+    let executor = Executor::new(ExecutorConfig::new(3));
+    for seed in 0..3u64 {
+        let n = 4;
+        let mut memory = SimMemory::new(n, seed);
+        let sequential = memory.run_all(renaming_participants(n, n));
+        let registers = Arc::new(SharedRegisters::new(2));
+        let report = run_gated_fifo(&executor, &registers, 0, seed, renaming_participants(n, n));
+        assert_eq!(report.progress.outcomes, sequential, "seed={seed}");
+    }
+}
+
+#[test]
+fn the_executor_is_deterministic_per_seed_and_any_worker_count() {
+    // Same seed, different pool widths: the gated schedule admits one task
+    // at a time, so the worker count must be invisible in the result.
+    for workers in [1usize, 2, 6] {
+        let executor = Executor::new(ExecutorConfig::new(workers));
+        let registers = Arc::new(SharedRegisters::new(2));
+        let first = run_gated_fifo(&executor, &registers, 0, 11, election_participants(6));
+        let registers = Arc::new(SharedRegisters::new(2));
+        let again = run_gated_fifo(&executor, &registers, 0, 11, election_participants(6));
+        assert_eq!(
+            first.progress.outcomes, again.progress.outcomes,
+            "workers={workers}: repeatable"
+        );
+        assert_eq!(first.grants, again.grants, "workers={workers}");
+        let mut memory = SimMemory::new(6, 11);
+        assert_eq!(
+            first.progress.outcomes,
+            memory.run_all(election_participants(6)),
+            "workers={workers}: and equal to the sequential adapter"
+        );
+    }
+}
+
+#[test]
+fn async_instances_on_one_register_bank_do_not_interfere() {
+    // The free-running analog of the concurrent non-interference test:
+    // 16 namespaced elections share one executor and one register bank.
+    let executor = Executor::new(ExecutorConfig::new(4));
+    let registers = Arc::new(SharedRegisters::new(2));
+    let tickets: Vec<_> = (0..16u64)
+        .map(|namespace| {
+            executor.submit(
+                &registers,
+                namespace,
+                namespace,
+                election_participants(3),
+                &FaultPlan::default(),
+                CancelToken::none(),
+            )
+        })
+        .collect();
+    for (namespace, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            ExecResult::Completed(report) => {
+                assert_eq!(report.winners().len(), 1, "namespace {namespace}")
+            }
+            other => panic!("namespace {namespace}: unexpected {other:?}"),
+        }
+    }
+    assert_eq!(registers.live_namespaces(), 16);
 }
 
 #[test]
