@@ -52,6 +52,47 @@ pub fn table_document(experiment: &str, title: &str, table: &Table) -> String {
     out
 }
 
+/// Render several named tables as one JSON document: `"sections"` maps each
+/// section name to a `{header, rows}` object. Experiments with more than one
+/// result shape (e.g. a growth curve plus a comparison table) emit a single
+/// `BENCH_*.json` instead of scattering files.
+pub fn multi_table_document(experiment: &str, title: &str, sections: &[(&str, &Table)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"{}\",", escape(experiment));
+    let _ = writeln!(out, "  \"title\": \"{}\",", escape(title));
+    out.push_str("  \"sections\": {\n");
+    for (index, (name, table)) in sections.iter().enumerate() {
+        let _ = writeln!(out, "    \"{}\": {{", escape(name));
+        let _ = writeln!(out, "      \"header\": {},", string_array(table.header()));
+        out.push_str("      \"rows\": [\n");
+        for (row_index, row) in table.rows().iter().enumerate() {
+            let comma = if row_index + 1 < table.rows().len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "        {}{comma}", string_array(row));
+        }
+        out.push_str("      ]\n");
+        let comma = if index + 1 < sections.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Write a multi-section document as `BENCH_<experiment>.json` (same IO
+/// policy as [`write_table_document`]).
+pub fn write_multi_table_document(
+    experiment: &str,
+    title: &str,
+    sections: &[(&str, &Table)],
+) -> PathBuf {
+    let path = PathBuf::from(format!("BENCH_{experiment}.json"));
+    write_or_warn(&path, &multi_table_document(experiment, title, sections));
+    path
+}
+
 /// Write `BENCH_<experiment>.json` into the current directory and return its
 /// path. IO failures are reported to stderr, not propagated — a missing
 /// summary file must not abort a long experiment run.
@@ -81,6 +122,24 @@ mod tests {
         assert!(doc.contains("\"experiment\": \"E1\""));
         assert!(doc.contains("\\\"quotes\\\""));
         assert!(doc.contains("\\n"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn multi_table_documents_are_wellformed_enough() {
+        let mut growth = Table::new(["episodes", "features"]);
+        growth.add_row(["10", "42"]);
+        let mut kills = Table::new(["mutant", "blind", "guided"]);
+        kills.add_row(["drop-writes", "5", "2"]);
+        let doc = multi_table_document(
+            "coverage",
+            "guided vs blind",
+            &[("growth", &growth), ("kills", &kills)],
+        );
+        assert!(doc.contains("\"growth\""));
+        assert!(doc.contains("\"kills\""));
+        assert!(doc.contains("\"drop-writes\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }

@@ -47,6 +47,7 @@
 //! assert!(report.violations.is_empty());
 //! ```
 
+use crate::coverage::{CoverageProbe, NullProbe};
 use crate::explorer::{EpisodeOutcome, EpisodePlan, FoundViolation};
 use crate::oracles::{budget_violation, Oracle, OracleCtx, Violation};
 use crate::scenario::Scenario;
@@ -106,6 +107,9 @@ struct OnlineAdversaryScheduler<'a> {
     n: usize,
     participants: &'a [ProcId],
     adversary: &'a mut dyn Adversary,
+    /// Coverage observer, fed the same per-grant [`OracleCtx`] as the
+    /// oracles ([`NullProbe`] outside coverage hunts).
+    probe: &'a mut dyn CoverageProbe,
     oracles: Vec<Box<dyn Oracle>>,
     /// The first oracle violation, once found (the episode stops there).
     violation: Option<Violation>,
@@ -173,6 +177,7 @@ impl GateScheduler for OnlineAdversaryScheduler<'_> {
             participants: self.participants,
             events_executed: obs.grants_made,
         };
+        self.probe.observe(&ctx);
         for oracle in &mut self.oracles {
             if let Some(violation) = oracle.check(&ctx) {
                 self.violation = Some(violation);
@@ -202,8 +207,10 @@ impl GateScheduler for OnlineAdversaryScheduler<'_> {
 /// identical [`GateScheduler`] interface, so everything above the gate —
 /// strategies, oracles, traces, replay, ddmin — is substrate-blind.
 #[derive(Debug, Clone, Copy)]
-enum GatedSubstrate {
+pub(crate) enum GatedSubstrate {
+    /// One OS thread per participant.
     Threads,
+    /// Cooperative tasks on the shared executor.
     Tasks,
 }
 
@@ -218,13 +225,15 @@ fn explore_executor() -> &'static Executor {
 
 /// Drive one scenario on a gate-serialized backend under `adversary`,
 /// checking the scenario's oracles after every grant. Returns the violation
-/// (if any) and the number of grants executed.
-fn drive_gated(
+/// (if any) and the number of grants executed. The probe sees every ctx the
+/// oracles see, including the post-run final check.
+pub(crate) fn drive_gated(
     scenario: &dyn Scenario,
     sim_seed: u64,
     adversary: &mut dyn Adversary,
     config: &ShmConfig,
     substrate: GatedSubstrate,
+    probe: &mut dyn CoverageProbe,
 ) -> (Option<Violation>, u64) {
     let participants = scenario.participants();
     let k = participants.len();
@@ -240,6 +249,7 @@ fn drive_gated(
         n: scenario.n(),
         participants: &participants,
         adversary,
+        probe,
         oracles: scenario.oracles(),
         violation: None,
         report: ExecutionReport::default(),
@@ -268,6 +278,7 @@ fn drive_gated(
     };
 
     let mut oracles = scheduler.oracles;
+    let probe = scheduler.probe;
     if let Some(violation) = scheduler.violation {
         return (Some(violation), report.grants);
     }
@@ -316,6 +327,7 @@ fn drive_gated(
         participants: &participants,
         events_executed: report.grants,
     };
+    probe.observe(&ctx);
     for oracle in &mut oracles {
         if let Some(violation) = oracle.check(&ctx) {
             return (Some(violation), report.grants);
@@ -337,6 +349,7 @@ pub(crate) fn drive_shm(
         adversary,
         config,
         GatedSubstrate::Threads,
+        &mut NullProbe,
     )
 }
 
@@ -355,8 +368,14 @@ fn run_episode_gated(
         None => strategy,
     };
     let mut recording = RecordingAdversary::new(bounded);
-    let (violation, grants) =
-        drive_gated(scenario, plan.sim_seed, &mut recording, config, substrate);
+    let (violation, grants) = drive_gated(
+        scenario,
+        plan.sim_seed,
+        &mut recording,
+        config,
+        substrate,
+        &mut NullProbe,
+    );
     match violation {
         None => EpisodeOutcome::Clean { events: grants },
         Some(violation) => EpisodeOutcome::Violated(Box::new(FoundViolation {
@@ -424,6 +443,7 @@ pub fn replay_exec(
         &mut replayer,
         config,
         GatedSubstrate::Tasks,
+        &mut NullProbe,
     );
     let consumed = replayer.consumed();
     (violation, consumed)

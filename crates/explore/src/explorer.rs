@@ -12,6 +12,7 @@
 //! bitwise independent of the thread count.
 
 use crate::concurrent::{run_episode_exec, run_episode_shm, ShmConfig};
+use crate::coverage::{CoverageProbe, NullProbe};
 use crate::oracles::{budget_violation, OracleCtx, Violation};
 use crate::partitioned::{run_episode_partitioned, PartitionedConfig};
 use crate::scenario::Scenario;
@@ -115,11 +116,14 @@ pub(crate) enum DriveOutcome {
 
 /// Build the scenario's simulator, drive it under `adversary`, and check the
 /// scenario's oracles after every event. Shared by the explorer (recording
-/// adversaries) and the shrinker (replay adversaries).
+/// adversaries), the shrinker (replay adversaries) and the coverage driver
+/// (which passes a real [`CoverageProbe`]; everyone else passes
+/// [`crate::coverage::NullProbe`]).
 pub(crate) fn drive(
     scenario: &dyn Scenario,
     sim_seed: u64,
     adversary: &mut dyn Adversary,
+    probe: &mut dyn CoverageProbe,
 ) -> DriveOutcome {
     let mut config = SimConfig::new(scenario.n()).with_seed(sim_seed);
     if let Some(budget) = scenario.max_events() {
@@ -144,6 +148,7 @@ pub(crate) fn drive(
                     participants: &participants,
                     events_executed: sim.events_executed(),
                 };
+                probe.observe(&ctx);
                 for oracle in &mut oracles {
                     if let Some(violation) = oracle.check(&ctx) {
                         return DriveOutcome::Violated(violation);
@@ -171,7 +176,7 @@ pub(crate) fn drive(
 /// oracles online.
 pub fn run_episode(scenario: &dyn Scenario, plan: &EpisodePlan) -> EpisodeOutcome {
     let mut recording = RecordingAdversary::new(plan.strategy.build(plan.strategy_seed));
-    match drive(scenario, plan.sim_seed, &mut recording) {
+    match drive(scenario, plan.sim_seed, &mut recording, &mut NullProbe) {
         DriveOutcome::Clean { events } => EpisodeOutcome::Clean { events },
         DriveOutcome::Violated(violation) => EpisodeOutcome::Violated(Box::new(FoundViolation {
             violation,
@@ -191,7 +196,7 @@ pub fn replay(
     decisions: &DecisionTrace,
 ) -> (Option<Violation>, usize) {
     let mut replayer = ReplayAdversary::new(decisions);
-    let outcome = drive(scenario, sim_seed, &mut replayer);
+    let outcome = drive(scenario, sim_seed, &mut replayer, &mut NullProbe);
     let consumed = replayer.consumed();
     match outcome {
         DriveOutcome::Violated(violation) => (Some(violation), consumed),

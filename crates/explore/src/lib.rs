@@ -46,7 +46,10 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod corpus;
+pub mod coverage;
 pub mod explorer;
+pub mod mutate;
 pub mod oracles;
 pub mod partitioned;
 pub mod sabotage;
@@ -55,14 +58,21 @@ pub mod shrink;
 pub mod strategies;
 
 pub use concurrent::{replay_exec, replay_shm, run_episode_exec, run_episode_shm, ShmConfig};
+pub use corpus::{Corpus, CorpusEntry};
+pub use coverage::{
+    compare_kill_time, trace_class, CoverageConfig, CoverageExplorer, CoverageProbe,
+    CoverageReport, CoverageSignal, CoverageViolation, EpisodeOrigin, KillComparison, NullProbe,
+    SignalProbe,
+};
 pub use explorer::{
     replay, run_episode, EpisodeOutcome, EpisodePlan, ExploreBackend, Explorer, FoundViolation,
     HuntReport,
 };
+pub use mutate::MutationEngine;
 pub use oracles::{Oracle, OracleCtx, Violation};
 pub use partitioned::{run_episode_partitioned, PartitionedConfig};
 pub use scenario::{
     standard_scenarios, ElectionScenario, RenamingScenario, Scenario, SiftScenario,
 };
-pub use shrink::{shrink, shrink_exec, shrink_shm, ShrinkResult};
+pub use shrink::{shrink, shrink_exec, shrink_shm, shrink_with, ShrinkResult};
 pub use strategies::{PreemptionBound, StrategySpec};

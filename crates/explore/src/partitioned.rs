@@ -19,6 +19,7 @@
 //! the trace shrinker does not apply (there is no decision list to
 //! minimize; shrink over the scenario/plan grid instead).
 
+use crate::coverage::CoverageProbe;
 use crate::explorer::{EpisodeOutcome, EpisodePlan, FoundViolation};
 use crate::oracles::{budget_violation, OracleCtx};
 use crate::scenario::Scenario;
@@ -44,15 +45,20 @@ impl Default for PartitionedConfig {
     }
 }
 
-/// Run one episode of `plan` against `scenario` on the partitioned backend,
-/// evaluating the scenario's oracles at every super-round barrier.
-pub fn run_episode_partitioned(
+/// Drive one partitioned run of `scenario` under per-partition adversaries
+/// built by `build`, checking the scenario's oracles at every super-round
+/// barrier. Returns the violation (if any) and the events executed. The
+/// probe sees every barrier ctx the oracles see
+/// ([`crate::coverage::NullProbe`] outside coverage hunts).
+pub(crate) fn drive_partitioned(
     scenario: &dyn Scenario,
-    plan: &EpisodePlan,
+    sim_seed: u64,
+    build: impl FnMut(usize, u64) -> Box<dyn fle_sim::Adversary>,
     config: &PartitionedConfig,
-) -> EpisodeOutcome {
+    probe: &mut dyn CoverageProbe,
+) -> (Option<crate::oracles::Violation>, u64) {
     let mut sim_config = SimConfig::new(scenario.n())
-        .with_seed(plan.sim_seed)
+        .with_seed(sim_seed)
         .with_partitions(config.partitions);
     if let Some(budget) = scenario.max_events() {
         sim_config = sim_config.with_max_events(budget);
@@ -64,11 +70,7 @@ pub fn run_episode_partitioned(
     }
     let participants = scenario.participants();
     let mut oracles = scenario.oracles();
-    let strategy = plan.strategy;
-    let strategy_seed = plan.strategy_seed;
-    // Mix the partition-unique engine seed into the strategy seed so the
-    // partitions run distinct (but reproducible) copies of the attack.
-    sim.set_adversaries(|_part, seed| strategy.build(splitmix64(seed ^ strategy_seed)));
+    sim.set_adversaries(build);
 
     let violation = loop {
         match sim.step_round() {
@@ -82,6 +84,7 @@ pub fn run_episode_partitioned(
                     participants: &participants,
                     events_executed: sim.events_executed(),
                 };
+                probe.observe(&ctx);
                 let fired = oracles.iter_mut().find_map(|oracle| oracle.check(&ctx));
                 if fired.is_some() {
                     break fired;
@@ -95,10 +98,29 @@ pub fn run_episode_partitioned(
             }
         }
     };
+    (violation, sim.events_executed())
+}
+
+/// Run one episode of `plan` against `scenario` on the partitioned backend,
+/// evaluating the scenario's oracles at every super-round barrier.
+pub fn run_episode_partitioned(
+    scenario: &dyn Scenario,
+    plan: &EpisodePlan,
+    config: &PartitionedConfig,
+) -> EpisodeOutcome {
+    let strategy = plan.strategy;
+    let strategy_seed = plan.strategy_seed;
+    // Mix the partition-unique engine seed into the strategy seed so the
+    // partitions run distinct (but reproducible) copies of the attack.
+    let (violation, events) = drive_partitioned(
+        scenario,
+        plan.sim_seed,
+        |_part, seed| strategy.build(splitmix64(seed ^ strategy_seed)),
+        config,
+        &mut crate::coverage::NullProbe,
+    );
     match violation {
-        None => EpisodeOutcome::Clean {
-            events: sim.events_executed(),
-        },
+        None => EpisodeOutcome::Clean { events },
         Some(violation) => EpisodeOutcome::Violated(Box::new(FoundViolation {
             violation,
             // Deliberately empty: see the module docs — the episode plan is

@@ -94,7 +94,14 @@ pub fn shrink_exec(
 
 /// The backend-generic ddmin core: `replay_fn` re-executes a candidate trace
 /// and reports the violation it reproduces plus the decisions consumed.
-fn shrink_with(
+///
+/// Public so callers with unusual replay setups (a custom backend config, a
+/// corpus-replay harness, a coverage hunt's mutant episode) can minimize
+/// against exactly the reproduction path they use. The keep-predicate is
+/// fixed: a candidate survives iff the **same oracle** (by name) fires under
+/// `replay_fn` — a candidate under which the oracle stops firing is
+/// rejected, whatever else it does.
+pub fn shrink_with(
     found: &FoundViolation,
     max_replays: usize,
     mut replay_fn: impl FnMut(&DecisionTrace) -> (Option<Violation>, usize),
@@ -262,6 +269,132 @@ mod tests {
         assert_eq!(result.original_len, 50);
         assert!(result.replays > 1, "real chunk removal happened");
         assert!(result.ratio() < 0.25);
+    }
+
+    fn found_with(decisions: DecisionTrace, oracle: &'static str, sim_seed: u64) -> FoundViolation {
+        FoundViolation {
+            violation: Violation {
+                oracle,
+                detail: "synthetic".to_string(),
+                events_executed: 0,
+            },
+            decisions,
+            scenario: "edge-case".to_string(),
+            plan: EpisodePlan {
+                strategy: StrategySpec::SplitBrain { burst: 1 },
+                sim_seed,
+                strategy_seed: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn already_minimal_traces_come_back_unchanged() {
+        // One pivotal decision, nothing else: ddmin must return it verbatim
+        // (the empty-trace probe and the single chunk drop both fail).
+        let scenario = CrashScenario;
+        let trace: DecisionTrace = [Decision::Crash(ProcId(3))].into_iter().collect();
+        let (violation, _) = replay(&scenario, 5, &trace);
+        let found = found_with(trace.clone(), "crash-witness", 5);
+        assert_eq!(violation.unwrap().oracle, "crash-witness");
+        let result = shrink(&scenario, &found, 100);
+        assert_eq!(result.minimized, trace, "already minimal: unchanged");
+        assert_eq!(result.original_len, 1);
+    }
+
+    #[test]
+    fn empty_traces_are_a_no_op() {
+        // A violation whose recorded trace is already empty (the completion
+        // rule alone reproduces it): the shrinker returns the empty trace
+        // after the single probing replay, touching nothing.
+        let found = found_with(DecisionTrace::new(), "always", 0);
+        let result = shrink_with(&found, 100, |trace| {
+            assert!(trace.is_empty(), "only the empty candidate is ever tried");
+            (
+                Some(Violation {
+                    oracle: "always",
+                    detail: "fires on any schedule".to_string(),
+                    events_executed: 0,
+                }),
+                0,
+            )
+        });
+        assert!(result.minimized.is_empty());
+        assert_eq!(result.original_len, 0);
+        assert_eq!(result.replays, 1, "one probe, no chunk loop");
+    }
+
+    #[test]
+    fn candidates_where_the_oracle_stops_firing_are_rejected() {
+        // Synthetic replay: the "witness" oracle fires iff the candidate
+        // still contains the pivotal Crash(3); candidates that drop it (or
+        // make a *different* oracle fire) must be rejected, so the pivotal
+        // decision survives minimization.
+        let pivotal = Decision::Crash(ProcId(3));
+        let mut decisions = vec![Decision::Schedule(0); 10];
+        decisions.push(pivotal);
+        decisions.extend([Decision::Schedule(1); 5]);
+        let found = found_with(decisions.into_iter().collect(), "witness", 0);
+        let result = shrink_with(&found, 200, |candidate| {
+            let position = candidate.decisions().iter().position(|d| *d == pivotal);
+            match position {
+                Some(at) => (
+                    Some(Violation {
+                        oracle: "witness",
+                        detail: "pivotal crash present".to_string(),
+                        events_executed: 0,
+                    }),
+                    at + 1,
+                ),
+                // Without the pivotal decision a *different* oracle fires —
+                // the keep-predicate must reject this candidate too.
+                None => (
+                    Some(Violation {
+                        oracle: "some-other-oracle",
+                        detail: "wrong invariant".to_string(),
+                        events_executed: 0,
+                    }),
+                    candidate.len(),
+                ),
+            }
+        });
+        assert_eq!(
+            result.minimized.decisions(),
+            &[pivotal],
+            "only candidates refiring the same oracle are kept"
+        );
+    }
+
+    #[test]
+    fn shrink_with_minimizes_on_the_concurrent_backend() {
+        // The backend-generic core pointed at a real gated replay: a
+        // fail-stop fault plan violates election liveness on threads; the
+        // ddmin core wired to `replay_shm` minimizes the trace and the
+        // result still reproduces there.
+        use crate::concurrent::{replay_shm, run_episode_shm, ShmConfig};
+        use crate::explorer::EpisodeOutcome;
+        use fle_runtime::{CrashSpec, FaultPlan};
+
+        let scenario = crate::scenario::ElectionScenario { n: 4, k: 4 };
+        let config = ShmConfig {
+            faults: Some(FaultPlan::new(2).with_crash(CrashSpec::lose_all(2))),
+            ..ShmConfig::default()
+        };
+        let plan = EpisodePlan {
+            strategy: StrategySpec::SplitBrain { burst: 4 },
+            sim_seed: 0,
+            strategy_seed: 0,
+        };
+        let found = match run_episode_shm(&scenario, &plan, &config) {
+            EpisodeOutcome::Violated(found) => *found,
+            EpisodeOutcome::Clean { .. } => panic!("fail-stopping everyone violates liveness"),
+        };
+        let result = shrink_with(&found, 120, |trace| {
+            replay_shm(&scenario, 0, trace, &config)
+        });
+        assert!(result.minimized.len() <= found.decisions.len());
+        let (violation, _) = replay_shm(&scenario, 0, &result.minimized, &config);
+        assert_eq!(violation.map(|v| v.oracle), Some(found.violation.oracle));
     }
 
     #[test]

@@ -140,7 +140,9 @@ pub struct GateObservation<'a> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GateCommand {
     /// Grant the `index`-th entry of [`GateObservation::waiting`] (indices
-    /// out of range wrap, so an edited replay stays a valid schedule).
+    /// out of range clamp to the last waiting entry — the same tolerance as
+    /// `fle_sim::ReplayAdversary`, so an edited replay stays a valid
+    /// schedule and both substrates sanitize identically).
     Run(usize),
     /// Crash the given processor. Ignored (treated as `Run(0)`) when the
     /// budget is spent or the processor is not waiting, so schedulers can be
@@ -539,7 +541,7 @@ pub fn run_scheduled_faulty(
                     // mirroring the tolerant replay semantics of the
                     // simulator's `ReplayAdversary`.
                     let pick = match command {
-                        GateCommand::Run(pick) => pick % waiting.len(),
+                        GateCommand::Run(pick) => pick.min(waiting.len() - 1),
                         _ => 0,
                     };
                     // Count the grant before recording the interval start so

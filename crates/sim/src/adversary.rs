@@ -354,17 +354,28 @@ impl<A: Adversary> Adversary for RecordingAdversary<A> {
 
 /// Replays a [`DecisionTrace`], sanitizing decisions that no longer apply.
 ///
-/// The replayer is deliberately *tolerant*: the shrinker edits traces (drops
-/// chunks, truncates), which shifts the meaning of later indices, so a
-/// faithful-or-fail replayer would reject almost every edit. Instead:
+/// The replayer is deliberately *tolerant*: the shrinker and the coverage
+/// explorer's mutation engine edit traces (drop chunks, truncate, splice),
+/// which shifts the meaning of later indices, so a faithful-or-fail replayer
+/// would reject almost every edit. Instead:
 ///
-/// * `Schedule(i)` is clamped to `i % enabled.len()` — an unedited trace is
-///   replayed verbatim (indices are always in range when nothing was
-///   dropped), an edited one stays a *valid* schedule;
+/// * `Schedule(i)` is clamped to `min(i, enabled.len() − 1)` — an unedited
+///   trace is replayed verbatim (indices are always in range when nothing
+///   was dropped), an edited one stays a *valid* schedule. This is a true
+///   clamp, **not** a modulo wrap: wrapping would silently re-aim a large
+///   edited index at an arbitrary unrelated event near the front of the
+///   queue, whereas clamping deterministically picks the newest enabled
+///   event — the nearest in-range neighbour of the intent the index
+///   recorded;
 /// * `Crash(p)` is replayed only while it is legal (budget left, victim
 ///   alive); otherwise the oldest enabled event is scheduled instead;
 /// * once the trace is exhausted the replayer keeps scheduling the oldest
-///   enabled event (index 0), a deterministic completion rule.
+///   enabled event (index 0), a deterministic completion rule;
+/// * a trace **longer than the run consumes** executes exactly its consumed
+///   prefix — the dead tail cannot affect the execution, and
+///   [`DecisionTrace::truncated`]`(`[`ReplayAdversary::consumed`]`())` is
+///   the equivalent minimal trace (the documented truncate-to-consumed
+///   behaviour, pinned by a regression test).
 ///
 /// Any violation found under replay is therefore a genuine counterexample —
 /// the schedule executed is exactly the (sanitized) decision sequence, and
@@ -406,7 +417,7 @@ impl Adversary for ReplayAdversary {
         };
         self.next += 1;
         match decision {
-            Decision::Schedule(index) => Decision::Schedule(index % enabled.len()),
+            Decision::Schedule(index) => Decision::Schedule(index.min(enabled.len() - 1)),
             Decision::Crash(victim) => {
                 let legal = victim.index() < observation.n
                     && observation.crash_budget_left > 0
@@ -577,7 +588,7 @@ mod tests {
         let enabled = vec![EnabledEvent::Step(ProcId(0)); 3];
         let trace: DecisionTrace = [
             Decision::Schedule(2),
-            Decision::Schedule(7), // out of range after an edit: clamped to 7 % 3
+            Decision::Schedule(7), // out of range after an edit: clamped to 2
             Decision::Crash(ProcId(1)),
             Decision::Crash(ProcId(9)), // invalid victim: sanitized
         ]
@@ -586,7 +597,12 @@ mod tests {
         let mut replay = ReplayAdversary::new(&trace);
         let view = EnabledEvents::from_slice(&enabled);
         assert_eq!(replay.decide(&obs, &view), Decision::Schedule(2));
-        assert_eq!(replay.decide(&obs, &view), Decision::Schedule(1));
+        assert_eq!(
+            replay.decide(&obs, &view),
+            Decision::Schedule(2),
+            "an out-of-range index clamps to the last enabled event instead \
+             of silently wrapping to an unrelated early one"
+        );
         assert_eq!(replay.decide(&obs, &view), Decision::Crash(ProcId(1)));
         assert_eq!(replay.decide(&obs, &view), Decision::Schedule(0));
         assert_eq!(replay.consumed(), 4);
@@ -594,6 +610,50 @@ mod tests {
         assert_eq!(replay.decide(&obs, &view), Decision::Schedule(0));
         assert_eq!(replay.consumed(), 4);
         assert_eq!(replay.name(), "replay");
+    }
+
+    #[test]
+    fn replay_adversary_truncates_to_consumed_instead_of_wrapping() {
+        // Regression (issue 10): a trace longer than the run consumes must
+        // behave exactly like its consumed prefix — the decisions past the
+        // consumption point are dead weight, not a hidden influence. Here
+        // the "run" consumes only 3 decisions; the equivalent trace is the
+        // truncation, decision for decision, and the clamp of in-run
+        // indices is a min(), never a modulo.
+        let obs = observation(vec![(ProcessPhase::StepReady, None); 3]);
+        let enabled = vec![EnabledEvent::Step(ProcId(0)); 4];
+        let view = EnabledEvents::from_slice(&enabled);
+        let long: DecisionTrace = [
+            Decision::Schedule(3),
+            Decision::Schedule(100), // clamps to 3, NOT 100 % 4 == 0
+            Decision::Schedule(1),
+            Decision::Schedule(2), // never consumed by the 3-decision "run"
+            Decision::Crash(ProcId(0)),
+        ]
+        .into_iter()
+        .collect();
+
+        let mut replay = ReplayAdversary::new(&long);
+        let run: Vec<Decision> = (0..3).map(|_| replay.decide(&obs, &view)).collect();
+        assert_eq!(
+            run,
+            vec![
+                Decision::Schedule(3),
+                Decision::Schedule(3),
+                Decision::Schedule(1)
+            ]
+        );
+        assert_eq!(replay.consumed(), 3);
+
+        // The truncated trace replays the identical decision sequence and
+        // then completes deterministically.
+        let truncated = long.truncated(replay.consumed());
+        assert_eq!(truncated.len(), 3);
+        let mut replay = ReplayAdversary::new(&truncated);
+        let rerun: Vec<Decision> = (0..4).map(|_| replay.decide(&obs, &view)).collect();
+        assert_eq!(rerun[..3], run[..]);
+        assert_eq!(rerun[3], Decision::Schedule(0), "deterministic completion");
+        assert_eq!(replay.consumed(), 3, "the tail was truly dead weight");
     }
 
     #[test]

@@ -199,6 +199,35 @@ impl DecisionTrace {
         self.decisions.is_empty()
     }
 
+    /// The prefix of the first `len` decisions (the whole trace when `len`
+    /// is not smaller). This is the *truncate-to-consumed* edit: replaying a
+    /// trace longer than the run consumes executes exactly the consumed
+    /// prefix, so `trace.truncated(consumed)` is behaviourally identical to
+    /// `trace` against the same scenario and seed — the shrinker and the
+    /// corpus both store the truncation instead of the dead tail.
+    #[must_use]
+    pub fn truncated(&self, len: usize) -> Self {
+        DecisionTrace {
+            decisions: self.decisions[..len.min(self.decisions.len())].to_vec(),
+        }
+    }
+
+    /// Splice: the first `prefix` decisions of `self` followed by the
+    /// decisions of `tail` starting at `tail_from` (both clamped to the
+    /// respective lengths). The mutation engine of the coverage-guided
+    /// explorer builds crossover schedules this way; the result is always a
+    /// *valid* schedule because [`crate::ReplayAdversary`] clamps edited
+    /// indices and completes deterministically once a trace is exhausted.
+    #[must_use]
+    pub fn spliced(&self, prefix: usize, tail: &DecisionTrace, tail_from: usize) -> Self {
+        let prefix = prefix.min(self.decisions.len());
+        let tail_from = tail_from.min(tail.decisions.len());
+        let mut decisions = Vec::with_capacity(prefix + tail.decisions.len() - tail_from);
+        decisions.extend_from_slice(&self.decisions[..prefix]);
+        decisions.extend_from_slice(&tail.decisions[tail_from..]);
+        DecisionTrace { decisions }
+    }
+
     /// The compact text form: `s<index>` / `c<proc>` tokens separated by
     /// single spaces (empty string for an empty trace). Inverse of
     /// [`DecisionTrace::parse`].
@@ -342,5 +371,37 @@ mod tests {
         assert!(DecisionTrace::parse("s1 x2").is_err());
         assert!(DecisionTrace::parse("s").is_err());
         assert!(DecisionTrace::parse("cabc").is_err());
+    }
+
+    #[test]
+    fn truncated_clamps_and_copies() {
+        let trace: DecisionTrace = [
+            Decision::Schedule(1),
+            Decision::Crash(ProcId(0)),
+            Decision::Schedule(2),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(trace.truncated(2).decisions(), &trace.decisions()[..2]);
+        assert_eq!(trace.truncated(99), trace, "over-long truncation is id");
+        assert!(trace.truncated(0).is_empty());
+    }
+
+    #[test]
+    fn spliced_concatenates_with_clamped_cut_points() {
+        let a: DecisionTrace = [Decision::Schedule(0), Decision::Schedule(1)]
+            .into_iter()
+            .collect();
+        let b: DecisionTrace = [Decision::Crash(ProcId(2)), Decision::Schedule(3)]
+            .into_iter()
+            .collect();
+        let spliced = a.spliced(1, &b, 1);
+        assert_eq!(
+            spliced.decisions(),
+            &[Decision::Schedule(0), Decision::Schedule(3)]
+        );
+        // Out-of-range cut points clamp instead of panicking.
+        assert_eq!(a.spliced(99, &b, 99), a);
+        assert_eq!(a.spliced(0, &b, 0), b);
     }
 }
